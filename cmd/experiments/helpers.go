@@ -1,0 +1,52 @@
+package main
+
+import (
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/panel"
+)
+
+type geomRect = geom.Rect
+
+func geomCell(x, y int) geom.Cell { return geom.Cell{X: x, Y: y} }
+
+// topoOf builds a single-string topology of n modules for the reduced
+// optimality-gap instances.
+func topoOf(n int) panel.Topology {
+	return panel.Topology{SeriesPerString: n, Strings: 1}
+}
+
+// subSuitability crops the top-left w×h corner of a suitability
+// matrix (reduced instance for the branch-and-bound comparison).
+func subSuitability(s *floorplan.Suitability, mask *geom.Mask, w, h int) *floorplan.Suitability {
+	out := &floorplan.Suitability{W: w, H: h, S: make([]float64, w*h)}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.S[y*w+x] = s.At(geom.Cell{X: x, Y: y})
+		}
+	}
+	return out
+}
+
+// subMask crops the top-left w×h corner of a mask.
+func subMask(mask *geom.Mask, w, h int) *geom.Mask {
+	out := geom.NewMask(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.Set(geom.Cell{X: x, Y: y}, mask.Get(geom.Cell{X: x, Y: y}))
+		}
+	}
+	return out
+}
+
+// geomMask builds a fully-set mask of the given dimensions.
+func geomMask(w, h int) *geom.Mask {
+	m := geom.NewMask(w, h)
+	m.Fill(true)
+	return m
+}
+
+// topoOf2 builds an explicit m×n topology.
+func topoOf2(m, n int) panel.Topology {
+	return panel.Topology{SeriesPerString: m, Strings: n}
+}

@@ -1,0 +1,62 @@
+// Ivcurves regenerates the module characteristics behind the paper's
+// Fig. 2(a) and Fig. 3: I-V curves of the Mitsubishi PV-MF165EB3
+// under varying irradiance and temperature (single-diode physical
+// model), the normalised V_oc / I_sc / P_max dependences the paper
+// fits its empirical model from, and a side-by-side check of the two
+// models at the maximum power point.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/pvmodel"
+	"repro/internal/report"
+)
+
+func main() {
+	dio := pvmodel.PVMF165EB3Diode()
+	emp := pvmodel.PVMF165EB3()
+
+	fmt.Println("Fig. 2(a) — I-V curves (single-diode model)")
+	fmt.Println("\nIrradiance sweep at T_act = 25 °C (G in W/m²):")
+	ivTable := report.NewTable("V (V)", "I@G=200", "I@G=600", "I@G=1000")
+	curves := map[float64][]pvmodel.IVPoint{}
+	for _, g := range []float64{200, 600, 1000} {
+		curves[g] = dio.IVCurve(g, 25, 9)
+	}
+	for k := 0; k < 9; k++ {
+		v := curves[1000][k].V
+		ivTable.AddRowf("%5.1f|%6.2f|%6.2f|%6.2f",
+			v, dio.Current(v, 200, 25), dio.Current(v, 600, 25), dio.Current(v, 1000, 25))
+	}
+	fmt.Println(ivTable)
+
+	fmt.Println("Temperature sweep at G = 800 W/m²:")
+	tTable := report.NewTable("T_act (°C)", "Voc (V)", "Isc (A)", "Pmax (W)")
+	for _, tc := range []float64{0, 25, 50, 75} {
+		op := dio.MPP(800, tc)
+		tTable.AddRowf("%4.0f|%6.2f|%6.3f|%6.1f", tc, dio.Voc(800, tc), dio.Isc(800, tc), op.Power)
+	}
+	fmt.Println(tTable)
+
+	fmt.Println("Fig. 3 — normalised characteristics vs irradiance (ref: 1000 W/m², 25 °C)")
+	normTable := report.NewTable("G (W/m²)", "Voc/Voc_ref", "Isc/Isc_ref", "Pmax/Pmax_ref")
+	vocRef, iscRef := dio.Voc(1000, 25), dio.Isc(1000, 25)
+	pRef := dio.MPP(1000, 25).Power
+	for _, g := range []float64{200, 400, 600, 800, 1000} {
+		normTable.AddRowf("%5.0f|%6.3f|%6.3f|%6.3f",
+			g, dio.Voc(g, 25)/vocRef, dio.Isc(g, 25)/iscRef, dio.MPP(g, 25).Power/pRef)
+	}
+	fmt.Println(normTable)
+
+	fmt.Println("Empirical (paper §III-B1) vs single-diode MPP power (W):")
+	cmp := report.NewTable("G", "T_act", "empirical", "diode", "Δ%")
+	for _, g := range []float64{400, 700, 1000} {
+		for _, tc := range []float64{15, 45} {
+			pe := emp.MPP(g, tc).Power
+			pd := dio.MPP(g, tc).Power
+			cmp.AddRowf("%5.0f|%5.0f|%7.1f|%7.1f|%+5.1f", g, tc, pe, pd, (pe-pd)/pd*100)
+		}
+	}
+	fmt.Println(cmp)
+}

@@ -1,0 +1,69 @@
+// Partialshading demonstrates the mismatch physics that motivates the
+// paper's topology-aware placement (§II-B, §V-B): a series string is
+// throttled to its weakest module's current, and bypass diodes only
+// partially recover module-internal shading. The example contrasts a
+// string with one shaded module against a string whose modules were
+// chosen with matched irradiance — the paper's series-first argument.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/panel"
+	"repro/internal/pvmodel"
+	"repro/internal/report"
+)
+
+func main() {
+	mod := pvmodel.PVMF165EB3()
+	topo := panel.Topology{SeriesPerString: 8, Strings: 1}
+
+	uniform := make([]float64, 8)
+	tact := make([]float64, 8)
+	for i := range uniform {
+		uniform[i] = 900
+		tact[i] = 45
+	}
+	weak := append([]float64(nil), uniform...)
+	weak[3] = 300 // one module in a pipe shadow
+
+	stUniform, err := panel.At(topo, mod, uniform, tact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stWeak, err := panel.At(topo, mod, weak, tact)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Weak-module bottleneck in an 8-module series string (G=900 W/m², one module at 300):")
+	tb := report.NewTable("configuration", "P panel (W)", "P per-module sum (W)", "mismatch loss")
+	tb.AddRowf("matched string|%7.1f|%7.1f|%5.1f%%",
+		stUniform.Power, stUniform.PerModuleSum, stUniform.MismatchLoss()*100)
+	tb.AddRowf("one shaded module|%7.1f|%7.1f|%5.1f%%",
+		stWeak.Power, stWeak.PerModuleSum, stWeak.MismatchLoss()*100)
+	fmt.Println(tb)
+
+	// Module-internal shading with bypass diodes (single-diode model).
+	bp, err := pvmodel.NewBypassModule(pvmodel.PVMF165EB3Diode(), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := bp.MPP(bp.UniformIrradiance(900), 45)
+	if err != nil {
+		log.Fatal(err)
+	}
+	half, err := bp.MPP([]float64{900, 250}, 45)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Bypass diodes under module-internal shading (one of two substrings at 250 W/m²):")
+	tb2 := report.NewTable("module state", "P_mpp (W)", "vs unshaded")
+	tb2.AddRowf("uniform 900 W/m²|%6.1f|100.0%%", full.Power)
+	tb2.AddRowf("half shaded|%6.1f|%5.1f%%", half.Power, half.Power/full.Power*100)
+	fmt.Println(tb2)
+
+	fmt.Println("Takeaway: grouping similar-irradiance positions into the same string")
+	fmt.Println("(the paper's series-first enumeration) avoids the bottleneck entirely.")
+}

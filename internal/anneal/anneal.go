@@ -1,0 +1,167 @@
+// Package anneal refines a floorplan by simulated annealing — the
+// natural "future work" extension of the paper's greedy heuristic:
+// starting from the greedy placement, single-module relocation moves
+// are accepted by the Metropolis rule against an objective combining
+// the suitability sum with a wiring-length penalty. Ablation A4
+// quantifies how much headroom the greedy leaves on the table.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/wiring"
+)
+
+// Options tunes the annealer. Zero values take the documented
+// defaults.
+type Options struct {
+	// Seed fixes the random walk (deterministic refinement).
+	Seed int64
+	// Iterations is the number of proposed moves (default 20000).
+	Iterations int
+	// StartTemp and EndTemp bound the geometric cooling schedule in
+	// objective units (defaults 5.0 and 0.01).
+	StartTemp, EndTemp float64
+	// WiringWeight converts extra cable metres into objective units
+	// subtracted from the suitability sum (default 0.05 — cable is
+	// cheap, §V-C, so the penalty is a gentle regulariser).
+	WiringWeight float64
+	// Spec prices the wiring (required for the penalty; defaults to
+	// AWG10 at 0.2 m cells).
+	Spec wiring.Spec
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iterations == 0 {
+		o.Iterations = 20000
+	}
+	if o.StartTemp == 0 {
+		o.StartTemp = 5
+	}
+	if o.EndTemp == 0 {
+		o.EndTemp = 0.01
+	}
+	if o.WiringWeight == 0 {
+		o.WiringWeight = 0.05
+	}
+	if o.Spec == (wiring.Spec{}) {
+		o.Spec = wiring.AWG10(0.2)
+	}
+	return o
+}
+
+// Refine runs the annealer from the given placement and returns the
+// best placement found (never worse than the input under the
+// combined objective). The suitability field and mask must be the
+// ones the placement was planned on.
+func Refine(pl *floorplan.Placement, suit *floorplan.Suitability, mask *geom.Mask, opts Options) (*floorplan.Placement, error) {
+	if pl == nil || suit == nil || mask == nil {
+		return nil, fmt.Errorf("anneal: nil placement, suitability or mask")
+	}
+	if len(pl.Rects) == 0 {
+		return nil, fmt.Errorf("anneal: empty placement")
+	}
+	opts = opts.withDefaults()
+	if opts.StartTemp < opts.EndTemp {
+		return nil, fmt.Errorf("anneal: StartTemp %g below EndTemp %g", opts.StartTemp, opts.EndTemp)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	cur := clonePlacement(pl)
+	occupied := mask.Clone() // true = free
+	for _, r := range cur.Rects {
+		occupied.SetRect(r, false)
+	}
+
+	objective := func(p *floorplan.Placement) float64 {
+		extra, err := opts.Spec.PlacementOverheadMeters(p.Rects, p.Topology.SeriesPerString)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return p.SuitabilitySum - opts.WiringWeight*extra
+	}
+
+	curObj := objective(cur)
+	best := clonePlacement(cur)
+	bestObj := curObj
+
+	cooling := math.Pow(opts.EndTemp/opts.StartTemp, 1/float64(opts.Iterations))
+	temp := opts.StartTemp
+	area := float64(cur.Shape.W * cur.Shape.H)
+
+	for it := 0; it < opts.Iterations; it++ {
+		k := rng.Intn(len(cur.Rects))
+		oldRect := cur.Rects[k]
+		// Free the module's own cells for the feasibility check.
+		occupied.SetRect(oldRect, true)
+		newAnchor := geom.Cell{
+			X: rng.Intn(mask.W() - cur.Shape.W + 1),
+			Y: rng.Intn(mask.H() - cur.Shape.H + 1),
+		}
+		newRect := cur.Shape.Rect(newAnchor)
+		if !occupied.AllSet(newRect) {
+			occupied.SetRect(oldRect, false)
+			temp *= cooling
+			continue
+		}
+		newScore, ok := footprintScore(suit, newRect, area)
+		if !ok {
+			occupied.SetRect(oldRect, false)
+			temp *= cooling
+			continue
+		}
+		oldScore, _ := footprintScore(suit, oldRect, area)
+
+		cur.Rects[k] = newRect
+		cur.SuitabilitySum += newScore - oldScore
+		newObj := objective(cur)
+
+		accept := newObj >= curObj
+		if !accept {
+			accept = rng.Float64() < math.Exp((newObj-curObj)/temp)
+		}
+		if accept {
+			occupied.SetRect(newRect, false)
+			curObj = newObj
+			if newObj > bestObj {
+				bestObj = newObj
+				best = clonePlacement(cur)
+			}
+		} else {
+			cur.Rects[k] = oldRect
+			cur.SuitabilitySum += oldScore - newScore
+			occupied.SetRect(oldRect, false)
+		}
+		temp *= cooling
+	}
+	return best, nil
+}
+
+func footprintScore(suit *floorplan.Suitability, rect geom.Rect, area float64) (float64, bool) {
+	sum := 0.0
+	ok := true
+	rect.Cells(func(c geom.Cell) bool {
+		v := suit.At(c)
+		if math.IsNaN(v) {
+			ok = false
+			return false
+		}
+		sum += v
+		return true
+	})
+	if !ok {
+		return 0, false
+	}
+	return sum / area, true
+}
+
+func clonePlacement(p *floorplan.Placement) *floorplan.Placement {
+	out := *p
+	out.Rects = append([]geom.Rect(nil), p.Rects...)
+	out.Warnings = append([]string(nil), p.Warnings...)
+	return &out
+}

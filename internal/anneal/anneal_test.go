@@ -1,0 +1,159 @@
+package anneal
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/panel"
+	"repro/internal/wiring"
+)
+
+func hotspotSuit(w, h int) *floorplan.Suitability {
+	s := &floorplan.Suitability{W: w, H: h, S: make([]float64, w*h)}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 10.0
+			// Two hot islands the greedy may exploit suboptimally.
+			if x > w-12 && y > h-8 {
+				v = 100
+			}
+			if x < 12 && y < 8 {
+				v = 95
+			}
+			s.S[y*w+x] = v
+		}
+	}
+	return s
+}
+
+func fullMask(w, h int) *geom.Mask {
+	m := geom.NewMask(w, h)
+	m.Fill(true)
+	return m
+}
+
+func planFixture(t *testing.T) (*floorplan.Placement, *floorplan.Suitability, *geom.Mask) {
+	t.Helper()
+	suit := hotspotSuit(48, 24)
+	mask := fullMask(48, 24)
+	topo := panel.Topology{SeriesPerString: 2, Strings: 2}
+	pl, err := floorplan.Plan(suit, mask, floorplan.Options{
+		Shape: floorplan.ModuleShape{W: 8, H: 4}, Topology: topo,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, suit, mask
+}
+
+func TestRefineValidation(t *testing.T) {
+	pl, suit, mask := planFixture(t)
+	if _, err := Refine(nil, suit, mask, Options{}); err == nil {
+		t.Error("nil placement must error")
+	}
+	if _, err := Refine(pl, nil, mask, Options{}); err == nil {
+		t.Error("nil suitability must error")
+	}
+	empty := *pl
+	empty.Rects = nil
+	if _, err := Refine(&empty, suit, mask, Options{}); err == nil {
+		t.Error("empty placement must error")
+	}
+	if _, err := Refine(pl, suit, mask, Options{StartTemp: 0.001, EndTemp: 1}); err == nil {
+		t.Error("inverted temperatures must error")
+	}
+}
+
+func TestRefineNeverWorsensObjective(t *testing.T) {
+	pl, suit, mask := planFixture(t)
+	opts := Options{Seed: 42, Iterations: 5000}
+	refined, err := Refine(pl, suit, mask, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := wiring.AWG10(0.2)
+	obj := func(p *floorplan.Placement) float64 {
+		extra, err := spec.PlacementOverheadMeters(p.Rects, p.Topology.SeriesPerString)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.SuitabilitySum - 0.05*extra
+	}
+	if obj(refined) < obj(pl)-1e-9 {
+		t.Errorf("refinement worsened objective: %.3f -> %.3f", obj(pl), obj(refined))
+	}
+}
+
+func TestRefineKeepsFeasibility(t *testing.T) {
+	pl, suit, mask := planFixture(t)
+	refined, err := Refine(pl, suit, mask, Options{Seed: 7, Iterations: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refined.OverlapFree() {
+		t.Error("refined placement overlaps")
+	}
+	if !refined.WithinMask(mask) {
+		t.Error("refined placement escapes mask")
+	}
+	if len(refined.Rects) != len(pl.Rects) {
+		t.Error("refinement changed module count")
+	}
+}
+
+func TestRefineDeterministicPerSeed(t *testing.T) {
+	pl, suit, mask := planFixture(t)
+	a, err := Refine(pl, suit, mask, Options{Seed: 5, Iterations: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Refine(pl, suit, mask, Options{Seed: 5, Iterations: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rects {
+		if a.Rects[i] != b.Rects[i] {
+			t.Fatalf("same seed diverged at module %d", i)
+		}
+	}
+}
+
+func TestRefineDoesNotMutateInput(t *testing.T) {
+	pl, suit, mask := planFixture(t)
+	before := append([]geom.Rect(nil), pl.Rects...)
+	if _, err := Refine(pl, suit, mask, Options{Seed: 3, Iterations: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if pl.Rects[i] != before[i] {
+			t.Fatal("Refine mutated the input placement")
+		}
+	}
+}
+
+func TestRefineEscapesDeliberatelyBadStart(t *testing.T) {
+	// Start from a placement parked on the cold background; the
+	// annealer must find its way to the hot islands.
+	suit := hotspotSuit(48, 24)
+	mask := fullMask(48, 24)
+	shape := floorplan.ModuleShape{W: 8, H: 4}
+	topo := panel.Topology{SeriesPerString: 2, Strings: 1}
+	bad := &floorplan.Placement{
+		Topology: topo,
+		Shape:    shape,
+		Rects:    []geom.Rect{shape.Rect(geom.Cell{X: 20, Y: 10}), shape.Rect(geom.Cell{X: 28, Y: 10})},
+	}
+	for _, r := range bad.Rects {
+		var sum float64
+		r.Cells(func(c geom.Cell) bool { sum += suit.At(c); return true })
+		bad.SuitabilitySum += sum / 32
+	}
+	refined, err := Refine(bad, suit, mask, Options{Seed: 11, Iterations: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.SuitabilitySum < bad.SuitabilitySum*1.5 {
+		t.Errorf("annealer failed to escape: %.1f -> %.1f", bad.SuitabilitySum, refined.SuitabilitySum)
+	}
+}

@@ -1,0 +1,238 @@
+package dsm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Plane describes the analytic roof plane a lean-to roof is built
+// from: a tilted surface with a given slope and downslope azimuth.
+type Plane struct {
+	// RidgeZ is the elevation in metres of the plane at its highest
+	// edge (the ridge side of the roof rectangle).
+	RidgeZ float64
+	// SlopeDeg is the tilt from horizontal in degrees (the paper's
+	// roofs are inclined 26°).
+	SlopeDeg float64
+	// AspectDeg is the downslope azimuth in degrees clockwise from
+	// north (180 = S, 225 = SW; the paper's roofs face S/S-W).
+	AspectDeg float64
+}
+
+// SlopeRad returns the tilt in radians.
+func (p Plane) SlopeRad() float64 { return p.SlopeDeg * math.Pi / 180 }
+
+// AspectRad returns the downslope azimuth in radians.
+func (p Plane) AspectRad() float64 { return p.AspectDeg * math.Pi / 180 }
+
+// Normal returns the upward unit normal of the plane in local
+// east-north-up coordinates.
+func (p Plane) Normal() (e, n, u float64) {
+	s, a := p.SlopeRad(), p.AspectRad()
+	return math.Sin(s) * math.Sin(a), math.Sin(s) * math.Cos(a), math.Cos(s)
+}
+
+// Scene is a synthetic DSM with a designated roof region on which
+// panels may be placed. The raster covers the roof plus enough
+// surroundings for the shadow model to see adjacent structures.
+type Scene struct {
+	// Raster is the full elevation model, including surroundings.
+	Raster *Raster
+	// RoofRect is the roof region inside the raster, in raster cells.
+	RoofRect geom.Rect
+	// RoofPlane is the analytic plane of the roof surface.
+	RoofPlane Plane
+	// Obstacles marks raster cells covered by roof encumbrances
+	// (chimneys, pipes, dormers...). Same dims as the raster.
+	Obstacles *geom.Mask
+}
+
+// SceneBuilder incrementally constructs a Scene. Coordinates handed
+// to builder methods are roof-local cells: (0,0) is the top-left
+// (ridge-side, west) corner of the roof region.
+type SceneBuilder struct {
+	scene  *Scene
+	margin int
+}
+
+// NewSceneBuilder creates a scene with a roofW×roofH-cell roof region
+// surrounded by a margin of flat ground on every side, and stamps the
+// tilted roof plane into the raster. The roof is drawn as the top
+// surface of a building: cells below the roof plane belong to the
+// building volume, so the DSM is physically a prism with a tilted
+// top, standing on ground at z = 0.
+//
+// The plane is oriented with its ridge on the row y = 0 of the roof
+// region: elevation decreases along +y (toward the eave). AspectDeg
+// values between 135 and 225 keep that geometry consistent (the
+// paper's roofs face S to SW with the grid's +y pointing downslope).
+func NewSceneBuilder(roofW, roofH int, cellSize float64, plane Plane, marginCells int) (*SceneBuilder, error) {
+	if roofW <= 0 || roofH <= 0 {
+		return nil, fmt.Errorf("dsm: non-positive roof dims %dx%d", roofW, roofH)
+	}
+	if marginCells < 0 {
+		return nil, fmt.Errorf("dsm: negative margin %d", marginCells)
+	}
+	if plane.SlopeDeg < 0 || plane.SlopeDeg >= 90 {
+		return nil, fmt.Errorf("dsm: slope %g° outside [0,90)", plane.SlopeDeg)
+	}
+	w := roofW + 2*marginCells
+	h := roofH + 2*marginCells
+	r, err := NewRaster(w, h, cellSize)
+	if err != nil {
+		return nil, err
+	}
+	roof := geom.Rect{X0: marginCells, Y0: marginCells, X1: marginCells + roofW, Y1: marginCells + roofH}
+	sc := &Scene{
+		Raster:    r,
+		RoofRect:  roof,
+		RoofPlane: plane,
+		Obstacles: geom.NewMask(w, h),
+	}
+	b := &SceneBuilder{scene: sc, margin: marginCells}
+	// Stamp the roof plane.
+	for y := roof.Y0; y < roof.Y1; y++ {
+		for x := roof.X0; x < roof.X1; x++ {
+			c := geom.Cell{X: x, Y: y}
+			r.Set(c, b.PlaneZ(geom.Cell{X: x - roof.X0, Y: y - roof.Y0}))
+		}
+	}
+	return b, nil
+}
+
+// PlaneZ returns the roof-plane elevation at the center of the
+// roof-local cell c. The plane descends from the ridge row (y=0) at
+// the rate implied by the slope, measured along the plan projection.
+func (b *SceneBuilder) PlaneZ(c geom.Cell) float64 {
+	p := b.scene.RoofPlane
+	drop := math.Tan(p.SlopeRad()) * (float64(c.Y) + 0.5) * b.scene.Raster.CellSize()
+	return p.RidgeZ - drop
+}
+
+// toScene converts a roof-local rect to raster coordinates.
+func (b *SceneBuilder) toScene(r geom.Rect) geom.Rect {
+	off := b.scene.RoofRect.Anchor()
+	return geom.Rect{X0: r.X0 + off.X, Y0: r.Y0 + off.Y, X1: r.X1 + off.X, Y1: r.Y1 + off.Y}
+}
+
+// AddObstacle raises a box obstacle of the given height (metres above
+// the local roof surface) over the roof-local rect and records it in
+// the obstacle mask. Pipes, chimneys, HVAC cabinets and skylight curbs
+// are all boxes at this resolution; height drives how far the shadow
+// reaches.
+func (b *SceneBuilder) AddObstacle(rect geom.Rect, height float64) {
+	sceneRect := b.toScene(rect).Intersect(b.scene.Raster.Bounds())
+	off := b.scene.RoofRect.Anchor()
+	for y := sceneRect.Y0; y < sceneRect.Y1; y++ {
+		for x := sceneRect.X0; x < sceneRect.X1; x++ {
+			c := geom.Cell{X: x, Y: y}
+			base := b.PlaneZ(geom.Cell{X: x - off.X, Y: y - off.Y})
+			if b.scene.RoofRect.Contains(c) {
+				b.scene.Raster.Set(c, base+height)
+			} else {
+				b.scene.Raster.MaxAbove(geom.Rect{X0: x, Y0: y, X1: x + 1, Y1: y + 1}, base+height)
+			}
+			b.scene.Obstacles.Set(c, true)
+		}
+	}
+}
+
+// AddPipeRun lays a horizontal pipe/duct of the given cell width and
+// height running across the roof: a long thin obstacle, the dominant
+// encumbrance on the paper's Roof 1.
+func (b *SceneBuilder) AddPipeRun(y, x0, x1, widthCells int, height float64) {
+	b.AddObstacle(geom.Rect{X0: x0, Y0: y, X1: x1, Y1: y + widthCells}, height)
+}
+
+// AddChimney adds a square chimney of the given side (cells) and
+// height (metres above the roof surface) at the roof-local anchor.
+func (b *SceneBuilder) AddChimney(at geom.Cell, sideCells int, height float64) {
+	b.AddObstacle(geom.RectAt(at, sideCells, sideCells), height)
+}
+
+// AddDormer adds a dormer: a box footprint with a ridged top,
+// approximated as two height steps at this resolution.
+func (b *SceneBuilder) AddDormer(at geom.Cell, wCells, hCells int, height float64) {
+	b.AddObstacle(geom.RectAt(at, wCells, hCells), height*0.7)
+	// Raised central ridge strip.
+	ridge := geom.Rect{X0: at.X + wCells/4, Y0: at.Y, X1: at.X + wCells - wCells/4, Y1: at.Y + hCells}
+	b.AddObstacle(ridge, height)
+}
+
+// AddAdjacentStructure raises a block outside the roof (raster
+// coordinates) to an absolute elevation — a neighbouring taller
+// building or parapet wall that shades part of the roof at low sun
+// angles. The rect is clipped to the raster and must not intersect
+// the roof region.
+func (b *SceneBuilder) AddAdjacentStructure(rasterRect geom.Rect, absZ float64) error {
+	if rasterRect.Overlaps(b.scene.RoofRect) {
+		return fmt.Errorf("dsm: adjacent structure %v overlaps roof %v", rasterRect, b.scene.RoofRect)
+	}
+	b.scene.Raster.MaxAbove(rasterRect, absZ)
+	return nil
+}
+
+// AddTree plants an approximately conical tree at the raster cell
+// center with the given crown radius (metres) and top elevation
+// (absolute metres). Trees live outside the roof region.
+func (b *SceneBuilder) AddTree(at geom.Cell, crownRadiusM, topZ float64) error {
+	cs := b.scene.Raster.CellSize()
+	radCells := int(math.Ceil(crownRadiusM / cs))
+	footprint := geom.Rect{X0: at.X - radCells, Y0: at.Y - radCells, X1: at.X + radCells + 1, Y1: at.Y + radCells + 1}
+	if footprint.Overlaps(b.scene.RoofRect) {
+		return fmt.Errorf("dsm: tree at %v overlaps roof", at)
+	}
+	cx, cy := b.scene.Raster.CellCenterMetres(at)
+	clipped := footprint.Intersect(b.scene.Raster.Bounds())
+	for y := clipped.Y0; y < clipped.Y1; y++ {
+		for x := clipped.X0; x < clipped.X1; x++ {
+			px, py := b.scene.Raster.CellCenterMetres(geom.Cell{X: x, Y: y})
+			d := math.Hypot(px-cx, py-cy)
+			if d > crownRadiusM {
+				continue
+			}
+			z := topZ * (1 - 0.5*d/crownRadiusM) // cone with a blunt tip
+			b.scene.Raster.MaxAbove(geom.Rect{X0: x, Y0: y, X1: x + 1, Y1: y + 1}, z)
+		}
+	}
+	return nil
+}
+
+// Build returns the finished scene.
+func (b *SceneBuilder) Build() *Scene { return b.scene }
+
+// SuitableArea returns the roof-local mask of cells available for
+// panel placement: roof cells that carry no encumbrance, eroded by
+// marginCells to keep a clearance ring around every obstacle and the
+// roof border (installers keep setback distances for wind loads and
+// maintenance walkways). The returned mask has the roof region's
+// dimensions.
+func (s *Scene) SuitableArea(marginCells int) *geom.Mask {
+	w, h := s.RoofRect.W(), s.RoofRect.H()
+	m := geom.NewMask(w, h)
+	off := s.RoofRect.Anchor()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sceneCell := geom.Cell{X: x + off.X, Y: y + off.Y}
+			m.Set(geom.Cell{X: x, Y: y}, !s.Obstacles.Get(sceneCell))
+		}
+	}
+	for i := 0; i < marginCells; i++ {
+		m.Erode()
+	}
+	return m
+}
+
+// RoofCellZ returns the raster elevation at the roof-local cell.
+func (s *Scene) RoofCellZ(c geom.Cell) float64 {
+	off := s.RoofRect.Anchor()
+	return s.Raster.At(geom.Cell{X: c.X + off.X, Y: c.Y + off.Y})
+}
+
+// ToRasterCell converts a roof-local cell to raster coordinates.
+func (s *Scene) ToRasterCell(c geom.Cell) geom.Cell {
+	off := s.RoofRect.Anchor()
+	return geom.Cell{X: c.X + off.X, Y: c.Y + off.Y}
+}

@@ -1,0 +1,216 @@
+// Package econ quantifies the economics behind the paper's
+// motivation: PV placement is about maximising the return on
+// investment (§I), and the sparse placement's pitch is more energy
+// "while basically keeping the same installation cost". The package
+// prices a system (modules, inverter, balance-of-system, cabling),
+// values its yearly production under flat or time-of-use tariffs, and
+// computes simple payback, net present value and LCOE — plus the
+// marginal comparison between a traditional and a proposed placement,
+// which is the paper's iso-cost claim made explicit.
+package econ
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostModel prices the installation's capital items.
+type CostModel struct {
+	// ModuleUSD is the per-module price.
+	ModuleUSD float64
+	// InverterUSDPerKW prices the inverter by nameplate power.
+	InverterUSDPerKW float64
+	// BOSUSDPerModule covers mounting rails, connectors and
+	// miscellaneous balance-of-system per module. A sparse placement
+	// uses the same mounting hardware per module as a compact one —
+	// the paper's iso-cost premise.
+	BOSUSDPerModule float64
+	// WiringUSDPerM prices the extra string cable of a sparse
+	// placement (the paper's 1 $/m).
+	WiringUSDPerM float64
+	// FixedUSD is the installation's fixed cost (design, permits,
+	// crew mobilisation).
+	FixedUSD float64
+}
+
+// Residential2018 is a representative 2018 European residential cost
+// set for 165 W-class modules (≈0.9 $/W modules, 0.25 $/W inverter).
+func Residential2018() CostModel {
+	return CostModel{
+		ModuleUSD:        150,
+		InverterUSDPerKW: 250,
+		BOSUSDPerModule:  55,
+		WiringUSDPerM:    1,
+		FixedUSD:         1200,
+	}
+}
+
+// Validate checks the cost model.
+func (c CostModel) Validate() error {
+	if c.ModuleUSD < 0 || c.InverterUSDPerKW < 0 || c.BOSUSDPerModule < 0 ||
+		c.WiringUSDPerM < 0 || c.FixedUSD < 0 {
+		return fmt.Errorf("econ: negative cost component in %+v", c)
+	}
+	return nil
+}
+
+// Capex returns the capital cost of a system of n modules with the
+// given nameplate (kW) and extra cable (m).
+func (c CostModel) Capex(nModules int, nameplateKW, extraCableM float64) float64 {
+	return float64(nModules)*(c.ModuleUSD+c.BOSUSDPerModule) +
+		c.InverterUSDPerKW*nameplateKW +
+		c.WiringUSDPerM*extraCableM +
+		c.FixedUSD
+}
+
+// Financials parameterise the discounted-cashflow analysis.
+type Financials struct {
+	// TariffUSDPerKWh values each produced kWh (feed-in or avoided
+	// retail cost).
+	TariffUSDPerKWh float64
+	// DiscountRate is the yearly discount rate (e.g. 0.04).
+	DiscountRate float64
+	// LifetimeYears is the system's economic life (e.g. 25).
+	LifetimeYears int
+	// DegradationPerYear is the yearly production decay (e.g. 0.005).
+	DegradationPerYear float64
+	// OMUSDPerYear is the yearly operations/maintenance cost.
+	OMUSDPerYear float64
+}
+
+// Validate checks the financial parameters.
+func (f Financials) Validate() error {
+	if f.TariffUSDPerKWh <= 0 {
+		return fmt.Errorf("econ: non-positive tariff %g", f.TariffUSDPerKWh)
+	}
+	if f.DiscountRate < 0 || f.DiscountRate > 0.5 {
+		return fmt.Errorf("econ: discount rate %g outside [0,0.5]", f.DiscountRate)
+	}
+	if f.LifetimeYears <= 0 || f.LifetimeYears > 60 {
+		return fmt.Errorf("econ: lifetime %d outside (0,60]", f.LifetimeYears)
+	}
+	if f.DegradationPerYear < 0 || f.DegradationPerYear > 0.05 {
+		return fmt.Errorf("econ: degradation %g outside [0,0.05]", f.DegradationPerYear)
+	}
+	if f.OMUSDPerYear < 0 {
+		return fmt.Errorf("econ: negative O&M")
+	}
+	return nil
+}
+
+// TurinFeedIn2018 reflects the Italian residential situation around
+// the paper's publication: ≈0.20 $/kWh avoided cost, 4% discount,
+// 25-year life, 0.5%/yr degradation.
+func TurinFeedIn2018() Financials {
+	return Financials{
+		TariffUSDPerKWh:    0.20,
+		DiscountRate:       0.04,
+		LifetimeYears:      25,
+		DegradationPerYear: 0.005,
+		OMUSDPerYear:       60,
+	}
+}
+
+// Assessment is the economic report of one system.
+type Assessment struct {
+	CapexUSD           float64
+	AnnualRevenueUSD   float64 // first-year revenue
+	SimplePaybackYears float64 // capex / first-year net revenue (+Inf if never)
+	NPVUSD             float64 // discounted lifetime value minus capex
+	LCOEUSDPerKWh      float64 // levelised cost of energy
+}
+
+// Assess evaluates a system producing annualMWh in year one.
+func Assess(annualMWh float64, nModules int, nameplateKW, extraCableM float64,
+	cost CostModel, fin Financials) (Assessment, error) {
+	if err := cost.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	if err := fin.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	if annualMWh < 0 || nModules <= 0 || nameplateKW <= 0 || extraCableM < 0 {
+		return Assessment{}, fmt.Errorf("econ: invalid system (%g MWh, %d modules, %g kW, %g m)",
+			annualMWh, nModules, nameplateKW, extraCableM)
+	}
+
+	capex := cost.Capex(nModules, nameplateKW, extraCableM)
+	kwh1 := annualMWh * 1000
+	rev1 := kwh1 * fin.TariffUSDPerKWh
+
+	var npv, discEnergy, discCost float64
+	npv = -capex
+	discCost = capex
+	for t := 1; t <= fin.LifetimeYears; t++ {
+		decay := math.Pow(1-fin.DegradationPerYear, float64(t-1))
+		disc := math.Pow(1+fin.DiscountRate, float64(t))
+		energy := kwh1 * decay
+		npv += (energy*fin.TariffUSDPerKWh - fin.OMUSDPerYear) / disc
+		discEnergy += energy / disc
+		discCost += fin.OMUSDPerYear / disc
+	}
+
+	a := Assessment{
+		CapexUSD:         capex,
+		AnnualRevenueUSD: rev1,
+		NPVUSD:           npv,
+	}
+	if net := rev1 - fin.OMUSDPerYear; net > 0 {
+		a.SimplePaybackYears = capex / net
+	} else {
+		a.SimplePaybackYears = math.Inf(1)
+	}
+	if discEnergy > 0 {
+		a.LCOEUSDPerKWh = discCost / discEnergy
+	}
+	return a, nil
+}
+
+// Marginal compares the proposed sparse placement against the
+// traditional one: the extra capital is only the cable, the extra
+// revenue is the energy gain — the paper's "roughly at iso-cost"
+// argument, priced.
+type Marginal struct {
+	// ExtraCapexUSD is the sparse placement's additional capital
+	// (cable only).
+	ExtraCapexUSD float64
+	// ExtraAnnualRevenueUSD is the first-year value of the energy
+	// gain.
+	ExtraAnnualRevenueUSD float64
+	// PaybackYears is how long the cable takes to pay for itself.
+	PaybackYears float64
+	// LifetimeNPVGainUSD is the discounted lifetime value of
+	// choosing sparse over traditional.
+	LifetimeNPVGainUSD float64
+}
+
+// CompareMarginal prices the traditional→proposed decision.
+func CompareMarginal(traditionalMWh, proposedMWh, extraCableM float64,
+	cost CostModel, fin Financials) (Marginal, error) {
+	if err := cost.Validate(); err != nil {
+		return Marginal{}, err
+	}
+	if err := fin.Validate(); err != nil {
+		return Marginal{}, err
+	}
+	if extraCableM < 0 {
+		return Marginal{}, fmt.Errorf("econ: negative cable length")
+	}
+	m := Marginal{
+		ExtraCapexUSD:         extraCableM * cost.WiringUSDPerM,
+		ExtraAnnualRevenueUSD: (proposedMWh - traditionalMWh) * 1000 * fin.TariffUSDPerKWh,
+	}
+	if m.ExtraAnnualRevenueUSD > 0 {
+		m.PaybackYears = m.ExtraCapexUSD / m.ExtraAnnualRevenueUSD
+	} else {
+		m.PaybackYears = math.Inf(1)
+	}
+	npv := -m.ExtraCapexUSD
+	for t := 1; t <= fin.LifetimeYears; t++ {
+		decay := math.Pow(1-fin.DegradationPerYear, float64(t-1))
+		disc := math.Pow(1+fin.DiscountRate, float64(t))
+		npv += m.ExtraAnnualRevenueUSD * decay / disc
+	}
+	m.LifetimeNPVGainUSD = npv
+	return m, nil
+}

@@ -1,0 +1,182 @@
+package econ
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCostModelCapex(t *testing.T) {
+	c := Residential2018()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 16 modules × (150+55) + 250 × 2.64 kW + 1 × 20 m + 1200.
+	got := c.Capex(16, 2.64, 20)
+	want := 16*205.0 + 250*2.64 + 20 + 1200
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("capex = %.2f, want %.2f", got, want)
+	}
+	bad := c
+	bad.ModuleUSD = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative cost must be rejected")
+	}
+}
+
+func TestFinancialsValidate(t *testing.T) {
+	good := TurinFeedIn2018()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Financials){
+		func(f *Financials) { f.TariffUSDPerKWh = 0 },
+		func(f *Financials) { f.DiscountRate = -0.1 },
+		func(f *Financials) { f.DiscountRate = 0.9 },
+		func(f *Financials) { f.LifetimeYears = 0 },
+		func(f *Financials) { f.LifetimeYears = 100 },
+		func(f *Financials) { f.DegradationPerYear = 0.2 },
+		func(f *Financials) { f.OMUSDPerYear = -5 },
+	}
+	for i, mutate := range cases {
+		f := TurinFeedIn2018()
+		mutate(&f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d: invalid financials accepted", i)
+		}
+	}
+}
+
+func TestAssessSanity(t *testing.T) {
+	// A 16-module (2.64 kW) Turin system at 3.5 MWh/yr: capex ≈ $5.1k,
+	// revenue ≈ $700/yr, payback ≈ 8 yr, NPV positive, LCOE below
+	// tariff.
+	a, err := Assess(3.5, 16, 2.64, 20, Residential2018(), TurinFeedIn2018())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CapexUSD < 4500 || a.CapexUSD > 6000 {
+		t.Errorf("capex = %.0f, want ≈ 5.1k", a.CapexUSD)
+	}
+	if math.Abs(a.AnnualRevenueUSD-700) > 1 {
+		t.Errorf("revenue = %.0f, want 700", a.AnnualRevenueUSD)
+	}
+	if a.SimplePaybackYears < 5 || a.SimplePaybackYears > 12 {
+		t.Errorf("payback = %.1f yr, want ≈ 8", a.SimplePaybackYears)
+	}
+	if a.NPVUSD <= 0 {
+		t.Errorf("NPV = %.0f, should be positive for this system", a.NPVUSD)
+	}
+	if a.LCOEUSDPerKWh <= 0 || a.LCOEUSDPerKWh >= 0.20 {
+		t.Errorf("LCOE = %.3f $/kWh, want in (0, tariff)", a.LCOEUSDPerKWh)
+	}
+}
+
+func TestAssessZeroProduction(t *testing.T) {
+	a, err := Assess(0, 16, 2.64, 0, Residential2018(), TurinFeedIn2018())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(a.SimplePaybackYears, 1) {
+		t.Error("zero production must never pay back")
+	}
+	if a.NPVUSD >= -a.CapexUSD+1 {
+		t.Errorf("NPV = %.0f, should be ≈ -capex - O&M", a.NPVUSD)
+	}
+}
+
+func TestAssessValidation(t *testing.T) {
+	if _, err := Assess(-1, 16, 2.64, 0, Residential2018(), TurinFeedIn2018()); err == nil {
+		t.Error("negative production must error")
+	}
+	if _, err := Assess(3, 0, 2.64, 0, Residential2018(), TurinFeedIn2018()); err == nil {
+		t.Error("zero modules must error")
+	}
+	if _, err := Assess(3, 16, 2.64, -1, Residential2018(), TurinFeedIn2018()); err == nil {
+		t.Error("negative cable must error")
+	}
+	bad := TurinFeedIn2018()
+	bad.TariffUSDPerKWh = 0
+	if _, err := Assess(3, 16, 2.64, 0, Residential2018(), bad); err == nil {
+		t.Error("invalid financials must error")
+	}
+}
+
+func TestNPVMonotoneInProduction(t *testing.T) {
+	prev := math.Inf(-1)
+	for _, mwh := range []float64{1, 2, 3, 4, 5} {
+		a, err := Assess(mwh, 16, 2.64, 0, Residential2018(), TurinFeedIn2018())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NPVUSD <= prev {
+			t.Fatalf("NPV not monotone at %g MWh", mwh)
+		}
+		prev = a.NPVUSD
+	}
+}
+
+func TestDiscountingReducesNPV(t *testing.T) {
+	base := TurinFeedIn2018()
+	high := base
+	high.DiscountRate = 0.12
+	a1, err := Assess(3.5, 16, 2.64, 0, Residential2018(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Assess(3.5, 16, 2.64, 0, Residential2018(), high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.NPVUSD >= a1.NPVUSD {
+		t.Error("higher discount rate must reduce NPV")
+	}
+	if a2.LCOEUSDPerKWh <= a1.LCOEUSDPerKWh {
+		t.Error("higher discount rate must raise LCOE")
+	}
+}
+
+func TestCompareMarginalPaperClaim(t *testing.T) {
+	// The paper's §V-C numbers: ≈20 m of cable against a ≈0.7 MWh/yr
+	// gain (Roof 1 N=16 scale). The cable pays for itself within the
+	// first year — by two orders of magnitude.
+	m, err := CompareMarginal(3.430, 4.094, 20, Residential2018(), TurinFeedIn2018())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExtraCapexUSD != 20 {
+		t.Errorf("extra capex = %.0f, want 20", m.ExtraCapexUSD)
+	}
+	if math.Abs(m.ExtraAnnualRevenueUSD-132.8) > 0.5 {
+		t.Errorf("extra revenue = %.1f, want ≈ 132.8", m.ExtraAnnualRevenueUSD)
+	}
+	if m.PaybackYears > 0.2 {
+		t.Errorf("cable payback = %.2f yr, want months at most", m.PaybackYears)
+	}
+	if m.LifetimeNPVGainUSD < 1500 {
+		t.Errorf("lifetime NPV gain = %.0f, want > 1500", m.LifetimeNPVGainUSD)
+	}
+}
+
+func TestCompareMarginalNoGain(t *testing.T) {
+	m, err := CompareMarginal(4.0, 4.0, 50, Residential2018(), TurinFeedIn2018())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(m.PaybackYears, 1) {
+		t.Error("zero gain must never pay back")
+	}
+	if m.LifetimeNPVGainUSD != -50 {
+		t.Errorf("NPV gain = %.0f, want -50 (pure cable cost)", m.LifetimeNPVGainUSD)
+	}
+}
+
+func TestCompareMarginalValidation(t *testing.T) {
+	if _, err := CompareMarginal(3, 4, -1, Residential2018(), TurinFeedIn2018()); err == nil {
+		t.Error("negative cable must error")
+	}
+	bad := Residential2018()
+	bad.FixedUSD = -1
+	if _, err := CompareMarginal(3, 4, 1, bad, TurinFeedIn2018()); err == nil {
+		t.Error("invalid costs must error")
+	}
+}

@@ -1,0 +1,224 @@
+package floorplan
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// PlanCompact builds the paper's "traditional" reference placement
+// (§V-B): the N modules packed tightly into a rectangular block,
+// positioned on the most irradiated region of the roof. Like the
+// paper's baseline it uses the same spatio-temporal suitability data
+// as the greedy planner — a deliberately strong reference ("we are
+// comparing our solution to a particularly good reference").
+//
+// Every factorisation rows×cols = N of the block is slid over the
+// grid; the intact position with the highest total suitability wins.
+// Modules are enumerated row-major, which is series-first: with
+// cols = m each row is one series string, matching the paper's
+// Fig. 7(a-c) colour bands.
+//
+// Roofs crowded with obstacles may admit no intact block anywhere; in
+// that case the block is allowed to skip obstacle-covered slots
+// (installers do the same), choosing the position where the N best
+// valid slots score highest, and a warning is recorded.
+func PlanCompact(suit *Suitability, mask *geom.Mask, opts Options) (*Placement, error) {
+	if err := prepare(suit, mask, &opts); err != nil {
+		return nil, err
+	}
+	// The baseline packs identically-oriented modules, as real
+	// installations do; rotation is a greedy-only extension.
+	opts.AllowRotation = false
+	n := opts.Topology.Modules()
+
+	// Precompute per-slot scores on the anchor lattice of each block
+	// configuration lazily via scoreAt.
+	scoreAt := func(anchor geom.Cell) (float64, bool) {
+		rect := opts.Shape.Rect(anchor)
+		if !mask.AllSet(rect) {
+			return 0, false
+		}
+		var sum float64
+		valid := true
+		rect.Cells(func(c geom.Cell) bool {
+			v := suit.At(c)
+			if math.IsNaN(v) {
+				valid = false
+				return false
+			}
+			sum += v
+			return true
+		})
+		if !valid {
+			return 0, false
+		}
+		return sum / float64(opts.Shape.W*opts.Shape.H), true
+	}
+
+	type blockPos struct {
+		rows, cols int
+		origin     geom.Cell
+		score      float64
+		slots      []geom.Cell // chosen module anchors, row-major
+	}
+
+	var bestIntact, bestHoley *blockPos
+	for rows := 1; rows <= n; rows++ {
+		if n%rows != 0 {
+			continue
+		}
+		cols := n / rows
+		bw := cols * opts.Shape.W
+		bh := rows * opts.Shape.H
+		if bw > mask.W() || bh > mask.H() {
+			continue
+		}
+		for y0 := 0; y0+bh <= mask.H(); y0++ {
+			for x0 := 0; x0+bw <= mask.W(); x0++ {
+				var sum float64
+				var holes int
+				slots := make([]geom.Cell, 0, n)
+				type scoredSlot struct {
+					c geom.Cell
+					s float64
+				}
+				var all []scoredSlot
+				for r := 0; r < rows; r++ {
+					for c := 0; c < cols; c++ {
+						anchor := geom.Cell{X: x0 + c*opts.Shape.W, Y: y0 + r*opts.Shape.H}
+						s, ok := scoreAt(anchor)
+						if !ok {
+							holes++
+							continue
+						}
+						all = append(all, scoredSlot{anchor, s})
+					}
+				}
+				if holes == 0 {
+					for _, sl := range all {
+						slots = append(slots, sl.c)
+						sum += sl.s
+					}
+					if bestIntact == nil || sum > bestIntact.score {
+						bestIntact = &blockPos{rows, cols, geom.Cell{X: x0, Y: y0}, sum, slots}
+					}
+					continue
+				}
+				// Holey candidate: only useful if no intact block is
+				// ever found. Requires at least N valid slots in a
+				// slightly enlarged block — here the same block, so
+				// holes disqualify unless we widen; instead allow
+				// blocks with extra rows below (handled by the outer
+				// sweep finding larger factorisations is not possible
+				// since rows*cols == n). Keep the best "almost" block
+				// for the fallback by padding with the nearest valid
+				// slots around the block.
+				if len(all) == 0 {
+					continue
+				}
+				sort.Slice(all, func(i, j int) bool { return all[i].s > all[j].s })
+				var holeySum float64
+				holeySlots := make([]geom.Cell, 0, len(all))
+				for _, sl := range all {
+					holeySlots = append(holeySlots, sl.c)
+					holeySum += sl.s
+				}
+				if bestHoley == nil || holeySum > bestHoley.score {
+					bestHoley = &blockPos{rows, cols, geom.Cell{X: x0, Y: y0}, holeySum, holeySlots}
+				}
+			}
+		}
+	}
+
+	switch {
+	case bestIntact != nil:
+		return placementFromSlots(bestIntact.slots, suit, opts, nil)
+	case bestHoley != nil:
+		// Fill the shortfall greedily from the remaining candidates
+		// nearest to the block.
+		pl, err := fillShortfall(bestHoley.slots, suit, mask, opts)
+		if err != nil {
+			return nil, err
+		}
+		pl.Warnings = append(pl.Warnings,
+			"compact baseline: no intact block fits; obstacle slots skipped and refilled nearby")
+		return pl, nil
+	default:
+		return nil, &ErrNoSpace{Placed: 0, Wanted: n}
+	}
+}
+
+// placementFromSlots materialises a placement from row-major slot
+// anchors (already series-first).
+func placementFromSlots(slots []geom.Cell, suit *Suitability, opts Options, warnings []string) (*Placement, error) {
+	pl := &Placement{Topology: opts.Topology, Shape: opts.Shape, Warnings: warnings}
+	for _, anchor := range slots {
+		rect := opts.Shape.Rect(anchor)
+		pl.Rects = append(pl.Rects, rect)
+		var sum float64
+		rect.Cells(func(c geom.Cell) bool {
+			sum += suit.At(c)
+			return true
+		})
+		pl.SuitabilitySum += sum / float64(opts.Shape.W*opts.Shape.H)
+	}
+	return pl, nil
+}
+
+// fillShortfall completes a partial compact block to N modules by
+// claiming the best remaining candidates closest to the block
+// centroid, keeping the arrangement as compact as the obstacles
+// allow.
+func fillShortfall(slots []geom.Cell, suit *Suitability, mask *geom.Mask, opts Options) (*Placement, error) {
+	n := opts.Topology.Modules()
+	avail := mask.Clone()
+	for _, s := range slots {
+		avail.SetRect(opts.Shape.Rect(s), false)
+	}
+	var cx, cy float64
+	for _, s := range slots {
+		x, y := opts.Shape.Rect(s).Center()
+		cx += x
+		cy += y
+	}
+	cx /= float64(len(slots))
+	cy /= float64(len(slots))
+
+	cands := scoreCandidates(suit, avail, opts)
+	// Prefer proximity to the block, then score.
+	sort.SliceStable(cands, func(i, j int) bool {
+		xi, yi := opts.Shape.Rect(cands[i].anchor).Center()
+		xj, yj := opts.Shape.Rect(cands[j].anchor).Center()
+		di := math.Hypot(xi-cx, yi-cy)
+		dj := math.Hypot(xj-cx, yj-cy)
+		if di != dj {
+			return di < dj
+		}
+		return cands[i].score > cands[j].score
+	})
+	filled := append([]geom.Cell{}, slots...)
+	for _, cd := range cands {
+		if len(filled) >= n {
+			break
+		}
+		rect := opts.Shape.Rect(cd.anchor)
+		if !avail.AllSet(rect) {
+			continue
+		}
+		avail.SetRect(rect, false)
+		filled = append(filled, cd.anchor)
+	}
+	if len(filled) < n {
+		return nil, &ErrNoSpace{Placed: len(filled), Wanted: n}
+	}
+	// Re-sort row-major so series strings stay spatially coherent.
+	sort.Slice(filled, func(i, j int) bool {
+		if filled[i].Y != filled[j].Y {
+			return filled[i].Y < filled[j].Y
+		}
+		return filled[i].X < filled[j].X
+	})
+	return placementFromSlots(filled, suit, opts, nil)
+}

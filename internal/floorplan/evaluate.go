@@ -1,0 +1,156 @@
+package floorplan
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/panel"
+	"repro/internal/pvmodel"
+	"repro/internal/solar/field"
+	"repro/internal/wiring"
+)
+
+// Evaluation is the yearly energy report of one placement — the
+// quantity Table I compares across placements.
+type Evaluation struct {
+	// GrossMWh is the topology-aware panel energy over the covered
+	// period (the paper's "PV system production").
+	GrossMWh float64
+	// PerModuleMWh is the energy an ideal per-module MPPT would
+	// extract — the upper bound the series/parallel constraints are
+	// measured against.
+	PerModuleMWh float64
+	// WiringExtraM is the extra series cable demanded by the sparse
+	// placement (§III-B2).
+	WiringExtraM float64
+	// WiringLossMWh is the resistive energy lost in that cable,
+	// integrated over the period with each string's actual current.
+	WiringLossMWh float64
+	// WiringCostUSD is the cable cost.
+	WiringCostUSD float64
+}
+
+// NetMWh returns the gross production minus the wiring loss — the
+// figure of merit of a sparse placement.
+func (e Evaluation) NetMWh() float64 { return e.GrossMWh - e.WiringLossMWh }
+
+// MismatchLoss returns the fraction of the per-module optimum lost to
+// the series/parallel bottlenecks.
+func (e Evaluation) MismatchLoss() float64 {
+	if e.PerModuleMWh <= 0 {
+		return 0
+	}
+	l := 1 - e.GrossMWh/e.PerModuleMWh
+	if l < 0 {
+		return 0
+	}
+	return l
+}
+
+// Evaluate integrates the yearly energy of a placement: it re-streams
+// the solar field for exactly the covered cells, averages G and T_act
+// over each module's footprint per timestep, aggregates modules
+// through the series/parallel topology (weak-module bottlenecks
+// included) and accumulates the wiring loss from each string's actual
+// current through its extra cable.
+func Evaluate(ev *field.Evaluator, mod pvmodel.Module, pl *Placement, spec wiring.Spec) (Evaluation, error) {
+	if ev == nil || mod == nil || pl == nil {
+		return Evaluation{}, fmt.Errorf("floorplan: nil evaluator, module or placement")
+	}
+	if err := spec.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	n := pl.Topology.Modules()
+	if len(pl.Rects) != n {
+		return Evaluation{}, fmt.Errorf("floorplan: placement has %d modules for topology %s",
+			len(pl.Rects), pl.Topology)
+	}
+	area := pl.Shape.W * pl.Shape.H
+	cells := pl.CoveredCells()
+
+	m := pl.Topology.SeriesPerString
+	stringExtraM := make([]float64, pl.Topology.Strings)
+	for j := 0; j < pl.Topology.Strings; j++ {
+		stringExtraM[j] = spec.ChainOverheadMeters(pl.Rects[j*m : (j+1)*m])
+	}
+	var totalExtra float64
+	for _, l := range stringExtraM {
+		totalExtra += l
+	}
+
+	gMod := make([]float64, n)
+	tMod := make([]float64, n)
+	ops := make([]pvmodel.OperatingPoint, n)
+	var strings []panel.StringState
+
+	stepHours := ev.Grid().StepHours()
+	var energyWh, perModuleWh, wiringWh float64
+	var combineErr error
+	err := ev.StreamTraces(cells, func(step int, g, tact []float64) {
+		if combineErr != nil {
+			return
+		}
+		for k := 0; k < n; k++ {
+			var gs, ts float64
+			base := k * area
+			for i := 0; i < area; i++ {
+				gs += g[base+i]
+				ts += tact[base+i]
+			}
+			gMod[k] = gs / float64(area)
+			tMod[k] = ts / float64(area)
+			ops[k] = mod.MPP(gMod[k], tMod[k])
+		}
+		st, ss, err := panel.CombineDetailed(pl.Topology, ops, strings)
+		if err != nil {
+			combineErr = err
+			return
+		}
+		strings = ss
+		energyWh += st.Power * stepHours
+		perModuleWh += st.PerModuleSum * stepHours
+		for j, s := range strings {
+			wiringWh += spec.PowerLossW(stringExtraM[j], s.Current) * stepHours
+		}
+	})
+	if err == nil {
+		err = combineErr
+	}
+	if err != nil {
+		return Evaluation{}, err
+	}
+
+	grid := ev.Grid()
+	return Evaluation{
+		GrossMWh:      grid.ScaleToFullPeriod(energyWh) / 1e6,
+		PerModuleMWh:  grid.ScaleToFullPeriod(perModuleWh) / 1e6,
+		WiringExtraM:  totalExtra,
+		WiringLossMWh: grid.ScaleToFullPeriod(wiringWh) / 1e6,
+		WiringCostUSD: spec.CostUSD(totalExtra),
+	}, nil
+}
+
+// OverlapFree reports whether no two module footprints of the
+// placement share a cell — the fundamental feasibility invariant
+// (property-tested).
+func (p *Placement) OverlapFree() bool {
+	for i := 0; i < len(p.Rects); i++ {
+		for j := i + 1; j < len(p.Rects); j++ {
+			if p.Rects[i].Overlaps(p.Rects[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WithinMask reports whether every covered cell of the placement lies
+// on the given suitable mask.
+func (p *Placement) WithinMask(mask *geom.Mask) bool {
+	for _, r := range p.Rects {
+		if !mask.AllSet(r) {
+			return false
+		}
+	}
+	return true
+}

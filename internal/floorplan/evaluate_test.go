@@ -1,0 +1,188 @@
+package floorplan
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dsm"
+	"repro/internal/geom"
+	"repro/internal/panel"
+	"repro/internal/pvmodel"
+	"repro/internal/solar/clearsky"
+	"repro/internal/solar/field"
+	"repro/internal/solar/sunpos"
+	"repro/internal/timegrid"
+	"repro/internal/weather"
+	"repro/internal/wiring"
+)
+
+var (
+	cet   = time.FixedZone("CET", 3600)
+	turin = sunpos.Site{LatDeg: 45.07, LonDeg: 7.69, AltitudeM: 240}
+)
+
+// miniField builds a 64x24-cell roof with a shading wall segment and
+// a two-day calendar, returning the evaluator and suitable mask.
+func miniField(t *testing.T) (*field.Evaluator, *geom.Mask) {
+	t.Helper()
+	b, err := dsm.NewSceneBuilder(64, 24, 0.2, dsm.Plane{RidgeZ: 8, SlopeDeg: 26, AspectDeg: 180}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AddChimney(geom.Cell{X: 50, Y: 6}, 4, 2.0)
+	b.AddPipeRun(16, 0, 40, 2, 0.7)
+	scene := b.Build()
+	wx, err := weather.NewSynthetic(3, weather.Turin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := timegrid.New(time.Date(2017, 4, 1, 0, 0, 0, 0, cet), time.Hour, 184, 183)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suitable := scene.SuitableArea(0)
+	ev, err := field.New(field.Config{
+		Site: turin, Scene: scene, Suitable: suitable,
+		Weather: wx, Grid: grid, MonthlyTL: clearsky.TurinMonthlyTL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev, suitable
+}
+
+func planBoth(t *testing.T, ev *field.Evaluator, mask *geom.Mask, n, m int) (*Placement, *Placement) {
+	t.Helper()
+	cs, err := ev.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	suit, err := ComputeSuitability(cs, SuitabilityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Shape:    ModuleShape{W: 8, H: 4},
+		Topology: panel.Topology{SeriesPerString: m, Strings: n / m},
+	}
+	sparse, err := Plan(suit, mask, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, err := PlanCompact(suit, mask, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sparse, compact
+}
+
+func TestEvaluateEndToEnd(t *testing.T) {
+	ev, mask := miniField(t)
+	sparse, compact := planBoth(t, ev, mask, 4, 2)
+	mod := pvmodel.PVMF165EB3()
+	spec := wiring.AWG10(0.2)
+
+	evalSparse, err := Evaluate(ev, mod, sparse, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalCompact, err := Evaluate(ev, mod, compact, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fundamental sanity: positive production, bounded by the
+	// nameplate (4 modules × 165 W × 8760 h = 5.8 MWh hard ceiling).
+	for name, e := range map[string]Evaluation{"sparse": evalSparse, "compact": evalCompact} {
+		if e.GrossMWh <= 0 {
+			t.Errorf("%s: non-positive production", name)
+		}
+		if e.GrossMWh > 5.8 {
+			t.Errorf("%s: production %.2f MWh exceeds nameplate ceiling", name, e.GrossMWh)
+		}
+		if e.GrossMWh > e.PerModuleMWh+1e-9 {
+			t.Errorf("%s: panel energy exceeds per-module optimum", name)
+		}
+		if e.MismatchLoss() < 0 || e.MismatchLoss() > 1 {
+			t.Errorf("%s: mismatch loss %.3f out of range", name, e.MismatchLoss())
+		}
+		if e.WiringLossMWh < 0 || e.NetMWh() > e.GrossMWh {
+			t.Errorf("%s: wiring loss accounting broken", name)
+		}
+	}
+
+	// The greedy sparse placement must not lose to the compact
+	// baseline net of wiring (it may tie on an easy roof).
+	if evalSparse.NetMWh() < evalCompact.NetMWh()*0.995 {
+		t.Errorf("sparse net %.3f MWh loses to compact %.3f MWh",
+			evalSparse.NetMWh(), evalCompact.NetMWh())
+	}
+
+	// Compact placement has zero extra cable by construction (when
+	// intact); sparse may pay some.
+	if len(compact.Warnings) == 0 && evalCompact.WiringExtraM != 0 {
+		t.Errorf("intact compact block should need no extra cable, got %.1f m", evalCompact.WiringExtraM)
+	}
+	if evalSparse.WiringCostUSD != evalSparse.WiringExtraM*spec.CostPerM {
+		t.Error("wiring cost inconsistent with length")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	ev, mask := miniField(t)
+	sparse, _ := planBoth(t, ev, mask, 4, 2)
+	mod := pvmodel.PVMF165EB3()
+	spec := wiring.AWG10(0.2)
+
+	if _, err := Evaluate(nil, mod, sparse, spec); err == nil {
+		t.Error("nil evaluator must error")
+	}
+	if _, err := Evaluate(ev, nil, sparse, spec); err == nil {
+		t.Error("nil module must error")
+	}
+	if _, err := Evaluate(ev, mod, nil, spec); err == nil {
+		t.Error("nil placement must error")
+	}
+	if _, err := Evaluate(ev, mod, sparse, wiring.Spec{}); err == nil {
+		t.Error("invalid wiring spec must error")
+	}
+	broken := *sparse
+	broken.Rects = broken.Rects[:2]
+	if _, err := Evaluate(ev, mod, &broken, spec); err == nil {
+		t.Error("module-count mismatch must error")
+	}
+}
+
+func TestEvaluateScalesWithModuleCount(t *testing.T) {
+	ev, mask := miniField(t)
+	small, _ := planBoth(t, ev, mask, 2, 2)
+	large, _ := planBoth(t, ev, mask, 6, 2)
+	mod := pvmodel.PVMF165EB3()
+	spec := wiring.AWG10(0.2)
+	eSmall, err := Evaluate(ev, mod, small, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eLarge, err := Evaluate(ev, mod, large, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := eLarge.GrossMWh / eSmall.GrossMWh
+	if ratio < 2.2 || ratio > 3.5 {
+		t.Errorf("6 vs 2 modules energy ratio = %.2f, want ≈ 3 (minus shading effects)", ratio)
+	}
+}
+
+func TestEvaluateWiringLossSmall(t *testing.T) {
+	// The paper's claim (§V-C): wiring overhead is negligible. Even
+	// for the sparse placement the loss must stay below 1% of gross.
+	ev, mask := miniField(t)
+	sparse, _ := planBoth(t, ev, mask, 6, 3)
+	e, err := Evaluate(ev, pvmodel.PVMF165EB3(), sparse, wiring.AWG10(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.GrossMWh > 0 && e.WiringLossMWh/e.GrossMWh > 0.01 {
+		t.Errorf("wiring loss fraction %.4f exceeds 1%%", e.WiringLossMWh/e.GrossMWh)
+	}
+}

@@ -1,0 +1,71 @@
+package floorplan
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/panel"
+	"repro/internal/pvmodel"
+	"repro/internal/solar/field"
+)
+
+// MonthlyEnergy integrates the placement's topology-aware production
+// per calendar month, in MWh — the monthly PV-potential view the
+// GIS tools the paper surveys (§II-C: i-SCOPE, PVGIS, Brumen et al.)
+// report, derived here from the same per-cell traces as Table I.
+//
+// With a day-strided calendar each month's total is scaled by the
+// global stride factor; the intra-year shape is then approximate to
+// the extent the stride samples months unevenly.
+func MonthlyEnergy(ev *field.Evaluator, mod pvmodel.Module, pl *Placement) ([12]float64, error) {
+	var out [12]float64
+	if ev == nil || mod == nil || pl == nil {
+		return out, fmt.Errorf("floorplan: nil evaluator, module or placement")
+	}
+	n := pl.Topology.Modules()
+	if len(pl.Rects) != n {
+		return out, fmt.Errorf("floorplan: placement has %d modules for topology %s",
+			len(pl.Rects), pl.Topology)
+	}
+	area := pl.Shape.W * pl.Shape.H
+	cells := pl.CoveredCells()
+	ops := make([]pvmodel.OperatingPoint, n)
+
+	grid := ev.Grid()
+	stepHours := grid.StepHours()
+	// Month per step, precomputed (time.Time.Month is not free).
+	months := make([]int8, grid.Len())
+	grid.ForEach(func(i int, t time.Time) { months[i] = int8(t.Month() - 1) })
+
+	var combineErr error
+	err := ev.StreamTraces(cells, func(step int, g, tact []float64) {
+		if combineErr != nil {
+			return
+		}
+		for k := 0; k < n; k++ {
+			var gs, ts float64
+			base := k * area
+			for i := 0; i < area; i++ {
+				gs += g[base+i]
+				ts += tact[base+i]
+			}
+			ops[k] = mod.MPP(gs/float64(area), ts/float64(area))
+		}
+		st, err := panel.Combine(pl.Topology, ops)
+		if err != nil {
+			combineErr = err
+			return
+		}
+		out[months[step]] += st.Power * stepHours
+	})
+	if err == nil {
+		err = combineErr
+	}
+	if err != nil {
+		return [12]float64{}, err
+	}
+	for m := range out {
+		out[m] = grid.ScaleToFullPeriod(out[m]) / 1e6
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/dsm"
+	"repro/internal/geom"
+	"repro/internal/pvmodel"
+	"repro/internal/solar/clearsky"
+	"repro/internal/solar/field"
+	"repro/internal/timegrid"
+	"repro/internal/weather"
+	"repro/internal/wiring"
+)
+
+// seasonalField builds a small roof with a calendar sampling one day
+// per month (stride 30), so every month bin receives samples.
+func seasonalField(t *testing.T) (*field.Evaluator, *geom.Mask) {
+	t.Helper()
+	b, err := dsm.NewSceneBuilder(40, 20, 0.2, dsm.Plane{RidgeZ: 8, SlopeDeg: 26, AspectDeg: 180}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene := b.Build()
+	wx, err := weather.NewSynthetic(9, weather.Turin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := timegrid.New(time.Date(2017, 1, 15, 0, 0, 0, 0, cet), time.Hour, 330, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suitable := scene.SuitableArea(0)
+	ev, err := field.New(field.Config{
+		Site: turin, Scene: scene, Suitable: suitable,
+		Weather: wx, Grid: grid, MonthlyTL: clearsky.TurinMonthlyTL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev, suitable
+}
+
+func TestMonthlyEnergyProfile(t *testing.T) {
+	ev, mask := seasonalField(t)
+	cs, err := ev.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	suit, err := ComputeSuitability(cs, SuitabilityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Plan(suit, mask, defaultOpts(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := pvmodel.PVMF165EB3()
+	monthly, err := MonthlyEnergy(ev, mod, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var total float64
+	for _, m := range monthly {
+		if m < 0 {
+			t.Fatalf("negative monthly energy: %v", monthly)
+		}
+		total += m
+	}
+	if total <= 0 {
+		t.Fatal("zero annual energy")
+	}
+	// Seasonal shape: June+July must clearly beat December+January
+	// on a south-facing Turin roof.
+	summer := monthly[5] + monthly[6]
+	winter := monthly[11] + monthly[0]
+	if !(summer > 1.5*winter) {
+		t.Errorf("seasonal shape wrong: summer %.3f vs winter %.3f MWh", summer, winter)
+	}
+	// The monthly bins must sum to (approximately) the evaluator's
+	// annual gross energy.
+	eval, err := Evaluate(ev, mod, pl, wiring.AWG10(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-eval.GrossMWh)/eval.GrossMWh > 1e-9 {
+		t.Errorf("monthly sum %.4f != annual gross %.4f", total, eval.GrossMWh)
+	}
+}
+
+func TestMonthlyEnergyValidation(t *testing.T) {
+	ev, mask := seasonalField(t)
+	cs, _ := ev.Stats()
+	suit, _ := ComputeSuitability(cs, SuitabilityOptions{})
+	pl, err := Plan(suit, mask, defaultOpts(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := pvmodel.PVMF165EB3()
+	if _, err := MonthlyEnergy(nil, mod, pl); err == nil {
+		t.Error("nil evaluator must error")
+	}
+	if _, err := MonthlyEnergy(ev, nil, pl); err == nil {
+		t.Error("nil module must error")
+	}
+	broken := *pl
+	broken.Rects = broken.Rects[:1]
+	if _, err := MonthlyEnergy(ev, mod, &broken); err == nil {
+		t.Error("module count mismatch must error")
+	}
+}

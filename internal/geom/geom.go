@@ -1,0 +1,183 @@
+// Package geom provides the discrete grid geometry used throughout the
+// floorplanner: cells on a fixed-pitch virtual grid, axis-aligned cell
+// rectangles (module footprints), boolean occupancy masks, and the
+// distance metrics the placement heuristics rely on.
+//
+// Conventions. The grid is W columns by H rows. A Cell (X, Y) addresses
+// column X in [0, W) and row Y in [0, H). X grows to the right (east
+// along the roof width), Y grows downward (from ridge toward eave). The
+// physical pitch of the grid (the paper's s, 0.20 m) is carried
+// separately by the callers that need metric distances; geom itself is
+// unit-agnostic and works in cell counts.
+package geom
+
+import "fmt"
+
+// Cell is a single grid element identified by column X and row Y.
+type Cell struct {
+	X, Y int
+}
+
+// Add returns the cell displaced by dx columns and dy rows.
+func (c Cell) Add(dx, dy int) Cell { return Cell{c.X + dx, c.Y + dy} }
+
+// String implements fmt.Stringer.
+func (c Cell) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// ManhattanDist returns |ax-bx| + |ay-by| in cell units. It is the
+// metric used by the wiring-overhead model (cables routed along the
+// grid axes, paper §III-B2).
+func ManhattanDist(a, b Cell) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+// EuclideanDist returns the straight-line distance between two cells in
+// cell units. It is the metric used by the placement distance-threshold
+// filter.
+func EuclideanDist(a, b Cell) float64 {
+	dx := float64(a.X - b.X)
+	dy := float64(a.Y - b.Y)
+	return sqrt(dx*dx + dy*dy)
+}
+
+// ChebyshevDist returns max(|ax-bx|, |ay-by|) in cell units.
+func ChebyshevDist(a, b Cell) int {
+	dx, dy := abs(a.X-b.X), abs(a.Y-b.Y)
+	if dx > dy {
+		return dx
+	}
+	return dy
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// sqrt is math.Sqrt; indirection keeps the import set of this hot file
+// explicit and testable.
+func sqrt(v float64) float64 {
+	// Newton iteration converges in a handful of steps for the small
+	// magnitudes used here, but the stdlib is both faster and exact;
+	// we keep the wrapper only as a seam.
+	return stdSqrt(v)
+}
+
+// Rect is a half-open axis-aligned rectangle of cells:
+// columns [X0, X1) and rows [Y0, Y1).
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// RectAt returns the w×h cell rectangle anchored (top-left) at c.
+func RectAt(c Cell, w, h int) Rect {
+	return Rect{X0: c.X, Y0: c.Y, X1: c.X + w, Y1: c.Y + h}
+}
+
+// W returns the rectangle width in cells.
+func (r Rect) W() int { return r.X1 - r.X0 }
+
+// H returns the rectangle height in cells.
+func (r Rect) H() int { return r.Y1 - r.Y0 }
+
+// Area returns the number of cells covered by the rectangle.
+func (r Rect) Area() int { return r.W() * r.H() }
+
+// Empty reports whether the rectangle covers no cells.
+func (r Rect) Empty() bool { return r.X0 >= r.X1 || r.Y0 >= r.Y1 }
+
+// Anchor returns the top-left cell of the rectangle.
+func (r Rect) Anchor() Cell { return Cell{r.X0, r.Y0} }
+
+// Contains reports whether cell c lies inside the rectangle.
+func (r Rect) Contains(c Cell) bool {
+	return c.X >= r.X0 && c.X < r.X1 && c.Y >= r.Y0 && c.Y < r.Y1
+}
+
+// Overlaps reports whether two rectangles share at least one cell.
+func (r Rect) Overlaps(o Rect) bool {
+	return r.X0 < o.X1 && o.X0 < r.X1 && r.Y0 < o.Y1 && o.Y0 < r.Y1
+}
+
+// Intersect returns the overlapping region of two rectangles. The
+// result is Empty when they do not overlap.
+func (r Rect) Intersect(o Rect) Rect {
+	out := Rect{
+		X0: maxInt(r.X0, o.X0), Y0: maxInt(r.Y0, o.Y0),
+		X1: minInt(r.X1, o.X1), Y1: minInt(r.Y1, o.Y1),
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Center returns the rectangle's center in continuous cell coordinates
+// (the center of a 1×1 rect at (0,0) is (0.5, 0.5)).
+func (r Rect) Center() (x, y float64) {
+	return float64(r.X0+r.X1) / 2, float64(r.Y0+r.Y1) / 2
+}
+
+// Cells calls fn for every cell covered by the rectangle, row-major.
+// It stops early if fn returns false.
+func (r Rect) Cells(fn func(Cell) bool) {
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			if !fn(Cell{x, y}) {
+				return
+			}
+		}
+	}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d)x[%d,%d)", r.X0, r.X1, r.Y0, r.Y1)
+}
+
+// CenterDist returns the Euclidean distance between rectangle centers
+// in cell units. The placement heuristics measure module separation
+// center-to-center.
+func CenterDist(a, b Rect) float64 {
+	ax, ay := a.Center()
+	bx, by := b.Center()
+	dx, dy := ax-bx, ay-by
+	return stdSqrt(dx*dx + dy*dy)
+}
+
+// GapDist returns, per axis, the clear distance between the facing
+// edges of two rectangles (0 when they touch or overlap on that axis).
+// These are the d_v and d_h displacements of the paper's wiring model
+// (Fig. 4): extra cable is needed only for the empty span between
+// modules, the default connector covers the adjacent case.
+func GapDist(a, b Rect) (dh, dv int) {
+	switch {
+	case b.X0 >= a.X1:
+		dh = b.X0 - a.X1
+	case a.X0 >= b.X1:
+		dh = a.X0 - b.X1
+	}
+	switch {
+	case b.Y0 >= a.Y1:
+		dv = b.Y0 - a.Y1
+	case a.Y0 >= b.Y1:
+		dv = a.Y0 - b.Y1
+	}
+	return dh, dv
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

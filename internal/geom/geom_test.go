@@ -1,0 +1,360 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestManhattanDist(t *testing.T) {
+	cases := []struct {
+		a, b Cell
+		want int
+	}{
+		{Cell{0, 0}, Cell{0, 0}, 0},
+		{Cell{0, 0}, Cell{3, 4}, 7},
+		{Cell{3, 4}, Cell{0, 0}, 7},
+		{Cell{-2, 5}, Cell{2, -5}, 14},
+	}
+	for _, c := range cases {
+		if got := ManhattanDist(c.a, c.b); got != c.want {
+			t.Errorf("ManhattanDist(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEuclideanDist(t *testing.T) {
+	if got := EuclideanDist(Cell{0, 0}, Cell{3, 4}); got != 5 {
+		t.Errorf("EuclideanDist 3-4-5 = %g, want 5", got)
+	}
+	if got := EuclideanDist(Cell{7, 7}, Cell{7, 7}); got != 0 {
+		t.Errorf("EuclideanDist same cell = %g, want 0", got)
+	}
+}
+
+func TestChebyshevDist(t *testing.T) {
+	if got := ChebyshevDist(Cell{0, 0}, Cell{3, 4}); got != 4 {
+		t.Errorf("ChebyshevDist = %d, want 4", got)
+	}
+	if got := ChebyshevDist(Cell{5, 1}, Cell{1, 2}); got != 4 {
+		t.Errorf("ChebyshevDist = %d, want 4", got)
+	}
+}
+
+func TestDistanceMetricProperties(t *testing.T) {
+	// Symmetry, non-negativity, identity, triangle inequality, and the
+	// standard ordering Chebyshev <= Euclid <= Manhattan.
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a := Cell{int(ax), int(ay)}
+		b := Cell{int(bx), int(by)}
+		c := Cell{int(cx), int(cy)}
+		if ManhattanDist(a, b) != ManhattanDist(b, a) {
+			return false
+		}
+		if EuclideanDist(a, b) != EuclideanDist(b, a) {
+			return false
+		}
+		if ManhattanDist(a, a) != 0 || EuclideanDist(a, a) != 0 {
+			return false
+		}
+		if ManhattanDist(a, b) > ManhattanDist(a, c)+ManhattanDist(c, b) {
+			return false
+		}
+		if EuclideanDist(a, b) > EuclideanDist(a, c)+EuclideanDist(c, b)+1e-9 {
+			return false
+		}
+		che, euc, man := float64(ChebyshevDist(a, b)), EuclideanDist(a, b), float64(ManhattanDist(a, b))
+		return che <= euc+1e-9 && euc <= man+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := RectAt(Cell{2, 3}, 8, 4)
+	if r.W() != 8 || r.H() != 4 || r.Area() != 32 {
+		t.Fatalf("RectAt dims wrong: %v", r)
+	}
+	if r.Anchor() != (Cell{2, 3}) {
+		t.Errorf("Anchor = %v", r.Anchor())
+	}
+	if !r.Contains(Cell{2, 3}) || !r.Contains(Cell{9, 6}) {
+		t.Error("Contains should include corners inside half-open bounds")
+	}
+	if r.Contains(Cell{10, 3}) || r.Contains(Cell{2, 7}) {
+		t.Error("Contains should exclude the exclusive edges")
+	}
+	cx, cy := r.Center()
+	if cx != 6 || cy != 5 {
+		t.Errorf("Center = (%g,%g), want (6,5)", cx, cy)
+	}
+	if (Rect{0, 0, 0, 5}).Empty() != true {
+		t.Error("zero-width rect should be empty")
+	}
+}
+
+func TestRectOverlapsIntersect(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	b := Rect{3, 3, 6, 6}
+	c := Rect{4, 0, 8, 4}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("touching rects must not overlap (half-open)")
+	}
+	got := a.Intersect(b)
+	if got != (Rect{3, 3, 4, 4}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !a.Intersect(c).Empty() {
+		t.Error("disjoint intersect should be empty")
+	}
+}
+
+func TestRectCellsEnumeration(t *testing.T) {
+	r := Rect{1, 1, 3, 4}
+	var got []Cell
+	r.Cells(func(c Cell) bool {
+		got = append(got, c)
+		return true
+	})
+	if len(got) != r.Area() {
+		t.Fatalf("enumerated %d cells, want %d", len(got), r.Area())
+	}
+	if got[0] != (Cell{1, 1}) || got[len(got)-1] != (Cell{2, 3}) {
+		t.Errorf("row-major order violated: first %v last %v", got[0], got[len(got)-1])
+	}
+	// Early stop.
+	n := 0
+	r.Cells(func(Cell) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d cells, want 3", n)
+	}
+}
+
+func TestGapDist(t *testing.T) {
+	a := RectAt(Cell{0, 0}, 8, 4)
+	cases := []struct {
+		b      Rect
+		dh, dv int
+	}{
+		{RectAt(Cell{8, 0}, 8, 4), 0, 0},   // flush right
+		{RectAt(Cell{10, 0}, 8, 4), 2, 0},  // 2-cell horizontal gap
+		{RectAt(Cell{0, 4}, 8, 4), 0, 0},   // flush below
+		{RectAt(Cell{0, 9}, 8, 4), 0, 5},   // 5-cell vertical gap
+		{RectAt(Cell{12, 7}, 8, 4), 4, 3},  // diagonal separation
+		{RectAt(Cell{2, 1}, 8, 4), 0, 0},   // overlapping
+		{RectAt(Cell{-10, 0}, 8, 4), 2, 0}, // gap on the left side
+	}
+	for _, c := range cases {
+		dh, dv := GapDist(a, c.b)
+		if dh != c.dh || dv != c.dv {
+			t.Errorf("GapDist(%v,%v) = (%d,%d), want (%d,%d)", a, c.b, dh, dv, c.dh, c.dv)
+		}
+		// Symmetry.
+		dh2, dv2 := GapDist(c.b, a)
+		if dh2 != dh || dv2 != dv {
+			t.Errorf("GapDist not symmetric for %v", c.b)
+		}
+	}
+}
+
+func TestCenterDist(t *testing.T) {
+	a := RectAt(Cell{0, 0}, 2, 2)
+	b := RectAt(Cell{3, 4}, 2, 2)
+	if got := CenterDist(a, b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("CenterDist = %g, want 5", got)
+	}
+}
+
+func TestMaskBasics(t *testing.T) {
+	m := NewMask(10, 6)
+	if m.W() != 10 || m.H() != 6 {
+		t.Fatal("dims")
+	}
+	if m.Count() != 0 {
+		t.Fatal("new mask must be cleared")
+	}
+	m.Set(Cell{3, 2}, true)
+	if !m.Get(Cell{3, 2}) || m.Count() != 1 {
+		t.Error("Set/Get roundtrip failed")
+	}
+	if m.Get(Cell{-1, 0}) || m.Get(Cell{10, 0}) || m.Get(Cell{0, 6}) {
+		t.Error("out-of-bounds Get must read false")
+	}
+	m.Fill(true)
+	if m.Count() != 60 {
+		t.Error("Fill(true) should set all cells")
+	}
+}
+
+func TestMaskSetOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set out of bounds must panic")
+		}
+	}()
+	NewMask(2, 2).Set(Cell{2, 0}, true)
+}
+
+func TestMaskNegativeDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMask with negative dims must panic")
+		}
+	}()
+	NewMask(-1, 3)
+}
+
+func TestMaskSetRectClipped(t *testing.T) {
+	m := NewMask(5, 5)
+	m.SetRect(Rect{3, 3, 8, 8}, true) // pokes outside; must clip silently
+	if m.Count() != 4 {
+		t.Errorf("clipped SetRect set %d cells, want 4", m.Count())
+	}
+	m.SetRect(Rect{-2, -2, 1, 1}, true)
+	if !m.Get(Cell{0, 0}) {
+		t.Error("negative-origin SetRect should still set (0,0)")
+	}
+}
+
+func TestMaskAllSetAnySet(t *testing.T) {
+	m := NewMask(8, 8)
+	m.SetRect(Rect{2, 2, 6, 6}, true)
+	if !m.AllSet(Rect{2, 2, 6, 6}) {
+		t.Error("AllSet on exactly the set region")
+	}
+	if m.AllSet(Rect{1, 2, 6, 6}) {
+		t.Error("AllSet must fail when one column is cleared")
+	}
+	if m.AllSet(Rect{6, 6, 10, 10}) {
+		t.Error("AllSet must fail out of bounds")
+	}
+	if !m.AnySet(Rect{0, 0, 3, 3}) {
+		t.Error("AnySet should see the (2,2) corner")
+	}
+	if m.AnySet(Rect{0, 0, 2, 2}) {
+		t.Error("AnySet on cleared region")
+	}
+	if m.AnySet(Rect{100, 100, 101, 101}) {
+		t.Error("AnySet fully out of bounds must be false")
+	}
+}
+
+func TestMaskBooleanOps(t *testing.T) {
+	a := NewMask(4, 4)
+	b := NewMask(4, 4)
+	a.SetRect(Rect{0, 0, 2, 4}, true) // left half
+	b.SetRect(Rect{1, 0, 3, 4}, true) // middle half
+
+	and := a.Clone()
+	and.And(b)
+	if and.Count() != 4 || !and.AllSet(Rect{1, 0, 2, 4}) {
+		t.Errorf("And: count=%d", and.Count())
+	}
+
+	or := a.Clone()
+	or.Or(b)
+	if or.Count() != 12 {
+		t.Errorf("Or: count=%d, want 12", or.Count())
+	}
+
+	diff := a.Clone()
+	diff.AndNot(b)
+	if diff.Count() != 4 || !diff.AllSet(Rect{0, 0, 1, 4}) {
+		t.Errorf("AndNot: count=%d", diff.Count())
+	}
+}
+
+func TestMaskDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And with mismatched dims must panic")
+		}
+	}()
+	NewMask(2, 2).And(NewMask(3, 2))
+}
+
+func TestMaskErodeDilate(t *testing.T) {
+	m := NewMask(10, 10)
+	m.SetRect(Rect{2, 2, 7, 7}, true) // 5x5 block
+	m.Erode()
+	if m.Count() != 9 || !m.AllSet(Rect{3, 3, 6, 6}) {
+		t.Errorf("Erode 5x5 -> want 3x3 interior, got %d cells", m.Count())
+	}
+	m.Dilate()
+	if m.Count() != 9+12 { // 3x3 plus its 4-neighbour ring
+		t.Errorf("Dilate 3x3 -> got %d cells, want 21", m.Count())
+	}
+	// Border cells erode away.
+	e := NewMask(3, 3)
+	e.Fill(true)
+	e.Erode()
+	if e.Count() != 1 || !e.Get(Cell{1, 1}) {
+		t.Error("full 3x3 mask should erode to its center")
+	}
+}
+
+func TestMaskErodeDilateProperty(t *testing.T) {
+	// Dilate(Erode(m)) is contained in m for any mask (opening shrinks).
+	f := func(seed uint16) bool {
+		m := NewMask(12, 9)
+		s := uint32(seed) | 1
+		for y := 0; y < 9; y++ {
+			for x := 0; x < 12; x++ {
+				s = s*1664525 + 1013904223
+				if s&0x30000 != 0 { // ~75% density
+					m.Set(Cell{x, y}, true)
+				}
+			}
+		}
+		opened := m.Clone()
+		opened.Erode()
+		opened.Dilate()
+		ok := true
+		opened.ForEachSet(func(c Cell) {
+			if !m.Get(c) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskBoundingRect(t *testing.T) {
+	m := NewMask(10, 10)
+	if !m.BoundingRect().Empty() {
+		t.Error("empty mask should have empty bounding rect")
+	}
+	m.Set(Cell{3, 4}, true)
+	m.Set(Cell{7, 2}, true)
+	if got := m.BoundingRect(); got != (Rect{3, 2, 8, 5}) {
+		t.Errorf("BoundingRect = %v", got)
+	}
+}
+
+func TestMaskForEachSetOrder(t *testing.T) {
+	m := NewMask(3, 3)
+	m.Set(Cell{2, 0}, true)
+	m.Set(Cell{0, 1}, true)
+	var got []Cell
+	m.ForEachSet(func(c Cell) { got = append(got, c) })
+	if len(got) != 2 || got[0] != (Cell{2, 0}) || got[1] != (Cell{0, 1}) {
+		t.Errorf("ForEachSet order = %v", got)
+	}
+}
+
+func TestRectAtFootprintNeverNegative(t *testing.T) {
+	f := func(x, y int8, w, h uint8) bool {
+		r := RectAt(Cell{int(x), int(y)}, int(w), int(h))
+		return r.Area() == int(w)*int(h) || (int(w) == 0 || int(h) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,229 @@
+package geom
+
+import "math"
+
+func stdSqrt(v float64) float64 { return math.Sqrt(v) }
+
+// Mask is a W×H boolean grid. true marks a cell that is set (valid,
+// occupied, shadowed — the meaning is the caller's). The zero Mask is
+// empty; use NewMask to allocate one.
+type Mask struct {
+	w, h int
+	bits []bool
+}
+
+// NewMask allocates a cleared w×h mask. It panics if either dimension
+// is negative.
+func NewMask(w, h int) *Mask {
+	if w < 0 || h < 0 {
+		panic("geom: negative mask dimensions")
+	}
+	return &Mask{w: w, h: h, bits: make([]bool, w*h)}
+}
+
+// W returns the mask width in cells.
+func (m *Mask) W() int { return m.w }
+
+// H returns the mask height in cells.
+func (m *Mask) H() int { return m.h }
+
+// Bounds returns the full-grid rectangle [0,W)x[0,H).
+func (m *Mask) Bounds() Rect { return Rect{0, 0, m.w, m.h} }
+
+// InBounds reports whether c addresses a cell of the grid.
+func (m *Mask) InBounds(c Cell) bool {
+	return c.X >= 0 && c.X < m.w && c.Y >= 0 && c.Y < m.h
+}
+
+// Get returns the bit at c. Out-of-bounds cells read as false, which
+// lets footprint checks treat the area outside the roof as invalid
+// without special cases.
+func (m *Mask) Get(c Cell) bool {
+	if !m.InBounds(c) {
+		return false
+	}
+	return m.bits[c.Y*m.w+c.X]
+}
+
+// Set writes the bit at c. Out-of-bounds writes panic: they always
+// indicate a geometry bug upstream.
+func (m *Mask) Set(c Cell, v bool) {
+	if !m.InBounds(c) {
+		panic("geom: Set out of bounds: " + c.String())
+	}
+	m.bits[c.Y*m.w+c.X] = v
+}
+
+// SetRect writes v into every cell of r that lies inside the grid.
+func (m *Mask) SetRect(r Rect, v bool) {
+	clipped := r.Intersect(m.Bounds())
+	for y := clipped.Y0; y < clipped.Y1; y++ {
+		row := m.bits[y*m.w : y*m.w+m.w]
+		for x := clipped.X0; x < clipped.X1; x++ {
+			row[x] = v
+		}
+	}
+}
+
+// Fill writes v into every cell.
+func (m *Mask) Fill(v bool) {
+	for i := range m.bits {
+		m.bits[i] = v
+	}
+}
+
+// Count returns the number of set cells.
+func (m *Mask) Count() int {
+	n := 0
+	for _, b := range m.bits {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// AllSet reports whether every in-bounds cell of r is set. Rectangles
+// that poke outside the grid are never all-set.
+func (m *Mask) AllSet(r Rect) bool {
+	if r.X0 < 0 || r.Y0 < 0 || r.X1 > m.w || r.Y1 > m.h {
+		return false
+	}
+	for y := r.Y0; y < r.Y1; y++ {
+		row := m.bits[y*m.w : y*m.w+m.w]
+		for x := r.X0; x < r.X1; x++ {
+			if !row[x] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AnySet reports whether at least one cell of r (clipped to the grid)
+// is set.
+func (m *Mask) AnySet(r Rect) bool {
+	clipped := r.Intersect(m.Bounds())
+	for y := clipped.Y0; y < clipped.Y1; y++ {
+		row := m.bits[y*m.w : y*m.w+m.w]
+		for x := clipped.X0; x < clipped.X1; x++ {
+			if row[x] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the mask.
+func (m *Mask) Clone() *Mask {
+	out := NewMask(m.w, m.h)
+	copy(out.bits, m.bits)
+	return out
+}
+
+// And sets m to the cell-wise conjunction with o. Masks must have equal
+// dimensions.
+func (m *Mask) And(o *Mask) {
+	m.checkSameDims(o)
+	for i := range m.bits {
+		m.bits[i] = m.bits[i] && o.bits[i]
+	}
+}
+
+// Or sets m to the cell-wise disjunction with o. Masks must have equal
+// dimensions.
+func (m *Mask) Or(o *Mask) {
+	m.checkSameDims(o)
+	for i := range m.bits {
+		m.bits[i] = m.bits[i] || o.bits[i]
+	}
+}
+
+// AndNot clears in m every cell that is set in o (set difference).
+func (m *Mask) AndNot(o *Mask) {
+	m.checkSameDims(o)
+	for i := range m.bits {
+		m.bits[i] = m.bits[i] && !o.bits[i]
+	}
+}
+
+func (m *Mask) checkSameDims(o *Mask) {
+	if m.w != o.w || m.h != o.h {
+		panic("geom: mask dimension mismatch")
+	}
+}
+
+// ForEachSet calls fn for every set cell in row-major order.
+func (m *Mask) ForEachSet(fn func(Cell)) {
+	for y := 0; y < m.h; y++ {
+		row := m.bits[y*m.w : y*m.w+m.w]
+		for x, b := range row {
+			if b {
+				fn(Cell{x, y})
+			}
+		}
+	}
+}
+
+// Erode clears every set cell that has a cleared 4-neighbour (or lies
+// on the grid border), shrinking set regions by one cell. It is used to
+// apply safety margins around encumbrances.
+func (m *Mask) Erode() {
+	src := m.Clone()
+	for y := 0; y < m.h; y++ {
+		for x := 0; x < m.w; x++ {
+			c := Cell{x, y}
+			if !src.Get(c) {
+				continue
+			}
+			if !src.Get(c.Add(1, 0)) || !src.Get(c.Add(-1, 0)) ||
+				!src.Get(c.Add(0, 1)) || !src.Get(c.Add(0, -1)) {
+				m.Set(c, false)
+			}
+		}
+	}
+}
+
+// Dilate sets every cleared cell that has a set 4-neighbour, growing
+// set regions by one cell.
+func (m *Mask) Dilate() {
+	src := m.Clone()
+	for y := 0; y < m.h; y++ {
+		for x := 0; x < m.w; x++ {
+			c := Cell{x, y}
+			if src.Get(c) {
+				continue
+			}
+			if src.Get(c.Add(1, 0)) || src.Get(c.Add(-1, 0)) ||
+				src.Get(c.Add(0, 1)) || src.Get(c.Add(0, -1)) {
+				m.Set(c, true)
+			}
+		}
+	}
+}
+
+// BoundingRect returns the tightest rectangle containing all set
+// cells, or an empty Rect when no cell is set.
+func (m *Mask) BoundingRect() Rect {
+	minX, minY := m.w, m.h
+	maxX, maxY := -1, -1
+	m.ForEachSet(func(c Cell) {
+		if c.X < minX {
+			minX = c.X
+		}
+		if c.Y < minY {
+			minY = c.Y
+		}
+		if c.X > maxX {
+			maxX = c.X
+		}
+		if c.Y > maxY {
+			maxY = c.Y
+		}
+	})
+	if maxX < 0 {
+		return Rect{}
+	}
+	return Rect{minX, minY, maxX + 1, maxY + 1}
+}

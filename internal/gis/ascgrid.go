@@ -1,0 +1,174 @@
+// Package gis provides interchange with standard GIS raster formats
+// so that real LiDAR-derived surface models — the paper's actual
+// input (§IV) — can replace the synthetic scenes. The ESRI ASCII grid
+// (.asc) format is the lingua franca of DSM distribution (it is what
+// GRASS, QGIS and most national LiDAR portals export), trivially
+// diffable and stdlib-parsable.
+package gis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/dsm"
+	"repro/internal/geom"
+)
+
+// AscGrid is the parsed header+data of an ESRI ASCII grid. Rows are
+// stored north-to-south (the file order), matching the dsm.Raster
+// convention of y growing southward.
+type AscGrid struct {
+	// NCols, NRows are the raster dimensions.
+	NCols, NRows int
+	// XLLCorner, YLLCorner locate the lower-left corner in the
+	// source coordinate reference system (carried through verbatim).
+	XLLCorner, YLLCorner float64
+	// CellSize is the grid pitch in metres.
+	CellSize float64
+	// NoData is the sentinel for missing cells.
+	NoData float64
+	// Z holds elevations row-major, north row first.
+	Z []float64
+}
+
+// ReadAsc parses an ESRI ASCII grid.
+func ReadAsc(r io.Reader) (*AscGrid, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	g := &AscGrid{NoData: -9999}
+
+	// Header: key/value lines until the first data row.
+	var dataTokens []string
+	headerDone := false
+	seen := map[string]bool{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if !headerDone && len(fields) == 2 && !isNumeric(fields[0]) {
+			key := strings.ToLower(fields[0])
+			val, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("gis: header %s: bad value %q: %w", key, fields[1], err)
+			}
+			seen[key] = true
+			switch key {
+			case "ncols":
+				g.NCols = int(val)
+			case "nrows":
+				g.NRows = int(val)
+			case "xllcorner", "xllcenter":
+				g.XLLCorner = val
+			case "yllcorner", "yllcenter":
+				g.YLLCorner = val
+			case "cellsize":
+				g.CellSize = val
+			case "nodata_value":
+				g.NoData = val
+			default:
+				return nil, fmt.Errorf("gis: unknown header key %q", key)
+			}
+			continue
+		}
+		headerDone = true
+		dataTokens = append(dataTokens, fields...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gis: reading asc: %w", err)
+	}
+	if !seen["ncols"] || !seen["nrows"] || !seen["cellsize"] {
+		return nil, fmt.Errorf("gis: missing mandatory header keys (ncols/nrows/cellsize)")
+	}
+	if g.NCols <= 0 || g.NRows <= 0 || g.CellSize <= 0 {
+		return nil, fmt.Errorf("gis: invalid grid shape %dx%d cell %g", g.NCols, g.NRows, g.CellSize)
+	}
+	want := g.NCols * g.NRows
+	if len(dataTokens) != want {
+		return nil, fmt.Errorf("gis: %d data values for %dx%d grid (want %d)",
+			len(dataTokens), g.NCols, g.NRows, want)
+	}
+	g.Z = make([]float64, want)
+	for i, tok := range dataTokens {
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gis: data token %d: %q: %w", i, tok, err)
+		}
+		g.Z[i] = v
+	}
+	return g, nil
+}
+
+func isNumeric(s string) bool {
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}
+
+// WriteAsc serialises the grid in ESRI ASCII format.
+func (g *AscGrid) WriteAsc(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "ncols %d\n", g.NCols)
+	fmt.Fprintf(bw, "nrows %d\n", g.NRows)
+	fmt.Fprintf(bw, "xllcorner %g\n", g.XLLCorner)
+	fmt.Fprintf(bw, "yllcorner %g\n", g.YLLCorner)
+	fmt.Fprintf(bw, "cellsize %g\n", g.CellSize)
+	fmt.Fprintf(bw, "NODATA_value %g\n", g.NoData)
+	for y := 0; y < g.NRows; y++ {
+		for x := 0; x < g.NCols; x++ {
+			if x > 0 {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%g", g.Z[y*g.NCols+x])
+		}
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("gis: writing asc: %w", err)
+	}
+	return nil
+}
+
+// ToRaster converts the grid to a dsm.Raster. NoData cells map to the
+// provided fill elevation (typically the ground datum 0); the count
+// of NoData cells is returned so callers can judge coverage.
+func (g *AscGrid) ToRaster(noDataFill float64) (*dsm.Raster, int, error) {
+	r, err := dsm.NewRaster(g.NCols, g.NRows, g.CellSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	missing := 0
+	for y := 0; y < g.NRows; y++ {
+		for x := 0; x < g.NCols; x++ {
+			v := g.Z[y*g.NCols+x]
+			if v == g.NoData || math.IsNaN(v) {
+				v = noDataFill
+				missing++
+			}
+			r.Set(geom.Cell{X: x, Y: y}, v)
+		}
+	}
+	return r, missing, nil
+}
+
+// FromRaster wraps a dsm.Raster for export, with the given lower-left
+// corner coordinates in the target CRS.
+func FromRaster(r *dsm.Raster, xll, yll float64) *AscGrid {
+	g := &AscGrid{
+		NCols: r.W(), NRows: r.H(),
+		XLLCorner: xll, YLLCorner: yll,
+		CellSize: r.CellSize(),
+		NoData:   -9999,
+		Z:        make([]float64, r.W()*r.H()),
+	}
+	for y := 0; y < r.H(); y++ {
+		for x := 0; x < r.W(); x++ {
+			g.Z[y*g.NCols+x] = r.At(geom.Cell{X: x, Y: y})
+		}
+	}
+	return g
+}

@@ -1,0 +1,208 @@
+package inverter
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/dsm"
+	"repro/internal/floorplan"
+	"repro/internal/panel"
+	"repro/internal/pvmodel"
+	"repro/internal/solar/clearsky"
+	"repro/internal/solar/field"
+	"repro/internal/solar/sunpos"
+	"repro/internal/timegrid"
+	"repro/internal/weather"
+)
+
+func TestTypicalValidates(t *testing.T) {
+	inv := Typical(3000)
+	if err := inv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Typical(0)
+	if err := bad.Validate(); err == nil {
+		t.Error("zero rating must be rejected")
+	}
+	neg := Typical(3000)
+	neg.K1 = -0.1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative coefficient must be rejected")
+	}
+}
+
+func TestEfficiencyCurveShape(t *testing.T) {
+	inv := Typical(3000)
+	// Below threshold: dead.
+	if inv.AC(10) != 0 {
+		t.Error("output below wake-up threshold")
+	}
+	// Peak efficiency in the mid-load range, ≈96-98%.
+	peak := 0.0
+	for dc := 100.0; dc <= 3500; dc += 50 {
+		if e := inv.Efficiency(dc); e > peak {
+			peak = e
+		}
+	}
+	if peak < 0.95 || peak > 0.99 {
+		t.Errorf("peak efficiency = %.3f, want ≈ 0.97", peak)
+	}
+	// Low-load efficiency clearly depressed by the fixed loss.
+	if low := inv.Efficiency(100); low > 0.85 {
+		t.Errorf("5%%-load efficiency = %.3f, should sag below 0.85", low)
+	}
+	// AC never exceeds DC (no free energy) and never exceeds rating.
+	for dc := 0.0; dc <= 6000; dc += 37 {
+		ac := inv.AC(dc)
+		if ac > dc {
+			t.Fatalf("AC %.1f exceeds DC %.1f", ac, dc)
+		}
+		if ac > inv.RatedACW {
+			t.Fatalf("AC %.1f exceeds rating", ac)
+		}
+	}
+}
+
+func TestClippingAtRating(t *testing.T) {
+	inv := Typical(3000)
+	// Deep overload: output pinned at the nameplate.
+	if got := inv.AC(5000); got != 3000 {
+		t.Errorf("overloaded AC = %.1f, want 3000", got)
+	}
+	// dcAtRated is consistent: at that DC the output just reaches
+	// the rating.
+	sat := dcAtRated(inv)
+	if got := inv.AC(sat); math.Abs(got-3000) > 1 {
+		t.Errorf("AC at saturation DC = %.1f, want ≈ 3000", got)
+	}
+}
+
+func TestEuroEfficiency(t *testing.T) {
+	inv := Typical(3000)
+	eff := inv.EuroEfficiency()
+	if eff < 0.90 || eff > 0.98 {
+		t.Errorf("euro efficiency = %.3f, want datasheet-typical 0.94-0.97", eff)
+	}
+	// Euro efficiency sits below the peak (low-load weighting).
+	peak := 0.0
+	for dc := 100.0; dc <= 3500; dc += 50 {
+		if e := inv.Efficiency(dc); e > peak {
+			peak = e
+		}
+	}
+	if !(eff < peak) {
+		t.Errorf("euro eff %.3f should be below peak %.3f", eff, peak)
+	}
+}
+
+func TestACMonotoneInDC(t *testing.T) {
+	inv := Typical(3000)
+	prev := -1.0
+	for dc := 0.0; dc < 6000; dc += 13 {
+		ac := inv.AC(dc)
+		if ac < prev-1e-9 {
+			t.Fatalf("AC not monotone at DC=%.0f", dc)
+		}
+		prev = ac
+	}
+}
+
+// annualFixture builds a small pipeline for the AC integration test.
+func annualFixture(t *testing.T) (*field.Evaluator, *floorplan.Placement) {
+	t.Helper()
+	cet := time.FixedZone("CET", 3600)
+	turin := sunpos.Site{LatDeg: 45.07, LonDeg: 7.69, AltitudeM: 240}
+	b, err := dsm.NewSceneBuilder(40, 20, 0.2, dsm.Plane{RidgeZ: 8, SlopeDeg: 26, AspectDeg: 180}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene := b.Build()
+	wx, err := weather.NewSynthetic(5, weather.Turin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := timegrid.New(time.Date(2017, 1, 1, 0, 0, 0, 0, cet), time.Hour, 360, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suitable := scene.SuitableArea(0)
+	ev, err := field.New(field.Config{
+		Site: turin, Scene: scene, Suitable: suitable,
+		Weather: wx, Grid: grid, MonthlyTL: clearsky.TurinMonthlyTL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := ev.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	suit, err := floorplan.ComputeSuitability(cs, floorplan.SuitabilityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := floorplan.Plan(suit, suitable, floorplan.Options{
+		Shape:    floorplan.ModuleShape{W: 8, H: 4},
+		Topology: panel.Topology{SeriesPerString: 4, Strings: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev, pl
+}
+
+func TestAnnualACIntegration(t *testing.T) {
+	ev, pl := annualFixture(t)
+	mod := pvmodel.PVMF165EB3()
+
+	// Generously sized inverter: minimal clipping, AC ≈ 94-98% of DC.
+	big := Typical(1500) // 4 × 165 W array
+	ac, dc, clipped, err := AnnualAC(ev, mod, pl, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc <= 0 || ac <= 0 {
+		t.Fatal("no energy integrated")
+	}
+	if ratio := ac / dc; ratio < 0.88 || ratio > 0.99 {
+		t.Errorf("AC/DC ratio = %.3f, want ≈ 0.95", ratio)
+	}
+	if clipped > dc*0.001 {
+		t.Errorf("oversized inverter clipped %.4f MWh", clipped)
+	}
+
+	// Severely undersized inverter: visible clipping, less AC.
+	small := Typical(250)
+	acS, dcS, clippedS, err := AnnualAC(ev, mod, pl, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dcS-dc) > 1e-12 {
+		t.Error("DC side must not depend on the inverter")
+	}
+	if !(clippedS > clipped) || !(acS < ac) {
+		t.Errorf("undersizing should clip: ac %.3f vs %.3f, clipped %.4f vs %.4f",
+			acS, ac, clippedS, clipped)
+	}
+}
+
+func TestAnnualACValidation(t *testing.T) {
+	ev, pl := annualFixture(t)
+	mod := pvmodel.PVMF165EB3()
+	inv := Typical(1500)
+	if _, _, _, err := AnnualAC(nil, mod, pl, inv); err == nil {
+		t.Error("nil evaluator must error")
+	}
+	if _, _, _, err := AnnualAC(ev, mod, nil, inv); err == nil {
+		t.Error("nil placement must error")
+	}
+	if _, _, _, err := AnnualAC(ev, mod, pl, Typical(0)); err == nil {
+		t.Error("invalid inverter must error")
+	}
+	broken := *pl
+	broken.Rects = broken.Rects[:2]
+	if _, _, _, err := AnnualAC(ev, mod, &broken, inv); err == nil {
+		t.Error("module count mismatch must error")
+	}
+}

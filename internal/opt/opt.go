@@ -1,0 +1,190 @@
+// Package opt provides an exact reference placer: a branch-and-bound
+// search over the same candidate set and suitability-sum objective
+// the greedy floorplanner optimises. The paper notes that exhaustive
+// enumeration is infeasible at roof scale (O(N^Ng) — §III-C and §V-B
+// "it is not possible to compare our results against an exhaustive
+// algorithm"); this package makes the comparison possible on reduced
+// instances, quantifying the greedy's optimality gap (ablation A3).
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+)
+
+// ErrBudgetExhausted is returned when the search exceeds its node
+// budget before proving optimality.
+var ErrBudgetExhausted = errors.New("opt: node budget exhausted before optimality proof")
+
+// Options bounds the search.
+type Options struct {
+	// Shape is the module footprint in cells.
+	Shape floorplan.ModuleShape
+	// N is the number of modules to place.
+	N int
+	// MaxNodes caps the number of explored search nodes (default
+	// 5e6). The search fails with ErrBudgetExhausted beyond it
+	// rather than silently returning a possibly-suboptimal answer.
+	MaxNodes int
+}
+
+// Result carries the optimal placement and search diagnostics.
+type Result struct {
+	// Anchors are the chosen module anchors (sorted row-major; the
+	// objective is order-independent).
+	Anchors []geom.Cell
+	// Score is the optimal total candidate score (sum of
+	// footprint-mean suitabilities).
+	Score float64
+	// Nodes is the number of explored search nodes.
+	Nodes int
+}
+
+type candidate struct {
+	anchor geom.Cell
+	score  float64
+	rect   geom.Rect
+}
+
+// Optimal finds the exact maximum-suitability placement of N
+// non-overlapping modules on the masked grid by depth-first branch
+// and bound with a sorted-prefix upper bound.
+func Optimal(suit *floorplan.Suitability, mask *geom.Mask, opts Options) (*Result, error) {
+	if suit == nil || mask == nil {
+		return nil, fmt.Errorf("opt: nil suitability or mask")
+	}
+	if err := opts.Shape.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.N <= 0 {
+		return nil, fmt.Errorf("opt: non-positive module count %d", opts.N)
+	}
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 5_000_000
+	}
+
+	cands := enumerate(suit, mask, opts.Shape)
+	if len(cands) < opts.N {
+		return nil, &floorplan.ErrNoSpace{Placed: len(cands), Wanted: opts.N}
+	}
+	// Sorted descending: prefix sums bound any completion.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	prefix := make([]float64, len(cands)+1)
+	for i, c := range cands {
+		prefix[i+1] = prefix[i] + c.score
+	}
+	// bound(start, need) = sum of the next `need` scores from start.
+	bound := func(start, need int) float64 {
+		if start+need > len(cands) {
+			return math.Inf(-1) // not enough candidates left
+		}
+		return prefix[start+need] - prefix[start]
+	}
+
+	s := &search{
+		cands:    cands,
+		bound:    bound,
+		maxNodes: opts.MaxNodes,
+		occupied: geom.NewMask(mask.W(), mask.H()),
+		best:     math.Inf(-1),
+	}
+	s.chosen = make([]int, 0, opts.N)
+	s.dfs(0, opts.N, 0)
+	if s.nodes >= s.maxNodes {
+		return nil, ErrBudgetExhausted
+	}
+	if math.IsInf(s.best, -1) {
+		return nil, &floorplan.ErrNoSpace{Placed: 0, Wanted: opts.N}
+	}
+	anchors := make([]geom.Cell, len(s.bestSet))
+	for i, idx := range s.bestSet {
+		anchors[i] = cands[idx].anchor
+	}
+	sort.Slice(anchors, func(i, j int) bool {
+		if anchors[i].Y != anchors[j].Y {
+			return anchors[i].Y < anchors[j].Y
+		}
+		return anchors[i].X < anchors[j].X
+	})
+	return &Result{Anchors: anchors, Score: s.best, Nodes: s.nodes}, nil
+}
+
+type search struct {
+	cands    []candidate
+	bound    func(start, need int) float64
+	maxNodes int
+	nodes    int
+	occupied *geom.Mask
+	chosen   []int
+	current  float64
+	best     float64
+	bestSet  []int
+}
+
+// dfs explores combinations in candidate-index order (enforcing
+// increasing indices avoids permutation duplicates).
+func (s *search) dfs(start, need int, depth int) {
+	if need == 0 {
+		if s.current > s.best {
+			s.best = s.current
+			s.bestSet = append(s.bestSet[:0], s.chosen...)
+		}
+		return
+	}
+	for i := start; i < len(s.cands); i++ {
+		if s.nodes >= s.maxNodes {
+			return
+		}
+		if s.current+s.bound(i, need) <= s.best {
+			return // even the best completion cannot improve
+		}
+		c := &s.cands[i]
+		if s.occupied.AnySet(c.rect) {
+			continue
+		}
+		s.nodes++
+		s.occupied.SetRect(c.rect, true)
+		s.chosen = append(s.chosen, i)
+		s.current += c.score
+		s.dfs(i+1, need-1, depth+1)
+		s.current -= c.score
+		s.chosen = s.chosen[:len(s.chosen)-1]
+		s.occupied.SetRect(c.rect, false)
+	}
+}
+
+// enumerate lists all valid anchors with footprint-mean scores.
+func enumerate(suit *floorplan.Suitability, mask *geom.Mask, shape floorplan.ModuleShape) []candidate {
+	var out []candidate
+	area := float64(shape.W * shape.H)
+	for y := 0; y+shape.H <= mask.H(); y++ {
+		for x := 0; x+shape.W <= mask.W(); x++ {
+			anchor := geom.Cell{X: x, Y: y}
+			rect := shape.Rect(anchor)
+			if !mask.AllSet(rect) {
+				continue
+			}
+			sum := 0.0
+			ok := true
+			rect.Cells(func(c geom.Cell) bool {
+				v := suit.At(c)
+				if math.IsNaN(v) {
+					ok = false
+					return false
+				}
+				sum += v
+				return true
+			})
+			if !ok {
+				continue
+			}
+			out = append(out, candidate{anchor: anchor, score: sum / area, rect: rect})
+		}
+	}
+	return out
+}

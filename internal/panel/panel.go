@@ -1,0 +1,213 @@
+// Package panel aggregates individual PV modules into the paper's
+// m×n series/parallel panel (§III-B1): n parallel strings of m
+// series-connected modules each. Because the modules of a string
+// share one current and the strings share one voltage, the panel
+// power is NOT the sum of per-module maximum powers:
+//
+//	V_panel = min over strings j of ( Σ_i V_module,ij )
+//	I_panel = Σ over strings j of ( min_i I_module,ij )
+//	P_panel = V_panel · I_panel
+//
+// The min terms are the "weak module" bottleneck the paper's
+// series-first placement is designed to avoid. The package also
+// provides the mismatch analysis (panel power vs. the unconstrained
+// per-module sum) and the yearly energy integrator used by every
+// experiment.
+package panel
+
+import (
+	"fmt"
+
+	"repro/internal/pvmodel"
+)
+
+// Topology is an m×n series/parallel interconnection: n parallel
+// strings of m modules in series.
+type Topology struct {
+	// SeriesPerString is m, the number of modules in each series
+	// string.
+	SeriesPerString int
+	// Strings is n, the number of parallel strings.
+	Strings int
+}
+
+// Modules returns the total module count N = m·n.
+func (t Topology) Modules() int { return t.SeriesPerString * t.Strings }
+
+// Validate checks the topology shape.
+func (t Topology) Validate() error {
+	if t.SeriesPerString <= 0 || t.Strings <= 0 {
+		return fmt.Errorf("panel: non-positive topology %dx%d", t.SeriesPerString, t.Strings)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer ("8s x 4p").
+func (t Topology) String() string {
+	return fmt.Sprintf("%ds x %dp", t.SeriesPerString, t.Strings)
+}
+
+// StringOf returns the string index of module k under series-first
+// enumeration (modules 0..m-1 are string 0, and so on).
+func (t Topology) StringOf(k int) int { return k / t.SeriesPerString }
+
+// PositionInString returns the series position of module k within its
+// string under series-first enumeration.
+func (t Topology) PositionInString(k int) int { return k % t.SeriesPerString }
+
+// State is the aggregate electrical state of the panel at one instant.
+type State struct {
+	// Voltage, Current and Power of the combined panel.
+	Voltage, Current, Power float64
+	// PerModuleSum is Σ P_module — the power an ideal per-module
+	// MPPT (microinverter) would extract.
+	PerModuleSum float64
+}
+
+// MismatchLoss returns the fraction of the per-module optimum lost to
+// the series/parallel constraints (0 for perfectly matched modules).
+func (s State) MismatchLoss() float64 {
+	if s.PerModuleSum <= 0 {
+		return 0
+	}
+	loss := 1 - s.Power/s.PerModuleSum
+	if loss < 0 {
+		return 0
+	}
+	return loss
+}
+
+// StringState is the electrical state of one series string.
+type StringState struct {
+	// Voltage is the sum of the string's module voltages.
+	Voltage float64
+	// Current is the string's bottleneck current (min over modules).
+	Current float64
+}
+
+// Combine aggregates per-module operating points into the panel
+// state. ops is indexed series-first: ops[j*m+i] is the i-th module
+// of string j. Dark modules (zero point) clamp their string.
+func Combine(t Topology, ops []pvmodel.OperatingPoint) (State, error) {
+	st, _, err := CombineDetailed(t, ops, nil)
+	return st, err
+}
+
+// CombineDetailed is Combine exposing per-string states (the wiring
+// loss model needs each string's current). When strings is non-nil
+// and has capacity t.Strings it is reused; otherwise a fresh slice is
+// allocated.
+func CombineDetailed(t Topology, ops []pvmodel.OperatingPoint, strings []StringState) (State, []StringState, error) {
+	if err := t.Validate(); err != nil {
+		return State{}, nil, err
+	}
+	if len(ops) != t.Modules() {
+		return State{}, nil, fmt.Errorf("panel: %d operating points for %s topology (want %d)",
+			len(ops), t, t.Modules())
+	}
+	if cap(strings) >= t.Strings {
+		strings = strings[:t.Strings]
+	} else {
+		strings = make([]StringState, t.Strings)
+	}
+	m := t.SeriesPerString
+	var st State
+	vPanel := 0.0
+	iPanel := 0.0
+	for j := 0; j < t.Strings; j++ {
+		vString := 0.0
+		iString := ops[j*m].Current
+		for i := 0; i < m; i++ {
+			op := ops[j*m+i]
+			vString += op.Voltage
+			if op.Current < iString {
+				iString = op.Current
+			}
+			st.PerModuleSum += op.Power
+		}
+		strings[j] = StringState{Voltage: vString, Current: iString}
+		if j == 0 || vString < vPanel {
+			vPanel = vString
+		}
+		iPanel += iString
+	}
+	st.Voltage = vPanel
+	st.Current = iPanel
+	st.Power = vPanel * iPanel
+	return st, strings, nil
+}
+
+// At evaluates every module of the panel under its local conditions
+// and combines them. g and tact are series-first per-module
+// environments.
+func At(t Topology, mod pvmodel.Module, g, tact []float64) (State, error) {
+	if len(g) != t.Modules() || len(tact) != t.Modules() {
+		return State{}, fmt.Errorf("panel: %d/%d environment samples for %d modules",
+			len(g), len(tact), t.Modules())
+	}
+	ops := make([]pvmodel.OperatingPoint, len(g))
+	for k := range g {
+		ops[k] = mod.MPP(g[k], tact[k])
+	}
+	return Combine(t, ops)
+}
+
+// EnergyAccumulator integrates panel energy over a simulation run.
+type EnergyAccumulator struct {
+	topo      Topology
+	mod       pvmodel.Module
+	stepHours float64
+	ops       []pvmodel.OperatingPoint
+
+	energyWh          float64 // panel energy
+	perModuleEnergyWh float64 // microinverter-optimum energy
+	steps             int
+}
+
+// NewEnergyAccumulator builds an integrator for the given topology
+// and module model; stepHours is the calendar interval in hours.
+func NewEnergyAccumulator(t Topology, mod pvmodel.Module, stepHours float64) (*EnergyAccumulator, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if mod == nil {
+		return nil, fmt.Errorf("panel: nil module model")
+	}
+	if stepHours <= 0 {
+		return nil, fmt.Errorf("panel: non-positive step %g h", stepHours)
+	}
+	return &EnergyAccumulator{
+		topo:      t,
+		mod:       mod,
+		stepHours: stepHours,
+		ops:       make([]pvmodel.OperatingPoint, t.Modules()),
+	}, nil
+}
+
+// Add integrates one timestep of series-first per-module conditions.
+func (a *EnergyAccumulator) Add(g, tact []float64) error {
+	if len(g) != len(a.ops) || len(tact) != len(a.ops) {
+		return fmt.Errorf("panel: %d/%d samples for %d modules", len(g), len(tact), len(a.ops))
+	}
+	for k := range g {
+		a.ops[k] = a.mod.MPP(g[k], tact[k])
+	}
+	st, err := Combine(a.topo, a.ops)
+	if err != nil {
+		return err
+	}
+	a.energyWh += st.Power * a.stepHours
+	a.perModuleEnergyWh += st.PerModuleSum * a.stepHours
+	a.steps++
+	return nil
+}
+
+// EnergyMWh returns the integrated panel energy in MWh.
+func (a *EnergyAccumulator) EnergyMWh() float64 { return a.energyWh / 1e6 }
+
+// PerModuleOptimumMWh returns the integrated microinverter-optimum
+// energy in MWh.
+func (a *EnergyAccumulator) PerModuleOptimumMWh() float64 { return a.perModuleEnergyWh / 1e6 }
+
+// Steps returns the number of integrated timesteps.
+func (a *EnergyAccumulator) Steps() int { return a.steps }

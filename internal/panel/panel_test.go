@@ -1,0 +1,298 @@
+package panel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pvmodel"
+)
+
+var mf165 = pvmodel.PVMF165EB3()
+
+func uniform(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestTopologyBasics(t *testing.T) {
+	topo := Topology{SeriesPerString: 8, Strings: 4}
+	if topo.Modules() != 32 {
+		t.Errorf("Modules = %d", topo.Modules())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Errorf("valid topology rejected: %v", err)
+	}
+	if topo.String() != "8s x 4p" {
+		t.Errorf("String = %q", topo.String())
+	}
+	for _, bad := range []Topology{{0, 4}, {8, 0}, {-1, -1}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid topology %+v accepted", bad)
+		}
+	}
+	// Series-first enumeration: module 9 of an 8s topology is the
+	// second module of string 1.
+	if topo.StringOf(9) != 1 || topo.PositionInString(9) != 1 {
+		t.Error("series-first indexing broken")
+	}
+	if topo.StringOf(7) != 0 || topo.PositionInString(7) != 7 {
+		t.Error("series-first indexing broken at string boundary")
+	}
+}
+
+func TestCombineUniformConditions(t *testing.T) {
+	// Perfectly matched modules: panel power equals the per-module
+	// sum exactly (no mismatch).
+	topo := Topology{SeriesPerString: 8, Strings: 2}
+	op := mf165.MPP(800, 40)
+	ops := make([]pvmodel.OperatingPoint, topo.Modules())
+	for i := range ops {
+		ops[i] = op
+	}
+	st, err := Combine(topo, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Voltage-8*op.Voltage) > 1e-9 {
+		t.Errorf("panel voltage %.2f, want %.2f", st.Voltage, 8*op.Voltage)
+	}
+	if math.Abs(st.Current-2*op.Current) > 1e-9 {
+		t.Errorf("panel current %.2f, want %.2f", st.Current, 2*op.Current)
+	}
+	if math.Abs(st.Power-st.PerModuleSum) > 1e-6 {
+		t.Errorf("uniform panel power %.2f should equal module sum %.2f", st.Power, st.PerModuleSum)
+	}
+	if st.MismatchLoss() > 1e-9 {
+		t.Errorf("uniform mismatch loss = %g", st.MismatchLoss())
+	}
+}
+
+func TestWeakModuleBottleneck(t *testing.T) {
+	// One module at 40% irradiance throttles its whole 8-module
+	// string to ~40% current — the §V-B "weak module" effect. The
+	// healthy string is unaffected.
+	topo := Topology{SeriesPerString: 8, Strings: 2}
+	g := uniform(16, 1000.0)
+	g[3] = 400 // weak module in string 0
+	st, err := At(topo, mf165, g, uniform(16, 25.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := mf165.MPP(1000, 25)
+	weak := mf165.MPP(400, 25)
+	// String currents: string 0 limited by the weak module.
+	wantI := weak.Current + healthy.Current
+	if math.Abs(st.Current-wantI) > 1e-9 {
+		t.Errorf("panel current %.3f, want %.3f", st.Current, wantI)
+	}
+	// Mismatch loss is substantial: string 0 loses (1000-400)/1000
+	// of 7/8 of its modules' potential.
+	if st.MismatchLoss() < 0.15 {
+		t.Errorf("mismatch loss %.3f, want > 0.15", st.MismatchLoss())
+	}
+	// Per-module sum unaffected by topology.
+	wantSum := 15*healthy.Power + weak.Power
+	if math.Abs(st.PerModuleSum-wantSum) > 1e-6 {
+		t.Errorf("per-module sum %.1f, want %.1f", st.PerModuleSum, wantSum)
+	}
+}
+
+func TestSeriesFirstGroupingMatters(t *testing.T) {
+	// Eight weak modules: concentrated in one string they cost far
+	// less than spread one per string — the argument for the paper's
+	// series-first enumeration of placement candidates.
+	topo := Topology{SeriesPerString: 8, Strings: 8}
+	n := topo.Modules()
+
+	concentrated := uniform(n, 1000.0)
+	for i := 0; i < 8; i++ {
+		concentrated[i] = 500 // all of string 0
+	}
+	spread := uniform(n, 1000.0)
+	for j := 0; j < 8; j++ {
+		spread[j*8] = 500 // first module of every string
+	}
+	tact := uniform(n, 25.0)
+	stC, err := At(topo, mf165, concentrated, tact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stS, err := At(topo, mf165, spread, tact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(stC.Power > stS.Power*1.2) {
+		t.Errorf("concentrated weak modules %.0f W should beat spread %.0f W by >20%%",
+			stC.Power, stS.Power)
+	}
+}
+
+func TestCombineValidation(t *testing.T) {
+	topo := Topology{SeriesPerString: 2, Strings: 2}
+	if _, err := Combine(topo, make([]pvmodel.OperatingPoint, 3)); err == nil {
+		t.Error("wrong op count must error")
+	}
+	if _, err := Combine(Topology{}, nil); err == nil {
+		t.Error("invalid topology must error")
+	}
+	if _, err := At(topo, mf165, uniform(3, 1), uniform(4, 25)); err == nil {
+		t.Error("wrong env length must error")
+	}
+}
+
+func TestDarkStringZeroesPanel(t *testing.T) {
+	// A fully dark string contributes no current but its (zero)
+	// voltage dominates the min ⇒ panel collapses. This is the
+	// physically conservative reading of the paper's formula: in a
+	// real installation blocking diodes would isolate the string.
+	topo := Topology{SeriesPerString: 4, Strings: 2}
+	g := uniform(8, 1000.0)
+	for i := 0; i < 4; i++ {
+		g[i] = 0
+	}
+	st, err := At(topo, mf165, g, uniform(8, 25.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Voltage != 0 || st.Power != 0 {
+		t.Errorf("dark-string panel state %+v, want collapse", st)
+	}
+	if st.PerModuleSum <= 0 {
+		t.Error("per-module sum should still see the lit string")
+	}
+}
+
+func TestMismatchLossBounds(t *testing.T) {
+	f := func(seeds []uint8) bool {
+		if len(seeds) < 8 {
+			return true
+		}
+		topo := Topology{SeriesPerString: 4, Strings: 2}
+		g := make([]float64, 8)
+		tact := make([]float64, 8)
+		for i := 0; i < 8; i++ {
+			g[i] = float64(seeds[i%len(seeds)]) / 255 * 1200
+			tact[i] = 10 + float64(seeds[(i+3)%len(seeds)])/255*50
+		}
+		st, err := At(topo, mf165, g, tact)
+		if err != nil {
+			return false
+		}
+		loss := st.MismatchLoss()
+		// Panel can never beat the per-module optimum.
+		return loss >= 0 && loss <= 1 && st.Power <= st.PerModuleSum+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyAccumulator(t *testing.T) {
+	topo := Topology{SeriesPerString: 2, Strings: 1}
+	acc, err := NewEnergyAccumulator(topo, mf165, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four 15-min steps of uniform 1000/25: 1 hour at 2×165 W.
+	for i := 0; i < 4; i++ {
+		if err := acc.Add(uniform(2, 1000), uniform(2, 25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantMWh := 2 * mf165.MPP(1000, 25).Power / 1e6
+	if math.Abs(acc.EnergyMWh()-wantMWh) > 1e-12 {
+		t.Errorf("energy = %g MWh, want %g", acc.EnergyMWh(), wantMWh)
+	}
+	if acc.Steps() != 4 {
+		t.Errorf("steps = %d", acc.Steps())
+	}
+	if math.Abs(acc.PerModuleOptimumMWh()-wantMWh) > 1e-12 {
+		t.Error("uniform conditions: optimum must equal panel energy")
+	}
+	if err := acc.Add(uniform(3, 1000), uniform(2, 25)); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestEnergyAccumulatorValidation(t *testing.T) {
+	topo := Topology{SeriesPerString: 2, Strings: 1}
+	if _, err := NewEnergyAccumulator(Topology{}, mf165, 0.25); err == nil {
+		t.Error("bad topology must error")
+	}
+	if _, err := NewEnergyAccumulator(topo, nil, 0.25); err == nil {
+		t.Error("nil module must error")
+	}
+	if _, err := NewEnergyAccumulator(topo, mf165, 0); err == nil {
+		t.Error("zero step must error")
+	}
+}
+
+func TestCombineDetailedMatchesBruteForce(t *testing.T) {
+	// Cross-check the min/sum algebra against a direct evaluation
+	// over randomised operating points.
+	rng := rand.New(rand.NewSource(21))
+	topo := Topology{SeriesPerString: 3, Strings: 2}
+	for trial := 0; trial < 200; trial++ {
+		ops := make([]pvmodel.OperatingPoint, topo.Modules())
+		for i := range ops {
+			v := rng.Float64() * 30
+			c := rng.Float64() * 8
+			ops[i] = pvmodel.OperatingPoint{Voltage: v, Current: c, Power: v * c}
+		}
+		st, strings, err := CombineDetailed(topo, ops, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force.
+		var vMin, iSum, pSum float64
+		for j := 0; j < topo.Strings; j++ {
+			vs, is := 0.0, math.Inf(1)
+			for i := 0; i < topo.SeriesPerString; i++ {
+				op := ops[j*topo.SeriesPerString+i]
+				vs += op.Voltage
+				if op.Current < is {
+					is = op.Current
+				}
+				pSum += op.Power
+			}
+			if j == 0 || vs < vMin {
+				vMin = vs
+			}
+			iSum += is
+			if math.Abs(strings[j].Voltage-vs) > 1e-12 || math.Abs(strings[j].Current-is) > 1e-12 {
+				t.Fatalf("trial %d string %d: detailed state mismatch", trial, j)
+			}
+		}
+		if math.Abs(st.Voltage-vMin) > 1e-12 || math.Abs(st.Current-iSum) > 1e-12 {
+			t.Fatalf("trial %d: aggregate mismatch", trial)
+		}
+		if math.Abs(st.Power-vMin*iSum) > 1e-9 || math.Abs(st.PerModuleSum-pSum) > 1e-9 {
+			t.Fatalf("trial %d: power mismatch", trial)
+		}
+	}
+}
+
+func TestCombineDetailedReusesBuffer(t *testing.T) {
+	topo := Topology{SeriesPerString: 2, Strings: 3}
+	ops := make([]pvmodel.OperatingPoint, 6)
+	for i := range ops {
+		ops[i] = pvmodel.OperatingPoint{Voltage: 10, Current: 5, Power: 50}
+	}
+	buf := make([]StringState, 0, 3)
+	_, s1, err := CombineDetailed(topo, ops, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s2, err := CombineDetailed(topo, ops, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &s1[0] != &s2[0] {
+		t.Error("buffer with sufficient capacity should be reused")
+	}
+}

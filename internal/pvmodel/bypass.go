@@ -1,0 +1,161 @@
+package pvmodel
+
+import "fmt"
+
+// BypassModule models a module as K series substrings, each protected
+// by a bypass diode — the mechanism that limits (but does not remove)
+// the mismatch losses the paper's §II-B describes: when one substring
+// is shaded below the string current, its bypass diode conducts and
+// the substring is skipped at the cost of a small diode drop.
+//
+// This model backs the partial-shading analysis that motivates the
+// paper's series-first placement: a "weak" module drags its whole
+// series string down, bypass diodes or not.
+type BypassModule struct {
+	// Substrings holds the per-substring diode models (equal splits
+	// of the parent module).
+	Substrings []*SingleDiode
+	// BypassDropV is the conducting bypass diode drop (Schottky
+	// ≈ 0.4–0.5 V).
+	BypassDropV float64
+}
+
+// NewBypassModule splits a module-level single-diode model into k
+// equal substrings with bypass diodes.
+func NewBypassModule(base *SingleDiode, k int) (*BypassModule, error) {
+	if k <= 0 || base.Ns%k != 0 {
+		return nil, fmt.Errorf("pvmodel: cannot split %d cells into %d bypass substrings", base.Ns, k)
+	}
+	subs := make([]*SingleDiode, k)
+	for i := range subs {
+		s := *base
+		s.ModelName = fmt.Sprintf("%s [substring %d/%d]", base.ModelName, i+1, k)
+		s.Ns = base.Ns / k
+		s.VocRef = base.VocRef / float64(k)
+		s.BetaVocPerK = base.BetaVocPerK / float64(k)
+		s.RsOhm = base.RsOhm / float64(k)
+		s.RshOhm = base.RshOhm / float64(k)
+		subs[i] = &s
+	}
+	return &BypassModule{Substrings: subs, BypassDropV: 0.45}, nil
+}
+
+// voltageAt returns one substring's terminal voltage at module
+// current iA under its local irradiance, honouring the bypass diode:
+// currents above the substring's capability force the bypass path.
+func (m *BypassModule) voltageAt(sub *SingleDiode, iA, g, tactC float64) float64 {
+	if g <= 0 {
+		// Dark substring: conducts only through the bypass diode.
+		if iA > 0 {
+			return -m.BypassDropV
+		}
+		return 0
+	}
+	isc := sub.Isc(g, tactC)
+	if iA >= isc {
+		return -m.BypassDropV
+	}
+	// Current(v) is monotone decreasing in v; bisect on [0, Voc].
+	lo, hi := 0.0, sub.Voc(g, tactC)
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if sub.Current(mid, g, tactC) > iA {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// VoltageAt returns the module terminal voltage at current iA, given
+// per-substring irradiances g (len must equal the substring count).
+func (m *BypassModule) VoltageAt(iA float64, g []float64, tactC float64) (float64, error) {
+	if len(g) != len(m.Substrings) {
+		return 0, fmt.Errorf("pvmodel: %d irradiances for %d substrings", len(g), len(m.Substrings))
+	}
+	var v float64
+	for k, sub := range m.Substrings {
+		v += m.voltageAt(sub, iA, g[k], tactC)
+	}
+	return v, nil
+}
+
+// IVCurve sweeps the module current from 0 to the maximum substring
+// Isc and returns the composite characteristic. Points with negative
+// total voltage (all substrings bypassed) are clamped out.
+func (m *BypassModule) IVCurve(g []float64, tactC float64, points int) ([]IVPoint, error) {
+	if len(g) != len(m.Substrings) {
+		return nil, fmt.Errorf("pvmodel: %d irradiances for %d substrings", len(g), len(m.Substrings))
+	}
+	if points < 2 {
+		points = 2
+	}
+	var iMax float64
+	for k, sub := range m.Substrings {
+		if isc := sub.Isc(g[k], tactC); isc > iMax {
+			iMax = isc
+		}
+	}
+	if iMax == 0 {
+		return []IVPoint{{}, {}}, nil
+	}
+	out := make([]IVPoint, 0, points)
+	for s := 0; s < points; s++ {
+		iA := iMax * float64(s) / float64(points-1)
+		v, err := m.VoltageAt(iA, g, tactC)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			v = 0
+		}
+		out = append(out, IVPoint{V: v, I: iA, P: v * iA})
+	}
+	return out, nil
+}
+
+// MPP returns the maximum power point of the composite curve, found
+// by scanning a dense current sweep and refining around the best
+// sample. Multiple local maxima (the signature of bypass conduction)
+// are handled by the global scan.
+func (m *BypassModule) MPP(g []float64, tactC float64) (OperatingPoint, error) {
+	curve, err := m.IVCurve(g, tactC, 160)
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	best := OperatingPoint{}
+	for _, pt := range curve {
+		if pt.P > best.Power {
+			best = OperatingPoint{Voltage: pt.V, Current: pt.I, Power: pt.P}
+		}
+	}
+	// Local refinement around the best current.
+	if best.Power > 0 {
+		iStep := curve[1].I - curve[0].I
+		for d := -1.0; d <= 1.0; d += 0.05 {
+			iA := best.Current + d*iStep
+			if iA < 0 {
+				continue
+			}
+			v, err := m.VoltageAt(iA, g, tactC)
+			if err != nil {
+				return OperatingPoint{}, err
+			}
+			if p := v * iA; v > 0 && p > best.Power {
+				best = OperatingPoint{Voltage: v, Current: iA, Power: p}
+			}
+		}
+	}
+	return best, nil
+}
+
+// UniformIrradiance builds the per-substring irradiance slice for a
+// uniformly lit module.
+func (m *BypassModule) UniformIrradiance(g float64) []float64 {
+	out := make([]float64, len(m.Substrings))
+	for i := range out {
+		out[i] = g
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package pvmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func newBypass(t *testing.T, k int) *BypassModule {
+	t.Helper()
+	m, err := NewBypassModule(PVMF165EB3Diode(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewBypassModuleValidation(t *testing.T) {
+	if _, err := NewBypassModule(PVMF165EB3Diode(), 0); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+	// 50 cells don't split into 3.
+	if _, err := NewBypassModule(PVMF165EB3Diode(), 3); err == nil {
+		t.Error("non-divisible split must be rejected")
+	}
+	m := newBypass(t, 2)
+	if len(m.Substrings) != 2 || m.Substrings[0].Ns != 25 {
+		t.Errorf("split shape wrong: %d substrings of %d cells", len(m.Substrings), m.Substrings[0].Ns)
+	}
+}
+
+func TestBypassUniformMatchesPlainModule(t *testing.T) {
+	// Uniform irradiance: the split module must reproduce the plain
+	// module's MPP within a few percent (substring Rs/Rsh splits are
+	// exact, the bypass diodes stay dark).
+	plain := PVMF165EB3Diode()
+	m := newBypass(t, 2)
+	for _, g := range []float64{300, 700, 1000} {
+		op, err := m.MPP(m.UniformIrradiance(g), 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := plain.MPP(g, 25)
+		if math.Abs(op.Power-want.Power)/want.Power > 0.04 {
+			t.Errorf("G=%g: bypass %.1f W vs plain %.1f W", g, op.Power, want.Power)
+		}
+	}
+}
+
+func TestBypassPartialShadingRecoversPower(t *testing.T) {
+	// One of two substrings shaded to 20%: without bypass the whole
+	// module would be dragged to the shaded current (~20% power);
+	// with bypass the MPP must recover roughly half the unshaded
+	// power (the lit substring keeps producing).
+	m := newBypass(t, 2)
+	full, err := m.MPP(m.UniformIrradiance(1000), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaded, err := m.MPP([]float64{1000, 200}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shaded.Power < 0.35*full.Power {
+		t.Errorf("bypass failed to recover power: %.1f W vs full %.1f W", shaded.Power, full.Power)
+	}
+	if shaded.Power > 0.75*full.Power {
+		t.Errorf("shading loss implausibly small: %.1f W vs full %.1f W", shaded.Power, full.Power)
+	}
+}
+
+func TestBypassCurveHasStep(t *testing.T) {
+	// The composite I-V curve under partial shading exhibits the
+	// characteristic two-knee shape: voltage at currents above the
+	// shaded substring's Isc drops by roughly one substring.
+	m := newBypass(t, 2)
+	curve, err := m.IVCurve([]float64{1000, 300}, 25, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadedIsc := m.Substrings[1].Isc(300, 25)
+	var vBelow, vAbove float64
+	for _, pt := range curve {
+		if pt.I < shadedIsc*0.9 && pt.I > shadedIsc*0.5 {
+			vBelow = pt.V
+		}
+		if pt.I > shadedIsc*1.15 && vAbove == 0 {
+			vAbove = pt.V
+		}
+	}
+	if vBelow == 0 || vAbove == 0 {
+		t.Fatal("could not locate curve regions around the step")
+	}
+	if vBelow-vAbove < 5 {
+		t.Errorf("bypass step too small: V=%.1f below vs %.1f above the shaded Isc", vBelow, vAbove)
+	}
+}
+
+func TestBypassDarkSubstring(t *testing.T) {
+	m := newBypass(t, 2)
+	op, err := m.MPP([]float64{1000, 0}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Power <= 0 {
+		t.Error("module with one dark substring must still produce")
+	}
+	fullyDark, err := m.MPP([]float64{0, 0}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullyDark.Power != 0 {
+		t.Errorf("fully dark module power = %.2f", fullyDark.Power)
+	}
+}
+
+func TestBypassLengthMismatch(t *testing.T) {
+	m := newBypass(t, 2)
+	if _, err := m.MPP([]float64{1000}, 25); err == nil {
+		t.Error("irradiance length mismatch must error")
+	}
+	if _, err := m.IVCurve([]float64{1, 2, 3}, 25, 10); err == nil {
+		t.Error("irradiance length mismatch must error")
+	}
+	if _, err := m.VoltageAt(1, []float64{1}, 25); err == nil {
+		t.Error("irradiance length mismatch must error")
+	}
+}

@@ -1,0 +1,206 @@
+package pvmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical constants for the diode equation.
+const (
+	boltzmann      = 1.380649e-23 // J/K
+	electronCharge = 1.602176634e-19
+	kelvinOffset   = 273.15
+)
+
+// SingleDiode is the five-parameter physical model of a PV module:
+// Ns series cells, photo-current proportional to irradiance, one
+// diode with ideality factor N, series resistance Rs and shunt
+// resistance Rsh. It produces full I-V curves — the behaviour the
+// paper's Fig. 2(a) sketches — and an MPP that validates the
+// empirical closed-form fit.
+type SingleDiode struct {
+	ModelName       string
+	WidthM, HeightM float64
+	// Ns is the number of series-connected cells.
+	Ns int
+	// IscRef, VocRef anchor the model at STC (1000 W/m², 25 °C).
+	IscRef, VocRef float64
+	// AlphaIscPerK is the absolute Isc temperature coefficient (A/K).
+	AlphaIscPerK float64
+	// BetaVocPerK is the absolute Voc temperature coefficient (V/K,
+	// negative).
+	BetaVocPerK float64
+	// N is the diode ideality factor (≈1.0–1.5 for c-Si).
+	N float64
+	// RsOhm and RshOhm are the module-level series and shunt
+	// resistances.
+	RsOhm, RshOhm float64
+}
+
+// PVMF165EB3Diode returns a single-diode parameterisation of the
+// paper's module, anchored to the same datasheet values as the
+// empirical model. Rs/Rsh are set to reproduce the datasheet fill
+// factor (165 W from 30.4 V × 7.36 A → FF ≈ 0.74).
+func PVMF165EB3Diode() *SingleDiode {
+	return &SingleDiode{
+		ModelName: "Mitsubishi PV-MF165EB3 (single-diode)",
+		WidthM:    1.6, HeightM: 0.8,
+		Ns:     50,
+		IscRef: 7.36, VocRef: 30.4,
+		AlphaIscPerK: 0.0042, // +0.057 %/K of 7.36 A
+		BetaVocPerK:  -0.104, // -0.34 %/K of 30.4 V
+		N:            1.30,
+		RsOhm:        0.35,
+		RshOhm:       250,
+	}
+}
+
+// Validate checks parameter plausibility.
+func (d *SingleDiode) Validate() error {
+	if d.Ns <= 0 {
+		return fmt.Errorf("pvmodel: diode model needs Ns > 0")
+	}
+	if d.IscRef <= 0 || d.VocRef <= 0 {
+		return fmt.Errorf("pvmodel: non-positive Isc/Voc reference")
+	}
+	if d.N < 0.5 || d.N > 2.5 {
+		return fmt.Errorf("pvmodel: ideality factor %g outside [0.5,2.5]", d.N)
+	}
+	if d.RsOhm < 0 || d.RshOhm <= 0 {
+		return fmt.Errorf("pvmodel: bad resistances Rs=%g Rsh=%g", d.RsOhm, d.RshOhm)
+	}
+	return nil
+}
+
+// Name implements Module.
+func (d *SingleDiode) Name() string { return d.ModelName }
+
+// Geometry implements Module.
+func (d *SingleDiode) Geometry() (float64, float64) { return d.WidthM, d.HeightM }
+
+// thermalVoltage returns Ns·N·kT/q for the cell temperature in °C.
+func (d *SingleDiode) thermalVoltage(tactC float64) float64 {
+	return float64(d.Ns) * d.N * boltzmann * (tactC + kelvinOffset) / electronCharge
+}
+
+// params returns the operating photo-current, saturation current and
+// thermal voltage for the given conditions.
+func (d *SingleDiode) params(g, tactC float64) (iph, i0, vt float64) {
+	vt = d.thermalVoltage(tactC)
+	isc := (d.IscRef + d.AlphaIscPerK*(tactC-25)) * g / 1000
+	voc := d.VocRef + d.BetaVocPerK*(tactC-25)
+	// Photo-current ≈ Isc corrected for the shunt path at V≈0.
+	iph = isc * (1 + d.RsOhm/d.RshOhm)
+	// Low irradiance slides Voc down logarithmically; keep the STC
+	// anchor and let the equation produce the shift naturally by
+	// computing I0 from STC conditions only.
+	iscRef := d.IscRef * (1 + d.RsOhm/d.RshOhm)
+	i0 = (iscRef - voc/d.RshOhm) / (math.Exp(voc/vt) - 1)
+	if i0 <= 0 {
+		i0 = 1e-12
+	}
+	return iph, i0, vt
+}
+
+// Current solves the implicit diode equation for the module current
+// at terminal voltage v, by Newton iteration on
+//
+//	f(I) = Iph − I0·(exp((V+I·Rs)/Vt) − 1) − (V+I·Rs)/Rsh − I.
+func (d *SingleDiode) Current(v, g, tactC float64) float64 {
+	if g <= 0 {
+		return 0
+	}
+	iph, i0, vt := d.params(g, tactC)
+	i := iph // short-circuit guess
+	for iter := 0; iter < 60; iter++ {
+		expArg := (v + i*d.RsOhm) / vt
+		if expArg > 200 {
+			expArg = 200 // clamp to avoid overflow far past Voc
+		}
+		ex := math.Exp(expArg)
+		f := iph - i0*(ex-1) - (v+i*d.RsOhm)/d.RshOhm - i
+		df := -i0*ex*d.RsOhm/vt - d.RsOhm/d.RshOhm - 1
+		step := f / df
+		i -= step
+		if math.Abs(step) < 1e-12 {
+			break
+		}
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// Voc returns the open-circuit voltage at the given conditions,
+// located by bisection on Current(v) = 0.
+func (d *SingleDiode) Voc(g, tactC float64) float64 {
+	if g <= 0 {
+		return 0
+	}
+	lo, hi := 0.0, d.VocRef*1.4
+	for iter := 0; iter < 80; iter++ {
+		mid := (lo + hi) / 2
+		if d.Current(mid, g, tactC) > 1e-9 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Isc returns the short-circuit current at the given conditions.
+func (d *SingleDiode) Isc(g, tactC float64) float64 {
+	return d.Current(0, g, tactC)
+}
+
+// IVPoint is one sample of a characteristic curve.
+type IVPoint struct {
+	V, I, P float64
+}
+
+// IVCurve samples the module characteristic from V=0 to Voc with the
+// given number of points (≥2).
+func (d *SingleDiode) IVCurve(g, tactC float64, points int) []IVPoint {
+	if points < 2 {
+		points = 2
+	}
+	voc := d.Voc(g, tactC)
+	out := make([]IVPoint, points)
+	for k := 0; k < points; k++ {
+		v := voc * float64(k) / float64(points-1)
+		i := d.Current(v, g, tactC)
+		out[k] = IVPoint{V: v, I: i, P: v * i}
+	}
+	return out
+}
+
+// MPP implements Module: golden-section search of the power maximum
+// over [0, Voc].
+func (d *SingleDiode) MPP(g, tactC float64) OperatingPoint {
+	if g <= 0 {
+		return OperatingPoint{}
+	}
+	voc := d.Voc(g, tactC)
+	power := func(v float64) float64 { return v * d.Current(v, g, tactC) }
+	const phi = 0.6180339887498949
+	a, b := 0.0, voc
+	c1 := b - phi*(b-a)
+	c2 := a + phi*(b-a)
+	f1, f2 := power(c1), power(c2)
+	for iter := 0; iter < 60 && b-a > 1e-6; iter++ {
+		if f1 < f2 {
+			a, c1, f1 = c1, c2, f2
+			c2 = a + phi*(b-a)
+			f2 = power(c2)
+		} else {
+			b, c2, f2 = c2, c1, f1
+			c1 = b - phi*(b-a)
+			f1 = power(c1)
+		}
+	}
+	v := (a + b) / 2
+	i := d.Current(v, g, tactC)
+	return OperatingPoint{Voltage: v, Current: i, Power: v * i}
+}

@@ -1,0 +1,178 @@
+package pvmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiodeSTCAnchors(t *testing.T) {
+	d := PVMF165EB3Diode()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if voc := d.Voc(1000, 25); math.Abs(voc-30.4) > 0.5 {
+		t.Errorf("STC Voc = %.2f, want ≈ 30.4", voc)
+	}
+	if isc := d.Isc(1000, 25); math.Abs(isc-7.36) > 0.1 {
+		t.Errorf("STC Isc = %.3f, want ≈ 7.36", isc)
+	}
+	op := d.MPP(1000, 25)
+	if math.Abs(op.Power-165)/165 > 0.07 {
+		t.Errorf("STC MPP power = %.1f W, want 165±7%%", op.Power)
+	}
+	if op.Voltage < 21 || op.Voltage > 27 {
+		t.Errorf("STC MPP voltage = %.1f V, want ≈ 24", op.Voltage)
+	}
+}
+
+func TestDiodeValidate(t *testing.T) {
+	cases := []func(*SingleDiode){
+		func(d *SingleDiode) { d.Ns = 0 },
+		func(d *SingleDiode) { d.IscRef = 0 },
+		func(d *SingleDiode) { d.N = 3.0 },
+		func(d *SingleDiode) { d.RshOhm = 0 },
+		func(d *SingleDiode) { d.RsOhm = -1 },
+	}
+	for i, mutate := range cases {
+		d := PVMF165EB3Diode()
+		mutate(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: invalid model accepted", i)
+		}
+	}
+}
+
+func TestIVCurveShape(t *testing.T) {
+	// Fig. 2(a): current monotone non-increasing in voltage, flat
+	// near short circuit, dropping sharply near Voc.
+	d := PVMF165EB3Diode()
+	curve := d.IVCurve(800, 25, 100)
+	if len(curve) != 100 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	for k := 1; k < len(curve); k++ {
+		if curve[k].V <= curve[k-1].V {
+			t.Fatalf("voltage sweep not increasing at %d", k)
+		}
+		if curve[k].I > curve[k-1].I+1e-9 {
+			t.Fatalf("current not monotone at %d: %.4f -> %.4f", k, curve[k-1].I, curve[k].I)
+		}
+	}
+	// Endpoint checks.
+	if math.Abs(curve[0].I-d.Isc(800, 25)) > 1e-6 {
+		t.Error("curve must start at Isc")
+	}
+	if last := curve[len(curve)-1]; last.I > 0.01 {
+		t.Errorf("curve must end near zero current, got %.4f", last.I)
+	}
+	// The knee: current at 80% Voc still above 85% of Isc for c-Si.
+	k80 := int(0.8 * float64(len(curve)-1))
+	if curve[k80].I < 0.80*curve[0].I {
+		t.Errorf("curve droops too early: I(0.8Voc) = %.2f vs Isc %.2f", curve[k80].I, curve[0].I)
+	}
+}
+
+func TestVocLogarithmicInG(t *testing.T) {
+	// Fig. 2(a) dotted line: Voc grows logarithmically with G —
+	// equal G ratios give roughly equal Voc increments.
+	d := PVMF165EB3Diode()
+	v250 := d.Voc(250, 25)
+	v500 := d.Voc(500, 25)
+	v1000 := d.Voc(1000, 25)
+	d1 := v500 - v250
+	d2 := v1000 - v500
+	if d1 <= 0 || d2 <= 0 {
+		t.Fatalf("Voc must increase with G: %.2f %.2f %.2f", v250, v500, v1000)
+	}
+	if math.Abs(d1-d2) > 0.35*math.Max(d1, d2) {
+		t.Errorf("Voc increments %.3f vs %.3f not log-like", d1, d2)
+	}
+}
+
+func TestIscProportionalToG(t *testing.T) {
+	d := PVMF165EB3Diode()
+	i500 := d.Isc(500, 25)
+	i1000 := d.Isc(1000, 25)
+	if math.Abs(i1000/i500-2) > 0.02 {
+		t.Errorf("Isc(1000)/Isc(500) = %.3f, want ≈ 2", i1000/i500)
+	}
+}
+
+func TestDiodeTemperatureEffects(t *testing.T) {
+	// Fig. 2(a) solid line: heating raises Isc slightly and drops
+	// Voc markedly.
+	d := PVMF165EB3Diode()
+	if !(d.Isc(800, 60) > d.Isc(800, 10)) {
+		t.Error("Isc must rise with temperature")
+	}
+	vocCold, vocHot := d.Voc(800, 10), d.Voc(800, 60)
+	if !(vocHot < vocCold) {
+		t.Error("Voc must fall with temperature")
+	}
+	relDrop := (vocCold - vocHot) / vocCold / 50 // per K
+	if relDrop < 0.002 || relDrop > 0.005 {
+		t.Errorf("Voc temp coefficient ≈ %.4f/K, want ≈ 0.0034", relDrop)
+	}
+	if !(d.MPP(800, 60).Power < d.MPP(800, 10).Power) {
+		t.Error("MPP power must fall with temperature")
+	}
+}
+
+func TestDiodeDark(t *testing.T) {
+	d := PVMF165EB3Diode()
+	if d.MPP(0, 25) != (OperatingPoint{}) {
+		t.Error("dark MPP must be zero")
+	}
+	if d.Voc(0, 25) != 0 || d.Current(10, 0, 25) != 0 {
+		t.Error("dark Voc/current must be zero")
+	}
+}
+
+func TestDiodeAgreesWithEmpiricalModel(t *testing.T) {
+	// The two independent models of the same module must agree on
+	// MPP power across the operating envelope — this cross-validates
+	// the restored empirical coefficients. The paper's fit is linear
+	// in G while the physical model loses fill factor and Voc at low
+	// irradiance, so the band widens below 400 W/m².
+	emp := PVMF165EB3()
+	dio := PVMF165EB3Diode()
+	for _, g := range []float64{200, 400, 600, 800, 1000} {
+		for _, tc := range []float64{5, 25, 45, 65} {
+			pe := emp.MPP(g, tc).Power
+			pd := dio.MPP(g, tc).Power
+			if pe <= 0 || pd <= 0 {
+				t.Fatalf("G=%g T=%g: non-positive powers %.1f %.1f", g, tc, pe, pd)
+			}
+			tol := 0.10
+			if g < 400 {
+				tol = 0.16
+			}
+			if rel := math.Abs(pe-pd) / pd; rel > tol {
+				t.Errorf("G=%g T=%g: empirical %.1f W vs diode %.1f W (%.1f%%)",
+					g, tc, pe, pd, rel*100)
+			}
+		}
+	}
+}
+
+func TestMPPOnCurveMaximum(t *testing.T) {
+	// The golden-section MPP must match the max over a dense curve.
+	d := PVMF165EB3Diode()
+	op := d.MPP(600, 40)
+	best := 0.0
+	for _, pt := range d.IVCurve(600, 40, 2000) {
+		if pt.P > best {
+			best = pt.P
+		}
+	}
+	if math.Abs(op.Power-best)/best > 0.002 {
+		t.Errorf("MPP %.2f W vs curve max %.2f W", op.Power, best)
+	}
+}
+
+func TestIVCurveMinPoints(t *testing.T) {
+	d := PVMF165EB3Diode()
+	if got := len(d.IVCurve(500, 25, 1)); got != 2 {
+		t.Errorf("degenerate point count should clamp to 2, got %d", got)
+	}
+}

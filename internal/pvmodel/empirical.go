@@ -1,0 +1,151 @@
+// Package pvmodel provides the electrical models of photovoltaic
+// generators used by the floorplanner:
+//
+//   - the paper's empirical model of the Mitsubishi PV-MF165EB3
+//     module (§III-B1), fitted from datasheet curves, giving the
+//     maximum-power-point voltage, current and power as closed-form
+//     functions of irradiance G and actual module temperature T_act;
+//   - a generic datasheet-coefficient model for other modules;
+//   - a physical single-diode cell/module model with a Newton I-V
+//     solver, MPP search and bypass-diode combination, which
+//     regenerates the characteristic curves of the paper's Fig. 2(a)
+//     and Fig. 3 and validates the empirical fit.
+//
+// Coefficient restoration. The paper prints
+//
+//	P(G,T) = 165·(1.12 − 0.048·T_act)·10⁻³·G
+//	V(G,T) = 24·(1.08 − 0.34·T_act)·(0.875 + 0.000125·G)
+//
+// which is typeset with dropped 10⁻³ scale factors: at the datasheet
+// reference point (T_act = 25 °C) the printed temperature terms are
+// negative (1.12 − 0.048·25 = −0.08; 1.08 − 0.34·25 = −7.42), i.e.
+// unusable as written. This package restores the obviously intended
+// 0.0048 /K and 0.0034 /K, which reproduce the datasheet anchors the
+// paper derives the fit from: P = 165 W (=P_max,ref) and V = 24 V
+// (≈0.8·V_oc,ref) at G = 1000 W/m², T_act = 25 °C, with temperature
+// coefficients γ_P ≈ −0.48 %/K and β_V ≈ −0.34 %/K — squarely in the
+// datasheet range of crystalline-silicon modules. ("W/cm²" in the
+// paper is likewise read as W/m².)
+package pvmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// OperatingPoint is a module's electrical state at its maximum power
+// point for given environmental conditions.
+type OperatingPoint struct {
+	// Voltage in volts, Current in amperes, Power in watts; all at
+	// the maximum power point.
+	Voltage, Current, Power float64
+}
+
+// Module is the interface the panel aggregation consumes: any model
+// that can produce an MPP operating point from the local irradiance
+// (W/m²) and actual module temperature (°C).
+type Module interface {
+	// MPP returns the maximum-power operating point under the given
+	// conditions. Implementations must return an all-zero point for
+	// non-positive irradiance.
+	MPP(gWm2, tactC float64) OperatingPoint
+	// Geometry returns the module's mechanical footprint in metres
+	// (width along the module's long side first).
+	Geometry() (widthM, heightM float64)
+	// Name identifies the model for reports.
+	Name() string
+}
+
+// Empirical is the paper's closed-form MPP model. Coefficients follow
+//
+//	P(G,T_act) = PRef · (PT0 − PT1·T_act) · G/1000
+//	V(G,T_act) = VRef · (VT0 − VT1·T_act) · (VG0 + VG1·G)
+//	I(G,T_act) = P / V
+type Empirical struct {
+	ModelName       string
+	WidthM, HeightM float64
+	PRef            float64 // W at reference conditions
+	PT0, PT1        float64 // temperature factor of power
+	VRef            float64 // V at reference conditions
+	VT0, VT1        float64 // temperature factor of voltage
+	VG0, VG1        float64 // irradiance factor of voltage
+	VocRef, IscRef  float64 // datasheet open-circuit / short-circuit anchors
+	AlphaIscPerK    float64 // relative Isc temperature coefficient (+/K)
+}
+
+// PVMF165EB3 returns the paper's module: Mitsubishi PV-MF165EB3,
+// 165 W, 1.6 m × 0.8 m footprint on the placement grid (8×4 cells of
+// 0.2 m), datasheet references V_oc = 30.4 V, I_sc = 7.36 A,
+// P_max = 165 W at G = 1000 W/m², 25 °C.
+func PVMF165EB3() *Empirical {
+	return &Empirical{
+		ModelName: "Mitsubishi PV-MF165EB3",
+		WidthM:    1.6, HeightM: 0.8,
+		PRef: 165, PT0: 1.12, PT1: 0.0048,
+		VRef: 24, VT0: 1.08, VT1: 0.0034,
+		VG0: 0.875, VG1: 0.000125,
+		VocRef: 30.4, IscRef: 7.36,
+		AlphaIscPerK: 0.00057,
+	}
+}
+
+// Validate checks that the coefficient set reproduces sane reference
+// behaviour.
+func (e *Empirical) Validate() error {
+	if e.PRef <= 0 || e.VRef <= 0 {
+		return fmt.Errorf("pvmodel: non-positive reference power/voltage")
+	}
+	if e.WidthM <= 0 || e.HeightM <= 0 {
+		return fmt.Errorf("pvmodel: non-positive module geometry")
+	}
+	op := e.MPP(1000, 25)
+	if math.Abs(op.Power-e.PRef)/e.PRef > 0.05 {
+		return fmt.Errorf("pvmodel: STC power %.1f W deviates >5%% from reference %.1f W", op.Power, e.PRef)
+	}
+	if math.Abs(op.Voltage-e.VRef)/e.VRef > 0.05 {
+		return fmt.Errorf("pvmodel: STC voltage %.2f V deviates >5%% from reference %.2f V", op.Voltage, e.VRef)
+	}
+	return nil
+}
+
+// Name implements Module.
+func (e *Empirical) Name() string { return e.ModelName }
+
+// Geometry implements Module.
+func (e *Empirical) Geometry() (float64, float64) { return e.WidthM, e.HeightM }
+
+// MPP implements Module using the paper's closed-form equations.
+func (e *Empirical) MPP(g, tact float64) OperatingPoint {
+	if g <= 0 {
+		return OperatingPoint{}
+	}
+	p := e.PRef * (e.PT0 - e.PT1*tact) * g / 1000
+	v := e.VRef * (e.VT0 - e.VT1*tact) * (e.VG0 + e.VG1*g)
+	if p < 0 {
+		p = 0
+	}
+	if v <= 0 {
+		return OperatingPoint{}
+	}
+	return OperatingPoint{Voltage: v, Current: p / v, Power: p}
+}
+
+// Voc estimates the open-circuit voltage at the given conditions,
+// scaling the datasheet anchor by the same factors as the MPP voltage
+// (the paper's step 4 notes V_mpp ≈ 0.8·V_oc, roughly independent of
+// G).
+func (e *Empirical) Voc(g, tact float64) float64 {
+	if g <= 0 {
+		return 0
+	}
+	return e.VocRef * (e.VT0 - e.VT1*tact) * (e.VG0 + e.VG1*g)
+}
+
+// Isc estimates the short-circuit current: proportional to G with a
+// slight positive temperature coefficient (paper §II-B).
+func (e *Empirical) Isc(g, tact float64) float64 {
+	if g <= 0 {
+		return 0
+	}
+	return e.IscRef * g / 1000 * (1 + e.AlphaIscPerK*(tact-25))
+}

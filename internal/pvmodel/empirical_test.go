@@ -1,0 +1,140 @@
+package pvmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPVMF165EB3STCAnchors(t *testing.T) {
+	// The restored coefficients must reproduce the datasheet anchors
+	// the paper derives the fit from (§III-B1).
+	m := PVMF165EB3()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	op := m.MPP(1000, 25)
+	if math.Abs(op.Power-165) > 165*0.02 {
+		t.Errorf("STC power = %.2f W, want ≈ 165", op.Power)
+	}
+	if math.Abs(op.Voltage-24) > 24*0.02 {
+		t.Errorf("STC voltage = %.3f V, want ≈ 24", op.Voltage)
+	}
+	wantI := op.Power / op.Voltage
+	if math.Abs(op.Current-wantI) > 1e-12 {
+		t.Errorf("current inconsistent with P/V")
+	}
+	if voc := m.Voc(1000, 25); math.Abs(voc-30.4) > 30.4*0.02 {
+		t.Errorf("STC Voc = %.2f, want ≈ 30.4", voc)
+	}
+	if isc := m.Isc(1000, 25); math.Abs(isc-7.36) > 1e-9 {
+		t.Errorf("STC Isc = %.3f, want 7.36", isc)
+	}
+}
+
+func TestEmpiricalPowerLinearInG(t *testing.T) {
+	// Fig. 3 (rightmost): Pmax scales linearly with G — the paper
+	// quotes a 5x power change over [200,1000] W/m².
+	m := PVMF165EB3()
+	p200 := m.MPP(200, 25).Power
+	p1000 := m.MPP(1000, 25).Power
+	if math.Abs(p1000/p200-5) > 1e-9 {
+		t.Errorf("P(1000)/P(200) = %.3f, want exactly 5 (linear model)", p1000/p200)
+	}
+}
+
+func TestEmpiricalTemperatureDerating(t *testing.T) {
+	// Power and voltage fall with temperature; the paper quotes
+	// ±20% over typical T ranges. γ_P = −0.48%/K → 50 K ≈ −24%.
+	m := PVMF165EB3()
+	cold := m.MPP(800, 10)
+	hot := m.MPP(800, 60)
+	if !(hot.Power < cold.Power) {
+		t.Error("power must fall with temperature")
+	}
+	if !(hot.Voltage < cold.Voltage) {
+		t.Error("voltage must fall with temperature")
+	}
+	drop := 1 - hot.Power/cold.Power
+	if drop < 0.15 || drop > 0.35 {
+		t.Errorf("50 K power derating = %.1f%%, want ≈ 24%%", drop*100)
+	}
+	// Isc rises slightly with temperature (Fig. 2(a) solid line).
+	if !(m.Isc(800, 60) > m.Isc(800, 10)) {
+		t.Error("Isc must rise slightly with temperature")
+	}
+}
+
+func TestEmpiricalDarkModule(t *testing.T) {
+	m := PVMF165EB3()
+	for _, g := range []float64{0, -10} {
+		op := m.MPP(g, 25)
+		if op != (OperatingPoint{}) {
+			t.Errorf("dark module op = %+v, want zero", op)
+		}
+		if m.Voc(g, 25) != 0 || m.Isc(g, 25) != 0 {
+			t.Error("dark module Voc/Isc must be zero")
+		}
+	}
+}
+
+func TestEmpiricalExtremeHeatClamps(t *testing.T) {
+	// Far beyond the physical range the linear temperature factor
+	// would go negative; the model must clamp rather than emit
+	// negative power.
+	m := PVMF165EB3()
+	op := m.MPP(1000, 300)
+	if op.Power < 0 || op.Current < 0 {
+		t.Errorf("extreme heat produced negative output: %+v", op)
+	}
+}
+
+func TestEmpiricalMonotonicityProperty(t *testing.T) {
+	m := PVMF165EB3()
+	f := func(rawG1, rawG2 uint16, rawT uint8) bool {
+		g1 := 50 + float64(rawG1)/65535*1150
+		g2 := 50 + float64(rawG2)/65535*1150
+		tact := float64(rawT)/255*70 - 5 // [-5, 65] °C
+		if g1 > g2 {
+			g1, g2 = g2, g1
+		}
+		p1 := m.MPP(g1, tact).Power
+		p2 := m.MPP(g2, tact).Power
+		return p1 <= p2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmpiricalGeometry(t *testing.T) {
+	m := PVMF165EB3()
+	w, h := m.Geometry()
+	if w != 1.6 || h != 0.8 {
+		t.Errorf("geometry %gx%g, want 1.6x0.8 (8x4 cells at 0.2 m)", w, h)
+	}
+	if m.Name() == "" {
+		t.Error("empty model name")
+	}
+}
+
+func TestValidateCatchesBrokenCoefficients(t *testing.T) {
+	// The paper's *literal* printed coefficients (0.048/K) fail the
+	// STC anchor check — this is the regression test for the
+	// coefficient-restoration decision documented in DESIGN.md.
+	broken := PVMF165EB3()
+	broken.PT1 = 0.048
+	if err := broken.Validate(); err == nil {
+		t.Error("literal paper coefficient 0.048/K must fail validation")
+	}
+	zero := PVMF165EB3()
+	zero.PRef = 0
+	if err := zero.Validate(); err == nil {
+		t.Error("zero reference power must fail validation")
+	}
+	flat := PVMF165EB3()
+	flat.WidthM = 0
+	if err := flat.Validate(); err == nil {
+		t.Error("zero width must fail validation")
+	}
+}

@@ -1,0 +1,41 @@
+package pvmodel
+
+import "fmt"
+
+// NewEmpirical builds a paper-style closed-form module model from
+// datasheet values: nameplate power, MPP voltage, open-circuit
+// voltage and short-circuit current at STC, plus the relative
+// temperature coefficients γ_P (power, negative, 1/K) and β_V
+// (voltage, negative, 1/K). The irradiance dependence keeps the
+// paper's shape: power linear in G, voltage rising mildly with G
+// (0.875 + 0.000125·G, normalised to 1 at 1000 W/m²).
+func NewEmpirical(name string, widthM, heightM, pmaxRef, vmppRef, vocRef, iscRef, gammaP, betaV float64) (*Empirical, error) {
+	e := &Empirical{
+		ModelName: name,
+		WidthM:    widthM, HeightM: heightM,
+		PRef: pmaxRef, PT0: 1 - 25*gammaP, PT1: -gammaP,
+		VRef: vmppRef, VT0: 1 - 25*betaV, VT1: -betaV,
+		VG0: 0.875, VG1: 0.000125,
+		VocRef: vocRef, IscRef: iscRef,
+		AlphaIscPerK: 0.0005,
+	}
+	if gammaP >= 0 || betaV >= 0 {
+		return nil, fmt.Errorf("pvmodel: temperature coefficients must be negative (γ_P=%g, β_V=%g)", gammaP, betaV)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Generic320 returns a modern 320 W 60-cell module with a 1.6 m ×
+// 1.0 m footprint (8×5 cells on the paper's 0.2 m grid) — used by the
+// module-technology sensitivity studies.
+func Generic320() *Empirical {
+	e, err := NewEmpirical("Generic 320W 60-cell",
+		1.6, 1.0, 320, 33.2, 40.1, 10.2, -0.0038, -0.0029)
+	if err != nil {
+		panic("pvmodel: Generic320 preset must validate: " + err.Error())
+	}
+	return e
+}

@@ -1,0 +1,56 @@
+package pvmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewEmpiricalAnchors(t *testing.T) {
+	m, err := NewEmpirical("test", 1.6, 1.0, 320, 33.2, 40.1, 10.2, -0.0038, -0.0029)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := m.MPP(1000, 25)
+	if math.Abs(op.Power-320) > 320*0.01 {
+		t.Errorf("STC power = %.1f, want 320", op.Power)
+	}
+	if math.Abs(op.Voltage-33.2) > 33.2*0.01 {
+		t.Errorf("STC voltage = %.2f, want 33.2", op.Voltage)
+	}
+	// Temperature coefficient: -0.38%/K over 10 K → -3.8%.
+	hot := m.MPP(1000, 35)
+	drop := 1 - hot.Power/op.Power
+	if math.Abs(drop-0.038) > 0.002 {
+		t.Errorf("10 K derating = %.3f, want ≈ 0.038", drop)
+	}
+}
+
+func TestNewEmpiricalRejectsBadCoefficients(t *testing.T) {
+	if _, err := NewEmpirical("bad", 1.6, 1.0, 320, 33.2, 40.1, 10.2, 0.0038, -0.0029); err == nil {
+		t.Error("positive γ_P must be rejected")
+	}
+	if _, err := NewEmpirical("bad", 1.6, 1.0, 320, 33.2, 40.1, 10.2, -0.0038, 0.0029); err == nil {
+		t.Error("positive β_V must be rejected")
+	}
+	if _, err := NewEmpirical("bad", 0, 1.0, 320, 33.2, 40.1, 10.2, -0.0038, -0.0029); err == nil {
+		t.Error("zero width must be rejected")
+	}
+}
+
+func TestGeneric320Preset(t *testing.T) {
+	m := Generic320()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w, h := m.Geometry()
+	if w != 1.6 || h != 1.0 {
+		t.Errorf("geometry %gx%g, want 1.6x1.0 (8x5 cells)", w, h)
+	}
+	// A 320 W module beats the 165 W PV-MF165EB3 everywhere.
+	old := PVMF165EB3()
+	for _, g := range []float64{300, 700, 1000} {
+		if !(m.MPP(g, 40).Power > old.MPP(g, 40).Power) {
+			t.Errorf("G=%g: modern module should out-produce the 2005-era one", g)
+		}
+	}
+}

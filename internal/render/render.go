@@ -1,0 +1,229 @@
+// Package render materialises the paper's figures from simulation
+// data: grayscale PGM images and terminal ASCII art of the per-cell
+// irradiance maps (Fig. 6(b)) and of placements on the roof masks
+// (Figs. 1 and 7), plus CSV export for external plotting.
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+)
+
+// Field abstracts a scalar map over the roof grid; NaN cells render
+// as blanks/background.
+type Field struct {
+	W, H int
+	At   func(c geom.Cell) float64
+}
+
+// asciiRamp orders glyphs from dark to bright.
+const asciiRamp = " .:-=+*#%@"
+
+// HeatmapASCII renders the field as ASCII art, downsampling to at
+// most maxCols columns (rows are halved again to compensate for
+// character aspect ratio). Invalid (NaN) cells render as spaces.
+func HeatmapASCII(f Field, maxCols int) string {
+	if maxCols <= 0 {
+		maxCols = 100
+	}
+	step := 1
+	for f.W/step > maxCols {
+		step++
+	}
+	stepY := step * 2
+	lo, hi := fieldRange(f)
+	var sb strings.Builder
+	for y := 0; y < f.H; y += stepY {
+		for x := 0; x < f.W; x += step {
+			v, n := blockMean(f, x, y, step, stepY)
+			if n == 0 {
+				sb.WriteByte(' ')
+				continue
+			}
+			sb.WriteByte(glyph(v, lo, hi))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func glyph(v, lo, hi float64) byte {
+	if hi <= lo {
+		return asciiRamp[len(asciiRamp)-1]
+	}
+	idx := int((v - lo) / (hi - lo) * float64(len(asciiRamp)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(asciiRamp) {
+		idx = len(asciiRamp) - 1
+	}
+	return asciiRamp[idx]
+}
+
+func blockMean(f Field, x0, y0, sw, sh int) (float64, int) {
+	var sum float64
+	n := 0
+	for y := y0; y < y0+sh && y < f.H; y++ {
+		for x := x0; x < x0+sw && x < f.W; x++ {
+			v := f.At(geom.Cell{X: x, Y: y})
+			if math.IsNaN(v) {
+				continue
+			}
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+func fieldRange(f Field) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			v := f.At(geom.Cell{X: x, Y: y})
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// HeatmapPGM writes the field as a binary-free ASCII PGM (P2) image,
+// full resolution, 8-bit depth; NaN cells are black.
+func HeatmapPGM(w io.Writer, f Field) error {
+	lo, hi := fieldRange(f)
+	if _, err := fmt.Fprintf(w, "P2\n%d %d\n255\n", f.W, f.H); err != nil {
+		return fmt.Errorf("render: writing pgm header: %w", err)
+	}
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			v := f.At(geom.Cell{X: x, Y: y})
+			pixel := 0
+			if !math.IsNaN(v) && hi > lo {
+				pixel = int((v - lo) / (hi - lo) * 255)
+				if pixel < 0 {
+					pixel = 0
+				}
+				if pixel > 255 {
+					pixel = 255
+				}
+			} else if !math.IsNaN(v) {
+				pixel = 255
+			}
+			sep := " "
+			if x == f.W-1 {
+				sep = "\n"
+			}
+			if _, err := fmt.Fprintf(w, "%d%s", pixel, sep); err != nil {
+				return fmt.Errorf("render: writing pgm row %d: %w", y, err)
+			}
+		}
+	}
+	return nil
+}
+
+// FieldCSV writes "x,y,value" rows for every valid cell.
+func FieldCSV(w io.Writer, f Field) error {
+	if _, err := fmt.Fprintln(w, "x,y,value"); err != nil {
+		return fmt.Errorf("render: writing csv header: %w", err)
+	}
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			v := f.At(geom.Cell{X: x, Y: y})
+			if math.IsNaN(v) {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%d,%d,%g\n", x, y, v); err != nil {
+				return fmt.Errorf("render: writing csv: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// PlacementASCII draws the roof mask with a placement overlaid, in
+// the style of the paper's Fig. 7: obstacles '#', free cells '.',
+// modules lettered by their series string ('A' for string 0, ...).
+// The output is downsampled to at most maxCols columns; a block
+// renders as a module letter if any module cell falls inside it.
+func PlacementASCII(mask *geom.Mask, pl *floorplan.Placement, maxCols int) string {
+	if maxCols <= 0 {
+		maxCols = 120
+	}
+	w, h := mask.W(), mask.H()
+	step := 1
+	for w/step > maxCols {
+		step++
+	}
+	stepY := step * 2
+	if stepY < 1 {
+		stepY = 1
+	}
+
+	// Paint a full-resolution canvas first.
+	canvas := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if mask.Get(geom.Cell{X: x, Y: y}) {
+				canvas[y*w+x] = '.'
+			} else {
+				canvas[y*w+x] = '#'
+			}
+		}
+	}
+	if pl != nil {
+		for k, r := range pl.Rects {
+			letter := byte('A' + pl.Topology.StringOf(k)%26)
+			clipped := r.Intersect(geom.Rect{X0: 0, Y0: 0, X1: w, Y1: h})
+			for y := clipped.Y0; y < clipped.Y1; y++ {
+				for x := clipped.X0; x < clipped.X1; x++ {
+					canvas[y*w+x] = letter
+				}
+			}
+		}
+	}
+
+	// Downsample: module letters dominate, then obstacles, then free.
+	var sb strings.Builder
+	for y := 0; y < h; y += stepY {
+		for x := 0; x < w; x += step {
+			sb.WriteByte(downsampleBlock(canvas, w, h, x, y, step, stepY))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func downsampleBlock(canvas []byte, w, h, x0, y0, sw, sh int) byte {
+	best := byte(' ')
+	for y := y0; y < y0+sh && y < h; y++ {
+		for x := x0; x < x0+sw && x < w; x++ {
+			ch := canvas[y*w+x]
+			switch {
+			case ch >= 'A' && ch <= 'Z':
+				return ch // module letters win immediately
+			case ch == '#':
+				best = '#'
+			case ch == '.' && best == ' ':
+				best = '.'
+			}
+		}
+	}
+	return best
+}

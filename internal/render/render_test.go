@@ -1,0 +1,147 @@
+package render
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/panel"
+)
+
+func gradientField(w, h int) Field {
+	return Field{W: w, H: h, At: func(c geom.Cell) float64 {
+		if c.X == 0 && c.Y == 0 {
+			return math.NaN()
+		}
+		return float64(c.X)
+	}}
+}
+
+func TestHeatmapASCIIShape(t *testing.T) {
+	art := HeatmapASCII(gradientField(40, 8), 40)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 4 { // rows halved for aspect ratio
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 40 {
+			t.Errorf("line %d width %d, want 40", i, len(l))
+		}
+	}
+	// Gradient: leftmost glyph darker than rightmost.
+	first := strings.IndexByte(asciiRamp, lines[1][1])
+	last := strings.IndexByte(asciiRamp, lines[1][39])
+	if !(first < last) {
+		t.Errorf("gradient not rendered: %q vs %q", lines[1][1], lines[1][39])
+	}
+}
+
+func TestHeatmapASCIIDownsamples(t *testing.T) {
+	art := HeatmapASCII(gradientField(300, 20), 100)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines[0]) > 100 {
+		t.Errorf("line width %d exceeds maxCols", len(lines[0]))
+	}
+}
+
+func TestHeatmapASCIIAllNaN(t *testing.T) {
+	f := Field{W: 4, H: 4, At: func(geom.Cell) float64 { return math.NaN() }}
+	art := HeatmapASCII(f, 10)
+	if strings.TrimSpace(art) != "" {
+		t.Errorf("all-NaN field should render blank, got %q", art)
+	}
+}
+
+func TestHeatmapPGM(t *testing.T) {
+	var buf bytes.Buffer
+	if err := HeatmapPGM(&buf, gradientField(10, 3)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "P2\n10 3\n255\n") {
+		t.Errorf("bad PGM header: %q", out[:20])
+	}
+	// 30 pixels total.
+	fields := strings.Fields(out)
+	if len(fields) != 4+30 {
+		t.Errorf("PGM has %d tokens, want 34", len(fields))
+	}
+	// NaN corner pixel is 0; brightest column maps to 255.
+	if fields[4] != "0" {
+		t.Errorf("NaN pixel = %s, want 0", fields[4])
+	}
+	if fields[4+9] != "255" {
+		t.Errorf("brightest pixel = %s, want 255", fields[4+9])
+	}
+}
+
+func TestFieldCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FieldCSV(&buf, gradientField(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// Header + 5 valid cells (one NaN skipped).
+	if len(lines) != 6 {
+		t.Fatalf("csv has %d lines, want 6: %v", len(lines), lines)
+	}
+	if lines[0] != "x,y,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,0,1" {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestPlacementASCII(t *testing.T) {
+	mask := geom.NewMask(32, 12)
+	mask.Fill(true)
+	mask.SetRect(geom.Rect{X0: 20, Y0: 0, X1: 24, Y1: 12}, false)
+	shape := floorplan.ModuleShape{W: 8, H: 4}
+	pl := &floorplan.Placement{
+		Topology: panel.Topology{SeriesPerString: 1, Strings: 2},
+		Shape:    shape,
+		Rects: []geom.Rect{
+			shape.Rect(geom.Cell{X: 0, Y: 0}),
+			shape.Rect(geom.Cell{X: 0, Y: 8}),
+		},
+	}
+	art := PlacementASCII(mask, pl, 64)
+	if !strings.Contains(art, "A") || !strings.Contains(art, "B") {
+		t.Errorf("missing string letters:\n%s", art)
+	}
+	if !strings.Contains(art, "#") {
+		t.Errorf("missing obstacle glyphs:\n%s", art)
+	}
+	if !strings.Contains(art, ".") {
+		t.Errorf("missing free-cell glyphs:\n%s", art)
+	}
+	// Nil placement: mask only.
+	maskOnly := PlacementASCII(mask, nil, 64)
+	if strings.ContainsAny(maskOnly, "AB") {
+		t.Error("nil placement should draw no modules")
+	}
+}
+
+func TestPlacementASCIIModuleDominatesDownsampling(t *testing.T) {
+	// Heavy downsampling must keep module letters visible.
+	mask := geom.NewMask(300, 50)
+	mask.Fill(true)
+	shape := floorplan.ModuleShape{W: 8, H: 4}
+	pl := &floorplan.Placement{
+		Topology: panel.Topology{SeriesPerString: 1, Strings: 1},
+		Shape:    shape,
+		Rects:    []geom.Rect{shape.Rect(geom.Cell{X: 150, Y: 20})},
+	}
+	art := PlacementASCII(mask, pl, 60)
+	if !strings.Contains(art, "A") {
+		t.Error("module lost in downsampling")
+	}
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines[0]) > 60 {
+		t.Errorf("width %d exceeds maxCols", len(lines[0]))
+	}
+}

@@ -1,0 +1,115 @@
+// Package report formats the experiment outputs as fixed-width text
+// tables mirroring the paper's Table I, plus generic tables for the
+// ablation studies.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TableIRow is one roof/N configuration of the paper's Table I.
+type TableIRow struct {
+	Roof           string
+	W, L           int
+	Ng             int
+	N              int
+	TraditionalMWh float64
+	ProposedMWh    float64
+	WiringExtraM   float64
+}
+
+// ImprovementPct returns the percentage gain of the proposed
+// placement over the traditional one.
+func (r TableIRow) ImprovementPct() float64 {
+	if r.TraditionalMWh == 0 {
+		return 0
+	}
+	return (r.ProposedMWh - r.TraditionalMWh) / r.TraditionalMWh * 100
+}
+
+// FormatTableI renders rows in the layout of the paper's Table I.
+func FormatTableI(rows []TableIRow) string {
+	var sb strings.Builder
+	sb.WriteString("Roof    WxL      Ng      N   Traditional  Proposed        %   Wiring\n")
+	sb.WriteString("                            MWh          MWh                  m\n")
+	sb.WriteString(strings.Repeat("-", 70) + "\n")
+	for _, r := range rows {
+		dims := ""
+		if r.W > 0 {
+			dims = fmt.Sprintf("%dx%d", r.W, r.L)
+		}
+		ng := ""
+		if r.Ng > 0 {
+			ng = fmt.Sprintf("%d", r.Ng)
+		}
+		sb.WriteString(fmt.Sprintf("%-7s %-8s %-7s %-3d %-12.3f %-12.3f %+6.2f %8.1f\n",
+			r.Roof, dims, ng, r.N, r.TraditionalMWh, r.ProposedMWh,
+			r.ImprovementPct(), r.WiringExtraM))
+	}
+	return sb.String()
+}
+
+// Table is a minimal fixed-width table builder for ablation reports.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped,
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, args ...any) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+// String renders the table with per-column widths.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,56 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableIRowImprovement(t *testing.T) {
+	r := TableIRow{TraditionalMWh: 2.957, ProposedMWh: 3.642}
+	if got := r.ImprovementPct(); math.Abs(got-23.16) > 0.05 {
+		t.Errorf("improvement = %.2f%%, want ≈ 23.16 (paper Roof 3 N=16)", got)
+	}
+	if (TableIRow{}).ImprovementPct() != 0 {
+		t.Error("zero traditional must not divide by zero")
+	}
+}
+
+func TestFormatTableI(t *testing.T) {
+	rows := []TableIRow{
+		{Roof: "Roof 1", W: 287, L: 51, Ng: 9416, N: 16, TraditionalMWh: 3.430, ProposedMWh: 4.094, WiringExtraM: 12},
+		{Roof: "", N: 32, TraditionalMWh: 6.729, ProposedMWh: 7.499, WiringExtraM: 18.5},
+	}
+	out := FormatTableI(rows)
+	for _, want := range []string{"Roof 1", "287x51", "9416", "3.430", "4.094", "+19.36", "12.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // 2 header lines + separator + 2 rows
+		t.Errorf("table has %d lines, want 5", len(lines))
+	}
+}
+
+func TestGenericTable(t *testing.T) {
+	tb := NewTable("metric", "value", "unit")
+	tb.AddRow("energy", "3.43", "MWh")
+	tb.AddRowf("gain|%0.1f|%%", 19.4)
+	tb.AddRow("too", "many", "cells", "dropped")
+	tb.AddRow("short")
+	out := tb.String()
+	for _, want := range []string{"metric", "energy", "19.4", "%", "short"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "dropped") {
+		t.Error("extra cells must be dropped")
+	}
+	// Alignment: all data rows at least as wide as the header row.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+}

@@ -1,0 +1,185 @@
+package clearsky
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/solar/sunpos"
+)
+
+var (
+	cet   = time.FixedZone("CET", 3600)
+	turin = sunpos.Site{LatDeg: 45.07, LonDeg: 7.69, AltitudeM: 240}
+)
+
+func mustNew(t *testing.T, tl [12]float64) *ESRA {
+	t.Helper()
+	e, err := New(turin, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewRejectsBadTurbidity(t *testing.T) {
+	bad := UniformTL(3)
+	bad[5] = 0.5
+	if _, err := New(turin, bad); err == nil {
+		t.Error("turbidity below 1 must be rejected")
+	}
+	bad[5] = 12
+	if _, err := New(turin, bad); err == nil {
+		t.Error("turbidity above 10 must be rejected")
+	}
+	if _, err := New(turin, TurinMonthlyTL); err != nil {
+		t.Errorf("reference climatology rejected: %v", err)
+	}
+}
+
+func TestNightIsDark(t *testing.T) {
+	e := mustNew(t, TurinMonthlyTL)
+	pos := sunpos.At(time.Date(2017, 6, 21, 1, 0, 0, 0, cet), turin)
+	ir := e.At(pos, 6)
+	if ir.BeamNormal != 0 || ir.DiffuseHorizontal != 0 || ir.GlobalHorizontal() != 0 {
+		t.Errorf("night irradiance non-zero: %+v", ir)
+	}
+}
+
+func TestSummerNoonMagnitudes(t *testing.T) {
+	// Clear-sky summer noon in the Po valley: GHI ≈ 850-1000 W/m²,
+	// DNI ≈ 750-950, DHI ≈ 80-200. These are the magnitudes PVGIS
+	// reports for Turin.
+	e := mustNew(t, TurinMonthlyTL)
+	pos := sunpos.At(time.Date(2017, 6, 21, 13, 30, 0, 0, cet), turin)
+	ir := e.At(pos, 6)
+	if ir.BeamNormal < 750 || ir.BeamNormal > 950 {
+		t.Errorf("summer noon DNI = %.0f, want in [750,950]", ir.BeamNormal)
+	}
+	if ghi := ir.GlobalHorizontal(); ghi < 850 || ghi > 1000 {
+		t.Errorf("summer noon GHI = %.0f, want in [850,1000]", ghi)
+	}
+	if ir.DiffuseHorizontal < 80 || ir.DiffuseHorizontal > 200 {
+		t.Errorf("summer noon DHI = %.0f, want in [80,200]", ir.DiffuseHorizontal)
+	}
+}
+
+func TestWinterNoonMagnitudes(t *testing.T) {
+	e := mustNew(t, TurinMonthlyTL)
+	pos := sunpos.At(time.Date(2017, 12, 21, 12, 30, 0, 0, cet), turin)
+	ir := e.At(pos, 12)
+	if ghi := ir.GlobalHorizontal(); ghi < 250 || ghi > 500 {
+		t.Errorf("winter noon GHI = %.0f, want in [250,500]", ghi)
+	}
+	// Winter beam exists but is much weaker than summer on the
+	// horizontal plane.
+	if ir.BeamHorizontal <= 0 {
+		t.Error("winter noon should still have direct sun")
+	}
+}
+
+func TestTurbidityReducesBeamIncreasesDiffuseShare(t *testing.T) {
+	clean := mustNew(t, UniformTL(2))
+	hazy := mustNew(t, UniformTL(5))
+	pos := sunpos.At(time.Date(2017, 6, 21, 13, 30, 0, 0, cet), turin)
+	irClean := clean.At(pos, 6)
+	irHazy := hazy.At(pos, 6)
+	if irHazy.BeamNormal >= irClean.BeamNormal {
+		t.Error("higher turbidity must attenuate the beam")
+	}
+	if irHazy.DiffuseHorizontal <= irClean.DiffuseHorizontal {
+		t.Error("higher turbidity must increase diffuse irradiance")
+	}
+	shareClean := irClean.DiffuseHorizontal / irClean.GlobalHorizontal()
+	shareHazy := irHazy.DiffuseHorizontal / irHazy.GlobalHorizontal()
+	if shareHazy <= shareClean {
+		t.Error("diffuse share must grow with turbidity")
+	}
+}
+
+func TestGHIPeaksNearNoon(t *testing.T) {
+	e := mustNew(t, TurinMonthlyTL)
+	day := time.Date(2017, 6, 21, 0, 0, 0, 0, cet)
+	bestHour, bestGHI := 0, 0.0
+	for m := 0; m < 24*60; m += 15 {
+		ts := day.Add(time.Duration(m) * time.Minute)
+		ir := e.At(sunpos.At(ts, turin), 6)
+		if g := ir.GlobalHorizontal(); g > bestGHI {
+			bestGHI, bestHour = g, m/60
+		}
+	}
+	if bestHour < 12 || bestHour > 14 {
+		t.Errorf("GHI peak at hour %d, want near 13 (CET)", bestHour)
+	}
+}
+
+func TestBeamNeverExceedsExtraterrestrial(t *testing.T) {
+	e := mustNew(t, UniformTL(2))
+	for h := 0; h < 24; h++ {
+		pos := sunpos.At(time.Date(2017, 3, 20, h, 0, 0, 0, cet), turin)
+		ir := e.At(pos, 3)
+		if ir.BeamNormal > pos.ExtraterrestrialNormal() {
+			t.Fatalf("hour %d: DNI %.0f exceeds extraterrestrial %.0f",
+				h, ir.BeamNormal, pos.ExtraterrestrialNormal())
+		}
+		if ir.BeamHorizontal > ir.BeamNormal {
+			t.Fatalf("hour %d: horizontal beam exceeds normal beam", h)
+		}
+		if ir.DiffuseHorizontal < 0 || ir.BeamNormal < 0 {
+			t.Fatalf("hour %d: negative component", h)
+		}
+	}
+}
+
+func TestRayleighThickness(t *testing.T) {
+	// Known anchor: δR(1) ≈ 1/8.256 ≈ 0.1211 (sea-level zenith sun).
+	if d := RayleighThickness(1); math.Abs(d-0.1211) > 0.002 {
+		t.Errorf("δR(1) = %.4f, want ≈ 0.1211", d)
+	}
+	// Monotone decreasing in m over the physical range.
+	prev := math.Inf(1)
+	for m := 0.5; m < 40; m += 0.5 {
+		d := RayleighThickness(m)
+		if d <= 0 {
+			t.Fatalf("δR(%.1f) = %g, must be positive", m, d)
+		}
+		if d > prev {
+			t.Fatalf("δR not decreasing at m=%.1f", m)
+		}
+		prev = d
+	}
+	// Continuity at the m=20 branch switch.
+	lo, hi := RayleighThickness(19.999), RayleighThickness(20.001)
+	if math.Abs(lo-hi)/lo > 0.05 {
+		t.Errorf("δR discontinuous at m=20: %.5f vs %.5f", lo, hi)
+	}
+	if !math.IsInf(RayleighThickness(math.Inf(1)), 1) {
+		t.Error("δR(+Inf) should be +Inf")
+	}
+}
+
+func TestTLAccessor(t *testing.T) {
+	e := mustNew(t, TurinMonthlyTL)
+	if e.TL(1) != TurinMonthlyTL[0] || e.TL(12) != TurinMonthlyTL[11] {
+		t.Error("TL month indexing is off")
+	}
+}
+
+func TestAnnualGHISanity(t *testing.T) {
+	// Integrate clear-sky GHI hourly over a year: Turin should land
+	// around 1500-1900 kWh/m² (clear-sky upper bound; measured real-
+	// sky is ≈ 1300-1400).
+	e := mustNew(t, TurinMonthlyTL)
+	var kwh float64
+	for d := 0; d < 365; d++ {
+		day := time.Date(2017, 1, 1, 0, 0, 0, 0, cet).AddDate(0, 0, d)
+		for h := 0; h < 24; h++ {
+			ts := day.Add(time.Duration(h) * time.Hour)
+			ir := e.At(sunpos.At(ts, turin), int(ts.Month()))
+			kwh += ir.GlobalHorizontal() / 1000
+		}
+	}
+	if kwh < 1400 || kwh > 2000 {
+		t.Errorf("annual clear-sky GHI = %.0f kWh/m², want in [1400,2000]", kwh)
+	}
+}

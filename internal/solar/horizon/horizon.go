@@ -1,0 +1,234 @@
+// Package horizon precomputes per-cell azimuthal horizon maps from a
+// DSM, turning the shadow test the paper needs at every grid point and
+// 15-minute timestep (§IV) into an O(1) lookup. This is the same
+// device GRASS r.horizon/r.sun use: for each cell, store the maximum
+// obstruction elevation per azimuth sector; a cell is beam-shadowed at
+// an instant iff the sun's elevation is below the stored horizon in
+// the sun's azimuth sector.
+package horizon
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dsm"
+	"repro/internal/geom"
+)
+
+// Options tunes horizon-map construction.
+type Options struct {
+	// Sectors is the azimuth discretisation (default 64 ≈ 5.6°
+	// sectors, narrower than the sun's 15-minute azimuth travel).
+	Sectors int
+	// MaxDistanceM bounds the ray march (default 80 m — obstacles
+	// beyond that subtend negligible angles for rooftop features).
+	MaxDistanceM float64
+	// NearStepM is the march step inside NearFieldM (default half a
+	// cell: thin pipes and chimney edges are resolved).
+	NearStepM float64
+	// NearFieldM is the fine-march radius (default 12 m).
+	NearFieldM float64
+	// FarStepM is the march step beyond the near field (default 0.5 m).
+	FarStepM float64
+	// EyeHeightM lifts the observation point above the surface
+	// (default 0.05 m — the module plane sits just above the roof).
+	EyeHeightM float64
+}
+
+func (o Options) withDefaults(cellSize float64) Options {
+	if o.Sectors == 0 {
+		o.Sectors = 64
+	}
+	if o.MaxDistanceM == 0 {
+		o.MaxDistanceM = 80
+	}
+	if o.NearStepM == 0 {
+		o.NearStepM = cellSize / 2
+	}
+	if o.NearFieldM == 0 {
+		o.NearFieldM = 12
+	}
+	if o.FarStepM == 0 {
+		o.FarStepM = 0.5
+	}
+	if o.EyeHeightM == 0 {
+		o.EyeHeightM = 0.05
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Sectors < 4 {
+		return fmt.Errorf("horizon: need at least 4 sectors, got %d", o.Sectors)
+	}
+	if o.MaxDistanceM <= 0 || o.NearStepM <= 0 || o.FarStepM <= 0 {
+		return fmt.Errorf("horizon: non-positive march parameters")
+	}
+	if o.NearFieldM < 0 || o.EyeHeightM < 0 {
+		return fmt.Errorf("horizon: negative near field or eye height")
+	}
+	return nil
+}
+
+// Map stores per-cell horizon tangents for a rectangular region of a
+// DSM. Cells are indexed region-locally in row-major order.
+type Map struct {
+	region  geom.Rect
+	sectors int
+	// tan[cell*sectors+s] is the tangent of the horizon elevation in
+	// sector s. float32 halves memory with no meaningful precision
+	// loss (the sun's disc is half a degree wide).
+	tan []float32
+	svf []float32 // per-cell sky view factor
+}
+
+// Build computes the horizon map for every cell of region (given in
+// raster coordinates) of the DSM.
+func Build(r *dsm.Raster, region geom.Rect, opts Options) (*Map, error) {
+	opts = opts.withDefaults(r.CellSize())
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	clipped := region.Intersect(r.Bounds())
+	if clipped != region {
+		return nil, fmt.Errorf("horizon: region %v exceeds raster bounds %v", region, r.Bounds())
+	}
+	m := &Map{
+		region:  region,
+		sectors: opts.Sectors,
+		tan:     make([]float32, region.Area()*opts.Sectors),
+		svf:     make([]float32, region.Area()),
+	}
+
+	// Precompute sector plan directions (east, south) — raster y
+	// grows southward.
+	dirX := make([]float64, opts.Sectors)
+	dirY := make([]float64, opts.Sectors)
+	for s := 0; s < opts.Sectors; s++ {
+		az := (float64(s) + 0.5) * 2 * math.Pi / float64(opts.Sectors)
+		dirX[s] = math.Sin(az)  // east component
+		dirY[s] = -math.Cos(az) // south = -north
+	}
+
+	idx := 0
+	for y := region.Y0; y < region.Y1; y++ {
+		for x := region.X0; x < region.X1; x++ {
+			cell := geom.Cell{X: x, Y: y}
+			x0, y0 := r.CellCenterMetres(cell)
+			z0 := r.At(cell) + opts.EyeHeightM
+			var svfSum float64
+			for s := 0; s < opts.Sectors; s++ {
+				t := marchSector(r, x0, y0, z0, dirX[s], dirY[s], opts)
+				m.tan[idx*opts.Sectors+s] = float32(t)
+				svfSum += 1 / (1 + t*t) // cos² of the horizon elevation
+			}
+			m.svf[idx] = float32(svfSum / float64(opts.Sectors))
+			idx++
+		}
+	}
+	return m, nil
+}
+
+// marchSector walks outward from (x0,y0,z0) along the plan direction
+// (dx,dy) and returns the maximum obstruction tangent.
+func marchSector(r *dsm.Raster, x0, y0, z0, dx, dy float64, opts Options) float64 {
+	maxTan := 0.0
+	d := opts.NearStepM
+	for d <= opts.MaxDistanceM {
+		z := r.AtMetres(x0+dx*d, y0+dy*d)
+		if t := (z - z0) / d; t > maxTan {
+			maxTan = t
+		}
+		if d < opts.NearFieldM {
+			d += opts.NearStepM
+		} else {
+			d += opts.FarStepM
+		}
+	}
+	return maxTan
+}
+
+// Sectors returns the azimuth discretisation of the map.
+func (m *Map) Sectors() int { return m.sectors }
+
+// Region returns the raster region the map covers.
+func (m *Map) Region() geom.Rect { return m.region }
+
+// cellIndex converts a region-local cell to the dense index.
+func (m *Map) cellIndex(c geom.Cell) int {
+	return c.Y*m.region.W() + c.X
+}
+
+// HorizonTan returns the horizon tangent at the region-local cell for
+// the given azimuth (radians clockwise from north).
+func (m *Map) HorizonTan(c geom.Cell, azimuthRad float64) float64 {
+	s := m.sectorOf(azimuthRad)
+	return float64(m.tan[m.cellIndex(c)*m.sectors+s])
+}
+
+func (m *Map) sectorOf(azimuthRad float64) int {
+	az := math.Mod(azimuthRad, 2*math.Pi)
+	if az < 0 {
+		az += 2 * math.Pi
+	}
+	s := int(az / (2 * math.Pi) * float64(m.sectors))
+	if s >= m.sectors {
+		s = m.sectors - 1
+	}
+	return s
+}
+
+// Shadowed reports whether the beam from a sun at the given azimuth
+// and elevation (radians) is blocked at the region-local cell.
+func (m *Map) Shadowed(c geom.Cell, azimuthRad, elevRad float64) bool {
+	if elevRad <= 0 {
+		return true
+	}
+	return math.Tan(elevRad) < m.HorizonTan(c, azimuthRad)
+}
+
+// ShadowedIdx is the allocation-free hot-path variant used by the
+// field evaluator: cell given by dense region index, sun by
+// precomputed sector and elevation tangent.
+func (m *Map) ShadowedIdx(cellIdx, sector int, tanElev float64) bool {
+	return tanElev < float64(m.tan[cellIdx*m.sectors+sector])
+}
+
+// SectorOf exposes the sector quantisation for hot-path callers that
+// precompute it once per timestep.
+func (m *Map) SectorOf(azimuthRad float64) int { return m.sectorOf(azimuthRad) }
+
+// SVF returns the sky view factor of the region-local cell: the
+// fraction of the isotropic sky dome left visible by the terrain
+// horizon (1 = unobstructed). The plane-of-array model multiplies
+// this into the diffuse component.
+func (m *Map) SVF(c geom.Cell) float64 { return float64(m.svf[m.cellIndex(c)]) }
+
+// SVFIdx is the dense-index variant of SVF.
+func (m *Map) SVFIdx(cellIdx int) float64 { return float64(m.svf[cellIdx]) }
+
+// ShadowMask returns the beam-shadow snapshot of the whole region for
+// a sun at the given azimuth and elevation (radians): set cells are
+// shadowed. This is the instantaneous "evolution of shadows over the
+// roof" view the paper's GIS stage computes at 15-minute intervals
+// (§IV); the field evaluator uses the O(1) per-cell test instead, but
+// the mask form feeds visualisation and debugging.
+func (m *Map) ShadowMask(azimuthRad, elevRad float64) *geom.Mask {
+	w, h := m.region.W(), m.region.H()
+	out := geom.NewMask(w, h)
+	if elevRad <= 0 {
+		out.Fill(true)
+		return out
+	}
+	sector := m.sectorOf(azimuthRad)
+	tanElev := math.Tan(elevRad)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			idx := y*w + x
+			if m.ShadowedIdx(idx, sector, tanElev) {
+				out.Set(geom.Cell{X: x, Y: y}, true)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package horizon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsm"
+	"repro/internal/geom"
+)
+
+// flatRasterWithWall builds a 40x40 flat raster (cell 0.2 m) with a
+// 5 m tall wall along columns x=30..31 (east side).
+func flatRasterWithWall(t *testing.T) *dsm.Raster {
+	t.Helper()
+	r, err := dsm.NewRaster(40, 40, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetRectTo(geom.Rect{X0: 30, Y0: 0, X1: 32, Y1: 40}, 5)
+	return r
+}
+
+func TestBuildValidation(t *testing.T) {
+	r := flatRasterWithWall(t)
+	if _, err := Build(r, geom.Rect{X0: 0, Y0: 0, X1: 50, Y1: 10}, Options{}); err == nil {
+		t.Error("region outside raster must be rejected")
+	}
+	if _, err := Build(r, geom.Rect{X0: 0, Y0: 0, X1: 10, Y1: 10}, Options{Sectors: 2}); err == nil {
+		t.Error("too few sectors must be rejected")
+	}
+	if _, err := Build(r, geom.Rect{X0: 0, Y0: 0, X1: 10, Y1: 10}, Options{FarStepM: -1}); err == nil {
+		t.Error("negative step must be rejected")
+	}
+}
+
+func TestWallHorizonGeometry(t *testing.T) {
+	r := flatRasterWithWall(t)
+	region := geom.Rect{X0: 0, Y0: 0, X1: 30, Y1: 40}
+	m, err := Build(r, region, Options{Sectors: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A cell 4 m west of the wall (x=10 → wall at x=30, distance
+	// ≈ 20 cells ≈ 4 m): expected horizon tangent toward east ≈ 5/4.
+	cell := geom.Cell{X: 10, Y: 20}
+	east := math.Pi / 2
+	tanEast := m.HorizonTan(cell, east)
+	wantTan := 5.0 / 4.0
+	if math.Abs(tanEast-wantTan) > 0.15*wantTan {
+		t.Errorf("horizon tangent toward wall = %.3f, want ≈ %.3f", tanEast, wantTan)
+	}
+	// Toward the west there is nothing: horizon 0.
+	if tanWest := m.HorizonTan(cell, 3*math.Pi/2); tanWest != 0 {
+		t.Errorf("horizon tangent west = %.3f, want 0", tanWest)
+	}
+
+	// Shadow test: sun in the east below the wall angle → shadowed;
+	// above → lit; any sun in the west → lit.
+	low := math.Atan(wantTan) - 0.15
+	high := math.Atan(wantTan) + 0.15
+	if !m.Shadowed(cell, east, low) {
+		t.Error("low eastern sun must be shadowed by the wall")
+	}
+	if m.Shadowed(cell, east, high) {
+		t.Error("high eastern sun must clear the wall")
+	}
+	if m.Shadowed(cell, 3*math.Pi/2, 0.05) {
+		t.Error("western sun must not be shadowed")
+	}
+	if !m.Shadowed(cell, east, -0.01) {
+		t.Error("sun below horizon is always shadowed")
+	}
+}
+
+func TestShadowDistanceFalloff(t *testing.T) {
+	// Cells farther from the wall see a lower horizon.
+	r := flatRasterWithWall(t)
+	region := geom.Rect{X0: 0, Y0: 0, X1: 30, Y1: 40}
+	m, err := Build(r, region, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	east := math.Pi / 2
+	near := m.HorizonTan(geom.Cell{X: 25, Y: 20}, east)
+	far := m.HorizonTan(geom.Cell{X: 2, Y: 20}, east)
+	if !(near > far && far > 0) {
+		t.Errorf("horizon should fall with distance: near=%.3f far=%.3f", near, far)
+	}
+}
+
+func TestSVFBehaviour(t *testing.T) {
+	r := flatRasterWithWall(t)
+	region := geom.Rect{X0: 0, Y0: 0, X1: 30, Y1: 40}
+	m, err := Build(r, region, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SVF near the wall is depressed; far from the wall ≈ 1.
+	nearSVF := m.SVF(geom.Cell{X: 28, Y: 20})
+	farSVF := m.SVF(geom.Cell{X: 1, Y: 20})
+	if !(nearSVF < farSVF) {
+		t.Errorf("SVF should drop near the wall: near=%.3f far=%.3f", nearSVF, farSVF)
+	}
+	if farSVF < 0.9 || farSVF > 1.0 {
+		t.Errorf("open-field SVF = %.3f, want ≈ 1", farSVF)
+	}
+	if nearSVF <= 0 || nearSVF > 1 {
+		t.Errorf("SVF out of (0,1]: %.3f", nearSVF)
+	}
+}
+
+func TestOpenFlatFieldUnshadowed(t *testing.T) {
+	r, err := dsm.NewRaster(30, 30, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(r, geom.Rect{X0: 5, Y0: 5, X1: 25, Y1: 25}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 8; s++ {
+		az := float64(s) * math.Pi / 4
+		if m.Shadowed(geom.Cell{X: 10, Y: 10}, az, 0.01) {
+			t.Errorf("flat field shadowed at azimuth %.2f", az)
+		}
+	}
+	if svf := m.SVF(geom.Cell{X: 10, Y: 10}); svf != 1 {
+		t.Errorf("flat-field SVF = %.4f, want 1", svf)
+	}
+}
+
+func TestTiltedPlaneSelfHorizon(t *testing.T) {
+	// A 26° south-descending plane: looking north (upslope) from any
+	// cell, the surface itself forms a horizon ≈ tan(26°); looking
+	// south (downslope) the horizon is 0.
+	r, err := dsm.NewRaster(60, 60, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tan26 := math.Tan(26 * math.Pi / 180)
+	for y := 0; y < 60; y++ {
+		for x := 0; x < 60; x++ {
+			r.Set(geom.Cell{X: x, Y: y}, 20-tan26*0.2*float64(y))
+		}
+	}
+	m, err := Build(r, geom.Rect{X0: 20, Y0: 20, X1: 40, Y1: 40}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := geom.Cell{X: 10, Y: 15} // region-local
+	north := m.HorizonTan(c, 0)
+	south := m.HorizonTan(c, math.Pi)
+	if math.Abs(north-tan26) > 0.1*tan26 {
+		t.Errorf("upslope self-horizon = %.3f, want ≈ %.3f", north, tan26)
+	}
+	if south != 0 {
+		t.Errorf("downslope horizon = %.3f, want 0", south)
+	}
+}
+
+func TestSectorQuantisation(t *testing.T) {
+	r := flatRasterWithWall(t)
+	m, err := Build(r, geom.Rect{X0: 0, Y0: 0, X1: 10, Y1: 10}, Options{Sectors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sectors() != 8 {
+		t.Fatalf("Sectors = %d", m.Sectors())
+	}
+	// Azimuth wrapping: -π/2 ≡ 3π/2, 2π+x ≡ x.
+	if m.SectorOf(-math.Pi/2) != m.SectorOf(3*math.Pi/2) {
+		t.Error("negative azimuth wrap failed")
+	}
+	if m.SectorOf(2*math.Pi+0.1) != m.SectorOf(0.1) {
+		t.Error("over-2π wrap failed")
+	}
+	// Full circle maps within range.
+	for az := -10.0; az < 10; az += 0.37 {
+		s := m.SectorOf(az)
+		if s < 0 || s >= 8 {
+			t.Fatalf("sector %d out of range for azimuth %.2f", s, az)
+		}
+	}
+}
+
+func TestShadowedIdxAgreesWithShadowed(t *testing.T) {
+	r := flatRasterWithWall(t)
+	region := geom.Rect{X0: 0, Y0: 0, X1: 30, Y1: 40}
+	m, err := Build(r, region, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, az := range []float64{0, math.Pi / 2, math.Pi, 4.7} {
+		for _, elev := range []float64{0.05, 0.5, 1.2} {
+			for _, c := range []geom.Cell{{X: 3, Y: 3}, {X: 25, Y: 20}, {X: 0, Y: 39}} {
+				idx := c.Y*region.W() + c.X
+				a := m.Shadowed(c, az, elev)
+				b := m.ShadowedIdx(idx, m.SectorOf(az), math.Tan(elev))
+				if a != b {
+					t.Fatalf("Shadowed disagreement at %v az=%.2f elev=%.2f: %v vs %v", c, az, elev, a, b)
+				}
+				if m.SVF(c) != m.SVFIdx(idx) {
+					t.Fatalf("SVF disagreement at %v", c)
+				}
+			}
+		}
+	}
+}
+
+func TestThinPipeResolvedInNearField(t *testing.T) {
+	// A 0.4 m wide, 0.6 m tall pipe 2 m away must be seen by the
+	// near-field march (paper Roof 1 is dominated by pipe shading).
+	r, err := dsm.NewRaster(60, 60, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetRectTo(geom.Rect{X0: 40, Y0: 0, X1: 42, Y1: 60}, 0.6)
+	m, err := Build(r, geom.Rect{X0: 0, Y0: 0, X1: 40, Y1: 60}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := geom.Cell{X: 30, Y: 30} // 10 cells = 2 m west of pipe
+	tanEast := m.HorizonTan(cell, math.Pi/2)
+	// Eye at 0.05 m: expected tangent ≈ (0.6-0.05)/2.0 ≈ 0.27.
+	if tanEast < 0.15 || tanEast > 0.35 {
+		t.Errorf("pipe horizon tangent = %.3f, want ≈ 0.27", tanEast)
+	}
+}
+
+func TestShadowMaskSnapshot(t *testing.T) {
+	r := flatRasterWithWall(t)
+	region := geom.Rect{X0: 0, Y0: 0, X1: 30, Y1: 40}
+	m, err := Build(r, region, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-height eastern sun (1.0 rad, tan ≈ 1.56): the cell hugging
+	// the wall (horizon tan ≈ 12) stays shadowed, the far cell
+	// (5 m wall at 5.8 m → tan ≈ 0.85) is lit.
+	mask := m.ShadowMask(math.Pi/2, 1.0)
+	if mask.W() != 30 || mask.H() != 40 {
+		t.Fatalf("mask dims %dx%d", mask.W(), mask.H())
+	}
+	if !mask.Get(geom.Cell{X: 28, Y: 20}) {
+		t.Error("cell hugging the wall should be shadowed")
+	}
+	if mask.Get(geom.Cell{X: 1, Y: 20}) {
+		t.Error("far cell should be lit at tan(1.0 rad) over a 5 m wall 5.8 m away")
+	}
+	// Consistency with the per-cell test.
+	for _, c := range []geom.Cell{{X: 2, Y: 2}, {X: 15, Y: 30}, {X: 29, Y: 0}} {
+		if mask.Get(c) != m.Shadowed(c, math.Pi/2, 1.0) {
+			t.Fatalf("mask disagrees with Shadowed at %v", c)
+		}
+	}
+	// Night: everything shadowed.
+	night := m.ShadowMask(0, -0.1)
+	if night.Count() != 30*40 {
+		t.Error("night mask must be fully set")
+	}
+	// High sun: nothing shadowed.
+	noon := m.ShadowMask(math.Pi, 1.4)
+	if noon.Count() != 0 {
+		t.Errorf("zenith sun mask has %d shadowed cells", noon.Count())
+	}
+}
+
+func TestShadowMonotoneInElevationProperty(t *testing.T) {
+	// If a cell is lit at elevation e, it stays lit at any higher
+	// elevation (same azimuth) — the fundamental horizon invariant.
+	r := flatRasterWithWall(t)
+	m, err := Build(r, geom.Rect{X0: 0, Y0: 0, X1: 30, Y1: 40}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(cx, cy uint8, azRaw, e1Raw, e2Raw uint16) bool {
+		c := geom.Cell{X: int(cx) % 30, Y: int(cy) % 40}
+		az := float64(azRaw) / 65535 * 2 * math.Pi
+		e1 := float64(e1Raw) / 65535 * 1.5
+		e2 := float64(e2Raw) / 65535 * 1.5
+		if e1 > e2 {
+			e1, e2 = e2, e1
+		}
+		// e2 >= e1: shadowed at e2 implies shadowed at e1.
+		if m.Shadowed(c, az, e2) && !m.Shadowed(c, az, e1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

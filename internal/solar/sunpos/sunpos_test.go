@@ -1,0 +1,238 @@
+package sunpos
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+var (
+	cet   = time.FixedZone("CET", 3600)
+	turin = Site{LatDeg: 45.07, LonDeg: 7.69, AltitudeM: 240}
+)
+
+func deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+func TestDeclinationSolsticesAndEquinoxes(t *testing.T) {
+	cases := []struct {
+		day  time.Time
+		want float64 // degrees
+		tol  float64
+	}{
+		{time.Date(2017, 6, 21, 12, 0, 0, 0, time.UTC), 23.44, 0.3},
+		{time.Date(2017, 12, 21, 12, 0, 0, 0, time.UTC), -23.44, 0.3},
+		{time.Date(2017, 3, 20, 12, 0, 0, 0, time.UTC), 0, 1.0},
+		{time.Date(2017, 9, 22, 12, 0, 0, 0, time.UTC), 0, 1.0},
+	}
+	for _, c := range cases {
+		got := deg(Declination(c.day))
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("Declination(%v) = %.2f°, want %.2f±%.1f", c.day, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestDeclinationBounds(t *testing.T) {
+	for d := 0; d < 365; d++ {
+		ts := time.Date(2017, 1, 1, 12, 0, 0, 0, time.UTC).AddDate(0, 0, d)
+		decl := deg(Declination(ts))
+		if decl < -23.6 || decl > 23.6 {
+			t.Fatalf("day %d: declination %.2f° outside physical bounds", d, decl)
+		}
+	}
+}
+
+func TestEquationOfTimeShape(t *testing.T) {
+	// EoT has well-known extremes: ≈ -14 min in mid-February and
+	// ≈ +16 min in early November, and stays within ±17 min.
+	feb := EquationOfTime(time.Date(2017, 2, 11, 12, 0, 0, 0, time.UTC))
+	nov := EquationOfTime(time.Date(2017, 11, 3, 12, 0, 0, 0, time.UTC))
+	if feb > -12 || feb < -17 {
+		t.Errorf("EoT mid-Feb = %.1f min, want ≈ -14", feb)
+	}
+	if nov < 14 || nov > 18 {
+		t.Errorf("EoT early Nov = %.1f min, want ≈ +16", nov)
+	}
+	for d := 0; d < 365; d++ {
+		ts := time.Date(2017, 1, 1, 12, 0, 0, 0, time.UTC).AddDate(0, 0, d)
+		if e := EquationOfTime(ts); math.Abs(e) > 17.5 {
+			t.Fatalf("day %d: |EoT| = %.1f min exceeds physical bound", d, e)
+		}
+	}
+}
+
+func TestEccentricityBounds(t *testing.T) {
+	// E0 peaks ≈ 1.034 near perihelion (early Jan) and bottoms
+	// ≈ 0.967 near aphelion (early Jul).
+	jan := Eccentricity(time.Date(2017, 1, 3, 12, 0, 0, 0, time.UTC))
+	jul := Eccentricity(time.Date(2017, 7, 4, 12, 0, 0, 0, time.UTC))
+	if jan < 1.025 || jan > 1.04 {
+		t.Errorf("E0 perihelion = %.4f", jan)
+	}
+	if jul < 0.96 || jul > 0.975 {
+		t.Errorf("E0 aphelion = %.4f", jul)
+	}
+}
+
+func TestNoonElevationTurin(t *testing.T) {
+	// Solar noon elevation = 90 - lat + decl. For Turin (45.07°N):
+	// summer solstice ≈ 68.4°, winter solstice ≈ 21.5°.
+	cases := []struct {
+		day      time.Time
+		wantElev float64
+		tol      float64
+	}{
+		{time.Date(2017, 6, 21, 13, 0, 0, 0, cet), 68.4, 1.0}, // CET noon ≈ solar 12:30
+		{time.Date(2017, 12, 21, 12, 30, 0, 0, cet), 21.5, 1.0},
+	}
+	for _, c := range cases {
+		// Search the true noon peak around the nominal instant to be
+		// robust to the equation of time.
+		best := -90.0
+		for m := -90; m <= 90; m += 5 {
+			p := At(c.day.Add(time.Duration(m)*time.Minute), turin)
+			if e := deg(p.ElevRad); e > best {
+				best = e
+			}
+		}
+		if math.Abs(best-c.wantElev) > c.tol {
+			t.Errorf("%v: peak elevation %.2f°, want %.1f±%.1f", c.day, best, c.wantElev, c.tol)
+		}
+	}
+}
+
+func TestSunDueSouthAtSolarNoon(t *testing.T) {
+	// At the hour-angle zero crossing the azimuth must be 180°.
+	day := time.Date(2017, 6, 21, 0, 0, 0, 0, cet)
+	prev := At(day, turin)
+	for m := 1; m < 24*60; m++ {
+		cur := At(day.Add(time.Duration(m)*time.Minute), turin)
+		if prev.HourAngleRad < 0 && cur.HourAngleRad >= 0 {
+			if az := deg(cur.AzimuthRad); math.Abs(az-180) > 1.5 {
+				t.Errorf("azimuth at solar noon = %.2f°, want 180", az)
+			}
+			return
+		}
+		prev = cur
+	}
+	t.Fatal("no hour-angle zero crossing found")
+}
+
+func TestAzimuthProgressionEastToWest(t *testing.T) {
+	// Morning sun east of south (az < 180), evening west (az > 180).
+	morning := At(time.Date(2017, 6, 21, 8, 0, 0, 0, cet), turin)
+	evening := At(time.Date(2017, 6, 21, 18, 0, 0, 0, cet), turin)
+	if !morning.Up() || !evening.Up() {
+		t.Fatal("sun should be up at 8:00 and 18:00 on the solstice")
+	}
+	if az := deg(morning.AzimuthRad); az >= 180 || az < 45 {
+		t.Errorf("morning azimuth = %.1f°, want in (45,180)", az)
+	}
+	if az := deg(evening.AzimuthRad); az <= 180 || az > 315 {
+		t.Errorf("evening azimuth = %.1f°, want in (180,315)", az)
+	}
+}
+
+func TestNightAndDaylightHours(t *testing.T) {
+	// Count daylight samples on the solstices; Turin has ≈ 15.6 h in
+	// June and ≈ 8.7 h in December.
+	count := func(day time.Time) float64 {
+		hours := 0.0
+		for m := 0; m < 24*60; m += 5 {
+			if At(day.Add(time.Duration(m)*time.Minute), turin).Up() {
+				hours += 5.0 / 60
+			}
+		}
+		return hours
+	}
+	jun := count(time.Date(2017, 6, 21, 0, 0, 0, 0, cet))
+	dec := count(time.Date(2017, 12, 21, 0, 0, 0, 0, cet))
+	if math.Abs(jun-15.6) > 0.5 {
+		t.Errorf("June daylight = %.2f h, want ≈ 15.6", jun)
+	}
+	if math.Abs(dec-8.7) > 0.5 {
+		t.Errorf("December daylight = %.2f h, want ≈ 8.7", dec)
+	}
+	midnight := At(time.Date(2017, 6, 21, 0, 0, 0, 0, cet), turin)
+	if midnight.Up() {
+		t.Error("sun up at midnight in Turin")
+	}
+	if midnight.ExtraterrestrialHorizontal() != 0 {
+		t.Error("extraterrestrial horizontal must be 0 at night")
+	}
+}
+
+func TestVectorIsUnitAndConsistent(t *testing.T) {
+	for h := 0; h < 24; h++ {
+		p := At(time.Date(2017, 4, 15, h, 0, 0, 0, cet), turin)
+		e, n, u := p.Vector()
+		norm := math.Sqrt(e*e + n*n + u*u)
+		if math.Abs(norm-1) > 1e-12 {
+			t.Fatalf("hour %d: |vec| = %.15f", h, norm)
+		}
+		if math.Abs(u-math.Sin(p.ElevRad)) > 1e-12 {
+			t.Fatalf("hour %d: up component inconsistent with elevation", h)
+		}
+	}
+}
+
+func TestExtraterrestrialNormalRange(t *testing.T) {
+	for d := 0; d < 365; d += 10 {
+		p := At(time.Date(2017, 1, 1, 12, 0, 0, 0, cet).AddDate(0, 0, d), turin)
+		g := p.ExtraterrestrialNormal()
+		if g < 1320 || g > 1420 {
+			t.Errorf("day %d: extraterrestrial normal %.1f outside [1320,1420]", d, g)
+		}
+	}
+}
+
+func TestAirMass(t *testing.T) {
+	// Zenith sun: m = 1. 30° elevation: m ≈ 2. Horizon: large but
+	// finite (≈ 38 per Kasten-Young). Below horizon: +Inf.
+	if m := AirMass(math.Pi/2, 0); math.Abs(m-1) > 0.01 {
+		t.Errorf("zenith air mass = %.3f, want 1", m)
+	}
+	if m := AirMass(math.Pi/6, 0); math.Abs(m-2) > 0.05 {
+		t.Errorf("30° air mass = %.3f, want ≈ 2", m)
+	}
+	if m := AirMass(0.001, 0); m < 25 || m > 45 {
+		t.Errorf("horizon air mass = %.1f, want ≈ 38", m)
+	}
+	if m := AirMass(-0.1, 0); !math.IsInf(m, 1) {
+		t.Errorf("below-horizon air mass = %v, want +Inf", m)
+	}
+	// Altitude reduces air mass.
+	if AirMass(math.Pi/4, 2000) >= AirMass(math.Pi/4, 0) {
+		t.Error("air mass must decrease with altitude")
+	}
+}
+
+func TestAirMassMonotoneInElevation(t *testing.T) {
+	prev := math.Inf(1)
+	for e := 0.01; e < math.Pi/2; e += 0.01 {
+		m := AirMass(e, 0)
+		if m > prev {
+			t.Fatalf("air mass not monotone at elevation %.2f rad", e)
+		}
+		prev = m
+	}
+}
+
+func TestSouthernHemisphereNoonAzimuth(t *testing.T) {
+	// In Sydney (33.87°S) the June noon sun is due north (az ≈ 0/360).
+	sydney := Site{LatDeg: -33.87, LonDeg: 151.21}
+	aest := time.FixedZone("AEST", 10*3600)
+	best, bestAz := -90.0, 0.0
+	for m := 0; m < 24*60; m += 5 {
+		p := At(time.Date(2017, 6, 21, 0, 0, 0, 0, aest).Add(time.Duration(m)*time.Minute), sydney)
+		if e := deg(p.ElevRad); e > best {
+			best, bestAz = e, deg(p.AzimuthRad)
+		}
+	}
+	if best < 30 || best > 35 {
+		t.Errorf("Sydney June noon elevation = %.1f°, want ≈ 32.7", best)
+	}
+	if !(bestAz < 10 || bestAz > 350) {
+		t.Errorf("Sydney June noon azimuth = %.1f°, want ≈ 0/360", bestAz)
+	}
+}

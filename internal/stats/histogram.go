@@ -1,0 +1,223 @@
+package stats
+
+import "fmt"
+
+// Histogram is a fixed-bin streaming accumulator over a bounded value
+// range. The solar field evaluator keeps one per grid cell: a year of
+// 15-minute irradiance samples per cell would need gigabytes if stored
+// raw, while a 1 W/m² binned histogram costs a few kilobytes and gives
+// percentiles exact to the bin width.
+//
+// Values are clamped into [Lo, Hi]: irradiance physically saturates
+// near the extraterrestrial constant and temperature within climate
+// bounds, so clamping loses nothing for our inputs while keeping the
+// accumulator total (no silent sample drops).
+type Histogram struct {
+	lo, hi float64
+	width  float64
+	counts []uint32
+	n      uint64
+}
+
+// NewHistogram builds a histogram over [lo, hi] with the given number
+// of equal-width bins. It panics on a non-positive bin count or an
+// empty range — both are programming errors in the caller.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if !(hi > lo) {
+		panic(fmt.Sprintf("stats: invalid histogram range [%g,%g]", lo, hi))
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(bins),
+		counts: make([]uint32, bins),
+	}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	idx := h.binOf(v)
+	h.counts[idx]++
+	h.n++
+}
+
+func (h *Histogram) binOf(v float64) int {
+	if v <= h.lo {
+		return 0
+	}
+	if v >= h.hi {
+		return len(h.counts) - 1
+	}
+	idx := int((v - h.lo) / h.width)
+	if idx >= len(h.counts) { // guard the hi-edge rounding case
+		idx = len(h.counts) - 1
+	}
+	return idx
+}
+
+// N returns the number of recorded samples.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Percentile returns the p-th percentile estimate (0 <= p <= 100)
+// using linear interpolation inside the containing bin. The estimate
+// deviates from the exact sample percentile by at most one bin width.
+func (h *Histogram) Percentile(p float64) (float64, error) {
+	if h.n == 0 {
+		return 0, ErrNoSamples
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %g out of range [0,100]", p)
+	}
+	target := p / 100 * float64(h.n)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			// Interpolate within bin i.
+			frac := 0.0
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return h.lo + (float64(i)+frac)*h.width, nil
+		}
+		cum = next
+	}
+	return h.hi, nil
+}
+
+// Mean returns the histogram-estimated mean (bin midpoints weighted by
+// counts).
+func (h *Histogram) Mean() (float64, error) {
+	if h.n == 0 {
+		return 0, ErrNoSamples
+	}
+	var sum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		mid := h.lo + (float64(i)+0.5)*h.width
+		sum += mid * float64(c)
+	}
+	return sum / float64(h.n), nil
+}
+
+// Reset clears all counts for reuse.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.n = 0
+}
+
+// HistogramBank is a dense array of identically-binned histograms, one
+// per grid cell, stored as a single allocation. The field evaluator
+// adds one sample per valid cell per timestep; the bank keeps that
+// inner loop free of pointer chasing.
+type HistogramBank struct {
+	lo, hi float64
+	width  float64
+	bins   int
+	cells  int
+	counts []uint32 // cells * bins
+	n      []uint32 // samples per cell
+}
+
+// NewHistogramBank builds cells histograms over [lo, hi] with the
+// given number of bins each.
+func NewHistogramBank(cells int, lo, hi float64, bins int) *HistogramBank {
+	if cells < 0 {
+		panic("stats: negative cell count")
+	}
+	if bins <= 0 || !(hi > lo) {
+		panic("stats: invalid histogram bank shape")
+	}
+	return &HistogramBank{
+		lo: lo, hi: hi,
+		width:  (hi - lo) / float64(bins),
+		bins:   bins,
+		cells:  cells,
+		counts: make([]uint32, cells*bins),
+		n:      make([]uint32, cells),
+	}
+}
+
+// Cells returns the number of per-cell histograms in the bank.
+func (b *HistogramBank) Cells() int { return b.cells }
+
+// Add records one sample for the given cell index.
+func (b *HistogramBank) Add(cell int, v float64) {
+	var idx int
+	switch {
+	case v <= b.lo:
+		idx = 0
+	case v >= b.hi:
+		idx = b.bins - 1
+	default:
+		idx = int((v - b.lo) / b.width)
+		if idx >= b.bins {
+			idx = b.bins - 1
+		}
+	}
+	b.counts[cell*b.bins+idx]++
+	b.n[cell]++
+}
+
+// N returns the sample count of the given cell.
+func (b *HistogramBank) N(cell int) uint64 { return uint64(b.n[cell]) }
+
+// Percentile returns the p-th percentile estimate for the given cell.
+func (b *HistogramBank) Percentile(cell int, p float64) (float64, error) {
+	n := b.n[cell]
+	if n == 0 {
+		return 0, ErrNoSamples
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %g out of range [0,100]", p)
+	}
+	target := p / 100 * float64(n)
+	counts := b.counts[cell*b.bins : (cell+1)*b.bins]
+	var cum float64
+	for i, c := range counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return b.lo + (float64(i)+frac)*b.width, nil
+		}
+		cum = next
+	}
+	return b.hi, nil
+}
+
+// Mean returns the histogram-estimated mean for the given cell.
+func (b *HistogramBank) Mean(cell int) (float64, error) {
+	n := b.n[cell]
+	if n == 0 {
+		return 0, ErrNoSamples
+	}
+	counts := b.counts[cell*b.bins : (cell+1)*b.bins]
+	var sum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		mid := b.lo + (float64(i)+0.5)*b.width
+		sum += mid * float64(c)
+	}
+	return sum / float64(n), nil
+}

@@ -1,0 +1,46 @@
+package timegrid
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGridProperties(t *testing.T) {
+	// For arbitrary valid grid parameters: timestamps are strictly
+	// increasing, day-aligned at slot 0, and the sample count is
+	// consistent with the stride arithmetic.
+	f := func(stepChoice, days, stride uint8) bool {
+		steps := []time.Duration{15 * time.Minute, time.Hour, 2 * time.Hour, 6 * time.Hour}
+		step := steps[int(stepChoice)%len(steps)]
+		d := 1 + int(days)%365
+		s := 1 + int(stride)%14
+		g, err := New(time.Date(2017, 1, 1, 0, 0, 0, 0, cet), step, d, s)
+		if err != nil {
+			return false
+		}
+		wantSim := (d + s - 1) / s
+		if g.SimulatedDays() != wantSim {
+			return false
+		}
+		if g.Len() != wantSim*int(24*time.Hour/step) {
+			return false
+		}
+		prev := g.At(0)
+		if prev.Hour() != 0 || prev.Minute() != 0 {
+			return false
+		}
+		for i := 1; i < g.Len(); i++ {
+			cur := g.At(i)
+			if !cur.After(prev) {
+				return false
+			}
+			prev = cur
+		}
+		// Scaling a simulated-day count recovers the covered days.
+		return g.ScaleToFullPeriod(float64(g.SimulatedDays())) == float64(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

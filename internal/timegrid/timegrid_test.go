@@ -1,0 +1,127 @@
+package timegrid
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+var cet = time.FixedZone("CET", 3600)
+
+func TestYearGrid(t *testing.T) {
+	g := Year(2017, cet)
+	if g.Len() != 365*96 {
+		t.Fatalf("Len = %d, want %d", g.Len(), 365*96)
+	}
+	if g.StepsPerDay() != 96 {
+		t.Errorf("StepsPerDay = %d", g.StepsPerDay())
+	}
+	first := g.At(0)
+	if first.Year() != 2017 || first.Month() != time.January || first.Day() != 1 || first.Hour() != 0 {
+		t.Errorf("first sample = %v", first)
+	}
+	last := g.At(g.Len() - 1)
+	if last.Month() != time.December || last.Day() != 31 || last.Hour() != 23 || last.Minute() != 45 {
+		t.Errorf("last sample = %v", last)
+	}
+	if g.StepHours() != 0.25 {
+		t.Errorf("StepHours = %g", g.StepHours())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	start := time.Date(2017, 1, 1, 0, 0, 0, 0, cet)
+	cases := []struct {
+		name   string
+		step   time.Duration
+		days   int
+		stride int
+	}{
+		{"zero step", 0, 10, 1},
+		{"negative step", -time.Hour, 10, 1},
+		{"step not dividing day", 7 * time.Minute, 10, 1},
+		{"zero days", time.Hour, 0, 1},
+		{"zero stride", time.Hour, 10, 0},
+	}
+	for _, c := range cases {
+		if _, err := New(start, c.step, c.days, c.stride); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestDayStride(t *testing.T) {
+	start := time.Date(2017, 1, 1, 0, 0, 0, 0, cet)
+	g, err := New(start, time.Hour, 30, 7) // days 0,7,14,21,28
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SimulatedDays() != 5 {
+		t.Fatalf("SimulatedDays = %d, want 5", g.SimulatedDays())
+	}
+	if g.Len() != 5*24 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	// Sample 24 must be hour 0 of day 7, not day 1.
+	got := g.At(24)
+	if got.Day() != 8 || got.Hour() != 0 { // Jan 1 + 7 days = Jan 8
+		t.Errorf("strided sample lands on %v, want Jan 8 00:00", got)
+	}
+	// Scaling: 5 simulated days represent 30 covered days.
+	if s := g.ScaleToFullPeriod(5); math.Abs(s-30) > 1e-12 {
+		t.Errorf("ScaleToFullPeriod(5) = %g, want 30", s)
+	}
+}
+
+func TestScaleIdentityWithoutStride(t *testing.T) {
+	g := Year(2017, cet)
+	if got := g.ScaleToFullPeriod(123.5); got != 123.5 {
+		t.Errorf("no-stride scaling changed the value: %g", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	g := Year(2017, cet)
+	for _, idx := range []int{-1, g.Len()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) should panic", idx)
+				}
+			}()
+			g.At(idx)
+		}()
+	}
+}
+
+func TestForEachOrderAndCount(t *testing.T) {
+	start := time.Date(2017, 6, 1, 0, 0, 0, 0, cet)
+	g, err := New(start, 6*time.Hour, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []time.Time
+	g.ForEach(func(i int, ts time.Time) {
+		if i != len(times) {
+			t.Fatalf("indices out of order: got %d at position %d", i, len(times))
+		}
+		times = append(times, ts)
+	})
+	if len(times) != 8 {
+		t.Fatalf("ForEach visited %d samples, want 8", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if !times[i].After(times[i-1]) {
+			t.Errorf("timestamps not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	g := Year(2017, cet)
+	s := g.String()
+	if !strings.Contains(s, "samples=35040") {
+		t.Errorf("String() = %q, should mention sample count", s)
+	}
+}

@@ -1,0 +1,144 @@
+package weather
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Record is one row of a station trace: an instant, its clear-sky
+// index and the ambient temperature. This is the processed form of a
+// Weather Underground-style export after dividing measured GHI by the
+// site's clear-sky GHI.
+type Record struct {
+	Time time.Time
+	Kc   float64
+	Amb  float64
+}
+
+// Trace is a time-ordered station recording that serves samples by
+// nearest-preceding lookup, matching how sub-hourly station data is
+// replayed against a finer simulation grid.
+type Trace struct {
+	records []Record
+}
+
+// NewTrace builds a trace from records, sorting them by time. At
+// least one record is required.
+func NewTrace(records []Record) (*Trace, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("weather: empty trace")
+	}
+	rs := make([]Record, len(records))
+	copy(rs, records)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Time.Before(rs[j].Time) })
+	return &Trace{records: rs}, nil
+}
+
+// Len returns the number of records.
+func (tr *Trace) Len() int { return len(tr.records) }
+
+// Sample implements Provider by nearest-preceding (step) lookup;
+// instants before the first record clamp to it.
+func (tr *Trace) Sample(t time.Time) Sample {
+	i := sort.Search(len(tr.records), func(i int) bool {
+		return tr.records[i].Time.After(t)
+	})
+	if i == 0 {
+		r := tr.records[0]
+		return Sample{ClearSkyIndex: r.Kc, AmbientC: r.Amb}
+	}
+	r := tr.records[i-1]
+	return Sample{ClearSkyIndex: r.Kc, AmbientC: r.Amb}
+}
+
+// csvLayout is the on-disk timestamp format (RFC 3339).
+const csvLayout = time.RFC3339
+
+// WriteCSV writes the trace as "time,kc,ambient_c" rows with a header.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "kc", "ambient_c"}); err != nil {
+		return fmt.Errorf("weather: writing header: %w", err)
+	}
+	for _, r := range tr.records {
+		row := []string{
+			r.Time.Format(csvLayout),
+			strconv.FormatFloat(r.Kc, 'g', -1, 64),
+			strconv.FormatFloat(r.Amb, 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("weather: writing record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or hand-prepared in the
+// same schema).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("weather: reading csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("weather: csv has no data rows")
+	}
+	if len(rows[0]) != 3 || rows[0][0] != "time" {
+		return nil, fmt.Errorf("weather: unexpected csv header %v", rows[0])
+	}
+	records := make([]Record, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		ts, err := time.Parse(csvLayout, row[0])
+		if err != nil {
+			return nil, fmt.Errorf("weather: row %d: bad time %q: %w", i+2, row[0], err)
+		}
+		kc, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("weather: row %d: bad kc %q: %w", i+2, row[1], err)
+		}
+		if kc < 0 || kc > 2 {
+			return nil, fmt.Errorf("weather: row %d: kc %g outside [0,2]", i+2, kc)
+		}
+		amb, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("weather: row %d: bad ambient %q: %w", i+2, row[2], err)
+		}
+		records = append(records, Record{Time: ts, Kc: kc, Amb: amb})
+	}
+	return NewTrace(records)
+}
+
+// FromGHI converts raw station GHI measurements into clear-sky-index
+// records by dividing by the provided clear-sky GHI evaluator
+// (instants where the clear-sky value is ≤ minClear are skipped —
+// night readings carry no usable index).
+func FromGHI(times []time.Time, ghi []float64, amb []float64, clearGHI func(time.Time) float64, minClear float64) ([]Record, error) {
+	if len(times) != len(ghi) || len(times) != len(amb) {
+		return nil, fmt.Errorf("weather: length mismatch times=%d ghi=%d amb=%d", len(times), len(ghi), len(amb))
+	}
+	var out []Record
+	for i, ts := range times {
+		cg := clearGHI(ts)
+		if cg <= minClear {
+			continue
+		}
+		kc := ghi[i] / cg
+		if kc < 0 {
+			kc = 0
+		}
+		if kc > 1.3 {
+			kc = 1.3 // spikes beyond cloud enhancement are sensor noise
+		}
+		out = append(out, Record{Time: ts, Kc: kc, Amb: amb[i]})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("weather: no daylight records after conversion")
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+package weather
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecords() []Record {
+	base := time.Date(2017, 6, 1, 8, 0, 0, 0, time.UTC)
+	return []Record{
+		{Time: base, Kc: 0.9, Amb: 18},
+		{Time: base.Add(15 * time.Minute), Kc: 0.85, Amb: 18.5},
+		{Time: base.Add(30 * time.Minute), Kc: 0.4, Amb: 17.9},
+	}
+}
+
+func TestTraceSampleLookup(t *testing.T) {
+	tr, err := NewTrace(sampleRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2017, 6, 1, 8, 0, 0, 0, time.UTC)
+	// Exact hit.
+	if s := tr.Sample(base.Add(15 * time.Minute)); s.ClearSkyIndex != 0.85 {
+		t.Errorf("exact lookup kc = %g", s.ClearSkyIndex)
+	}
+	// Between records: nearest preceding.
+	if s := tr.Sample(base.Add(20 * time.Minute)); s.ClearSkyIndex != 0.85 {
+		t.Errorf("between lookup kc = %g, want 0.85", s.ClearSkyIndex)
+	}
+	// Before the first record: clamp.
+	if s := tr.Sample(base.Add(-time.Hour)); s.ClearSkyIndex != 0.9 {
+		t.Errorf("before-start lookup kc = %g, want 0.9", s.ClearSkyIndex)
+	}
+	// After the last record: clamp to last.
+	if s := tr.Sample(base.Add(5 * time.Hour)); s.ClearSkyIndex != 0.4 {
+		t.Errorf("after-end lookup kc = %g, want 0.4", s.ClearSkyIndex)
+	}
+}
+
+func TestTraceSortsInput(t *testing.T) {
+	rs := sampleRecords()
+	rs[0], rs[2] = rs[2], rs[0] // shuffle
+	tr, err := NewTrace(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2017, 6, 1, 8, 0, 0, 0, time.UTC)
+	if s := tr.Sample(base); s.ClearSkyIndex != 0.9 {
+		t.Errorf("sorted lookup kc = %g, want 0.9", s.ClearSkyIndex)
+	}
+}
+
+func TestEmptyTraceRejected(t *testing.T) {
+	if _, err := NewTrace(nil); err == nil {
+		t.Error("empty trace must be rejected")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr, err := NewTrace(sampleRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("roundtrip length %d != %d", back.Len(), tr.Len())
+	}
+	base := time.Date(2017, 6, 1, 8, 0, 0, 0, time.UTC)
+	for _, dt := range []time.Duration{0, 15 * time.Minute, 30 * time.Minute} {
+		a, b := tr.Sample(base.Add(dt)), back.Sample(base.Add(dt))
+		if a != b {
+			t.Errorf("roundtrip mismatch at +%v: %+v vs %+v", dt, a, b)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"header only": "time,kc,ambient_c\n",
+		"bad header":  "a,b,c\n2017-06-01T08:00:00Z,0.5,20\n",
+		"bad time":    "time,kc,ambient_c\nnot-a-time,0.5,20\n",
+		"bad kc":      "time,kc,ambient_c\n2017-06-01T08:00:00Z,zzz,20\n",
+		"kc range":    "time,kc,ambient_c\n2017-06-01T08:00:00Z,5.0,20\n",
+		"bad amb":     "time,kc,ambient_c\n2017-06-01T08:00:00Z,0.5,zzz\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestFromGHI(t *testing.T) {
+	base := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	times := []time.Time{
+		base,                     // night: clear-sky 0 → skipped
+		base.Add(8 * time.Hour),  // clear-sky 500, ghi 400 → kc 0.8
+		base.Add(12 * time.Hour), // clear-sky 900, ghi 1350 → clamp 1.3
+		base.Add(13 * time.Hour), // clear-sky 900, ghi -5 → clamp 0
+	}
+	ghi := []float64{0, 400, 1350, -5}
+	amb := []float64{15, 18, 24, 25}
+	clear := func(ts time.Time) float64 {
+		switch ts.Hour() {
+		case 8:
+			return 500
+		case 12, 13:
+			return 900
+		default:
+			return 0
+		}
+	}
+	recs, err := FromGHI(times, ghi, amb, clear, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3 (night skipped)", len(recs))
+	}
+	if recs[0].Kc != 0.8 {
+		t.Errorf("kc = %g, want 0.8", recs[0].Kc)
+	}
+	if recs[1].Kc != 1.3 {
+		t.Errorf("enhanced kc = %g, want clamp 1.3", recs[1].Kc)
+	}
+	if recs[2].Kc != 0 {
+		t.Errorf("negative ghi kc = %g, want 0", recs[2].Kc)
+	}
+}
+
+func TestFromGHIErrors(t *testing.T) {
+	base := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := FromGHI([]time.Time{base}, []float64{1, 2}, []float64{1}, func(time.Time) float64 { return 0 }, 1); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := FromGHI([]time.Time{base}, []float64{100}, []float64{20}, func(time.Time) float64 { return 0 }, 1); err == nil {
+		t.Error("all-night conversion must error")
+	}
+}

@@ -1,0 +1,77 @@
+package wiring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestChainOverheadProperties(t *testing.T) {
+	spec := AWG10(0.2)
+	// For arbitrary module chains: overhead is non-negative, zero
+	// for single modules, invariant under chain reversal, and grows
+	// (weakly) when a module moves further away along an axis.
+	f := func(coords []int16) bool {
+		if len(coords) < 4 {
+			return true
+		}
+		var chain []geom.Rect
+		for i := 0; i+1 < len(coords) && len(chain) < 8; i += 2 {
+			x := int(coords[i]) % 200
+			y := int(coords[i+1]) % 200
+			chain = append(chain, geom.RectAt(geom.Cell{X: x, Y: y}, 8, 4))
+		}
+		l := spec.ChainOverheadMeters(chain)
+		if l < 0 {
+			return false
+		}
+		// Reversal invariance.
+		rev := make([]geom.Rect, len(chain))
+		for i, r := range chain {
+			rev[len(chain)-1-i] = r
+		}
+		if spec.ChainOverheadMeters(rev) != l {
+			return false
+		}
+		// Monotonicity: pushing the last module 10 cells further from
+		// its predecessor (along +x beyond its right edge) cannot
+		// reduce the total.
+		last := chain[len(chain)-1]
+		prev := chain[len(chain)-2]
+		if last.X0 >= prev.X1 { // already to the right: push further
+			moved := append([]geom.Rect{}, chain...)
+			moved[len(moved)-1] = geom.RectAt(geom.Cell{X: last.X0 + 10, Y: last.Y0}, 8, 4)
+			if spec.ChainOverheadMeters(moved) < l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerLossQuadraticProperty(t *testing.T) {
+	spec := AWG10(0.2)
+	f := func(rawL, rawI uint8) bool {
+		l := float64(rawL)
+		i := float64(rawI) / 10
+		// Doubling current quadruples loss; doubling length doubles it.
+		p := spec.PowerLossW(l, i)
+		if p < 0 {
+			return false
+		}
+		if diff := spec.PowerLossW(l, 2*i) - 4*p; diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+		if diff := spec.PowerLossW(2*l, i) - 2*p; diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

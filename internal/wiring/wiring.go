@@ -1,0 +1,133 @@
+// Package wiring characterises the cabling overhead of a sparse PV
+// placement (paper §III-B2 and §V-C). Modules adjacent in a series
+// string are connected by their default connectors; separating them
+// vertically by d_v and horizontally by d_h requires extra cable of
+// length d_v + d_h per hop (the default connector covers the adjacent
+// case, and routing is counted along the grid axes — a conservative
+// overestimate, as the paper notes real installs route shorter).
+//
+// Parallel strings are combined in a combiner box that a traditional
+// installation needs anyway, so string-to-string wiring carries no
+// overhead (§III-B2).
+package wiring
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Spec describes the string cable and the economic constants of the
+// paper's overhead assessment (§V-C).
+type Spec struct {
+	// OhmPerM is the cable resistance per metre (AWG 10 ≈ 7 mΩ/m,
+	// loop counted once as in the paper).
+	OhmPerM float64
+	// CostPerM is the cable cost in $/m (paper: ≈ 1 $/m).
+	CostPerM float64
+	// CellSizeM converts grid displacements to metres (paper: 0.2 m).
+	CellSizeM float64
+}
+
+// AWG10 returns the paper's cable assumptions.
+func AWG10(cellSizeM float64) Spec {
+	return Spec{OhmPerM: 0.007, CostPerM: 1.0, CellSizeM: cellSizeM}
+}
+
+// Validate checks physical plausibility.
+func (s Spec) Validate() error {
+	if s.OhmPerM <= 0 || s.CostPerM < 0 || s.CellSizeM <= 0 {
+		return fmt.Errorf("wiring: invalid spec %+v", s)
+	}
+	return nil
+}
+
+// ChainOverheadMeters returns the extra cable length of one series
+// string whose module footprints are visited in electrical order: the
+// sum over consecutive pairs of the horizontal plus vertical clear
+// gaps between the rectangles, converted to metres. A compact
+// placement (all modules flush) yields zero.
+func (s Spec) ChainOverheadMeters(chain []geom.Rect) float64 {
+	var cells int
+	for i := 1; i < len(chain); i++ {
+		dh, dv := geom.GapDist(chain[i-1], chain[i])
+		cells += dh + dv
+	}
+	return float64(cells) * s.CellSizeM
+}
+
+// PlacementOverheadMeters sums the chain overhead of every series
+// string of a placement. rects is series-first (string j owns
+// rects[j*m:(j+1)*m]); m is the modules-per-string count.
+func (s Spec) PlacementOverheadMeters(rects []geom.Rect, m int) (float64, error) {
+	if m <= 0 {
+		return 0, fmt.Errorf("wiring: non-positive string length %d", m)
+	}
+	if len(rects)%m != 0 {
+		return 0, fmt.Errorf("wiring: %d modules do not form whole strings of %d", len(rects), m)
+	}
+	var total float64
+	for j := 0; j*m < len(rects); j++ {
+		total += s.ChainOverheadMeters(rects[j*m : (j+1)*m])
+	}
+	return total, nil
+}
+
+// PowerLossW returns the resistive loss R·I² of the given extra cable
+// length at string current iA.
+func (s Spec) PowerLossW(lengthM, iA float64) float64 {
+	return lengthM * s.OhmPerM * iA * iA
+}
+
+// AnnualEnergyLossKWh integrates the resistive loss over a year,
+// derated by the fraction of time the string actually carries
+// current (the paper assumes 50% dark time).
+func (s Spec) AnnualEnergyLossKWh(lengthM, iA, activeFraction float64) float64 {
+	const hoursPerYear = 8760
+	return s.PowerLossW(lengthM, iA) * hoursPerYear * activeFraction / 1000
+}
+
+// CostUSD returns the cable cost of the given extra length.
+func (s Spec) CostUSD(lengthM float64) float64 { return lengthM * s.CostPerM }
+
+// Assessment bundles the §V-C overhead report for a placement.
+type Assessment struct {
+	// ExtraCableM is the total extra cable across all strings.
+	ExtraCableM float64
+	// PowerLossWPerString is the loss at the reference current for
+	// the whole extra cable.
+	PowerLossW float64
+	// AnnualLossKWh is the yearly energy lost in the extra cable.
+	AnnualLossKWh float64
+	// CostUSD is the cable cost.
+	CostUSD float64
+	// LossFractionPerM is the yearly energy loss per metre of extra
+	// cable relative to a reference production (the paper reports
+	// ≈ 0.05%/m against Table I outputs).
+	LossFractionPerM float64
+}
+
+// Assess produces the overhead report: placement rects (series-first),
+// string length m, the reference string current (the paper uses 4 A ≈
+// 600 W/m² operation), the dark-time derating and the reference
+// yearly production the loss is normalised against.
+func (s Spec) Assess(rects []geom.Rect, m int, refCurrentA, activeFraction, refProductionMWh float64) (Assessment, error) {
+	if err := s.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	extra, err := s.PlacementOverheadMeters(rects, m)
+	if err != nil {
+		return Assessment{}, err
+	}
+	a := Assessment{
+		ExtraCableM:   extra,
+		PowerLossW:    s.PowerLossW(extra, refCurrentA),
+		AnnualLossKWh: s.AnnualEnergyLossKWh(extra, refCurrentA, activeFraction),
+		CostUSD:       s.CostUSD(extra),
+	}
+	if refProductionMWh > 0 && extra > 0 {
+		perMeterKWh := a.AnnualLossKWh / extra
+		a.LossFractionPerM = perMeterKWh / (refProductionMWh * 1000)
+	}
+	return a, nil
+}

@@ -1,0 +1,157 @@
+package wiring
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// module returns an 8x4-cell footprint (1.6x0.8 m at 0.2 m pitch)
+// anchored at (x,y).
+func module(x, y int) geom.Rect { return geom.RectAt(geom.Cell{X: x, Y: y}, 8, 4) }
+
+func TestAWG10MatchesPaperConstants(t *testing.T) {
+	s := AWG10(0.2)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// §V-C: at 4 A the loss is R·I² ≈ 0.112 W per metre of cable.
+	if got := s.PowerLossW(1, 4); math.Abs(got-0.112) > 1e-9 {
+		t.Errorf("loss per metre at 4 A = %g W, want 0.112", got)
+	}
+	// ≈ 0.5 kWh/m/year at 50% dark time (the paper's "0.5kW/m" is a
+	// kWh typo).
+	if got := s.AnnualEnergyLossKWh(1, 4, 0.5); math.Abs(got-0.4905) > 1e-3 {
+		t.Errorf("annual loss per metre = %g kWh, want ≈ 0.49", got)
+	}
+	if got := s.CostUSD(20); got != 20 {
+		t.Errorf("cost of 20 m = %g $, want 20", got)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	for _, bad := range []Spec{
+		{OhmPerM: 0, CostPerM: 1, CellSizeM: 0.2},
+		{OhmPerM: 0.007, CostPerM: -1, CellSizeM: 0.2},
+		{OhmPerM: 0.007, CostPerM: 1, CellSizeM: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid spec %+v accepted", bad)
+		}
+	}
+}
+
+func TestCompactChainHasZeroOverhead(t *testing.T) {
+	// Fig. 4(a): modules placed flush need only default connectors.
+	s := AWG10(0.2)
+	chain := []geom.Rect{module(0, 0), module(8, 0), module(16, 0), module(24, 0)}
+	if got := s.ChainOverheadMeters(chain); got != 0 {
+		t.Errorf("compact row overhead = %g m, want 0", got)
+	}
+	// Compact 2x2 block, serpentine order: still zero.
+	block := []geom.Rect{module(0, 0), module(8, 0), module(8, 4), module(0, 4)}
+	if got := s.ChainOverheadMeters(block); got != 0 {
+		t.Errorf("compact block overhead = %g m, want 0", got)
+	}
+}
+
+func TestDisplacedPairOverhead(t *testing.T) {
+	// Fig. 4(b): displacing the second module by d_h and d_v costs
+	// d_h + d_v of extra cable.
+	s := AWG10(0.2)
+	chain := []geom.Rect{module(0, 0), module(13, 6)} // gaps: 5 cells h, 2 cells v
+	want := (5 + 2) * 0.2
+	if got := s.ChainOverheadMeters(chain); math.Abs(got-want) > 1e-12 {
+		t.Errorf("overhead = %g m, want %g", got, want)
+	}
+	// Order of the pair does not matter.
+	rev := []geom.Rect{module(13, 6), module(0, 0)}
+	if got := s.ChainOverheadMeters(rev); math.Abs(got-want) > 1e-12 {
+		t.Errorf("reversed overhead = %g m, want %g", got, want)
+	}
+}
+
+func TestSingleAndEmptyChains(t *testing.T) {
+	s := AWG10(0.2)
+	if s.ChainOverheadMeters(nil) != 0 || s.ChainOverheadMeters([]geom.Rect{module(0, 0)}) != 0 {
+		t.Error("chains with <2 modules have no overhead")
+	}
+}
+
+func TestPlacementOverheadAcrossStrings(t *testing.T) {
+	s := AWG10(0.2)
+	// Two strings of two modules; only intra-string hops count.
+	// String 0: flush pair (0 overhead). String 1: 10-cell gap.
+	rects := []geom.Rect{
+		module(0, 0), module(8, 0), // string 0
+		module(0, 10), module(18, 10), // string 1: dh = 10 cells
+	}
+	got, err := s.PlacementOverheadMeters(rects, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10 * 0.2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("placement overhead = %g, want %g", got, want)
+	}
+	// The string boundary (module 1 → module 2) never contributes:
+	// move string 1 far away and the result is unchanged.
+	rects2 := []geom.Rect{
+		module(0, 0), module(8, 0),
+		module(0, 100), module(18, 100),
+	}
+	got2, err := s.PlacementOverheadMeters(rects2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != got {
+		t.Error("inter-string distance must not count (combiner box)")
+	}
+}
+
+func TestPlacementOverheadValidation(t *testing.T) {
+	s := AWG10(0.2)
+	if _, err := s.PlacementOverheadMeters(make([]geom.Rect, 5), 2); err == nil {
+		t.Error("ragged strings must error")
+	}
+	if _, err := s.PlacementOverheadMeters(nil, 0); err == nil {
+		t.Error("zero string length must error")
+	}
+}
+
+func TestAssessMatchesPaperNumbers(t *testing.T) {
+	// The paper's worst case: ≈ 20 m extra cable, 4 A reference
+	// current, 50% dark time, production ≈ 7.4 MWh. Expected
+	// per-metre yearly loss fraction ≈ 0.49 kWh / 7400 kWh ≈ 0.0066%
+	// — comfortably below the paper's conservative 0.05%/m bound.
+	s := AWG10(0.2)
+	rects := []geom.Rect{module(0, 0), module(58, 20)}   // 50 + 16 cells = 13.2 m
+	rects = append(rects, module(58, 44), module(0, 60)) // +20+... more gaps
+	a, err := s.Assess(rects, 4, 4, 0.5, 7.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExtraCableM <= 0 {
+		t.Fatal("expected positive overhead")
+	}
+	if a.LossFractionPerM <= 0 || a.LossFractionPerM > 0.0005 {
+		t.Errorf("per-metre loss fraction = %f, want within (0, 0.05%%]", a.LossFractionPerM)
+	}
+	if a.CostUSD != a.ExtraCableM*1.0 {
+		t.Error("cost must be length × $1/m")
+	}
+	if a.PowerLossW <= 0 || a.AnnualLossKWh <= 0 {
+		t.Error("losses must be positive for a sparse placement")
+	}
+}
+
+func TestAssessValidation(t *testing.T) {
+	bad := Spec{}
+	if _, err := bad.Assess(nil, 4, 4, 0.5, 7); err == nil {
+		t.Error("invalid spec must error")
+	}
+	s := AWG10(0.2)
+	if _, err := s.Assess(make([]geom.Rect, 3), 2, 4, 0.5, 7); err == nil {
+		t.Error("ragged placement must error")
+	}
+}

@@ -1,0 +1,241 @@
+// Package pvfloor is the public facade of the GIS-based PV
+// floorplanning library — a from-scratch Go reproduction of
+//
+//	S. Vinco, L. Bottaccioli, E. Patti, A. Acquaviva, E. Macii,
+//	M. Poncino, "GIS-Based Optimal Photovoltaic Panel Floorplanning
+//	for Residential Installations", DATE 2018.
+//
+// The facade wires the full pipeline together: a (synthetic) DSM
+// scene with its suitable area, the year-long solar-field simulation
+// (sun position → clear sky → weather → decomposition → transposition
+// → horizon shadows), the per-cell suitability statistics, the greedy
+// sparse floorplanner and the traditional compact baseline, and the
+// topology-aware energy evaluation with wiring overhead.
+//
+//	sc, _ := pvfloor.Roof2()
+//	res, _ := pvfloor.Run(pvfloor.Config{Scenario: sc, Modules: 32})
+//	fmt.Printf("traditional %.2f MWh, proposed %.2f MWh (%+.1f%%)\n",
+//	    res.TraditionalEval.NetMWh(), res.ProposedEval.NetMWh(),
+//	    res.ImprovementPct())
+//
+// Lower-level building blocks live in internal/ packages; everything
+// needed to reproduce the paper's tables and figures is reachable
+// from this package, the examples/ programs and the cmd/ tools.
+package pvfloor
+
+import (
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/pvmodel"
+	"repro/internal/render"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/solar/field"
+	"repro/internal/timegrid"
+	"repro/internal/wiring"
+)
+
+// Re-exported scenario constructors (the paper's §V-A roofs plus the
+// residential title scenario).
+var (
+	Roof1       = scenario.Roof1
+	Roof2       = scenario.Roof2
+	Roof3       = scenario.Roof3
+	Residential = scenario.Residential
+	AllRoofs    = scenario.All
+)
+
+// Fidelity selects the simulation accuracy/runtime trade-off.
+type Fidelity int
+
+const (
+	// Fast uses the reduced calendar (hourly, ~monthly day stride)
+	// and coarse horizon maps: seconds per roof, suitable for tests
+	// and exploration.
+	Fast Fidelity = iota
+	// Full uses the paper's setup: a full year at 15-minute steps
+	// and fine horizon maps. Minutes per roof.
+	Full
+)
+
+// Config parameterises one end-to-end pipeline run.
+type Config struct {
+	// Scenario is the roof to plan on (required).
+	Scenario *scenario.Scenario
+	// Modules is the number of PV modules N (must be a multiple of
+	// the paper's string length 8 unless Plan.Topology is set
+	// explicitly).
+	Modules int
+	// Fidelity selects Fast (default) or Full simulation.
+	Fidelity Fidelity
+	// Grid overrides the calendar implied by Fidelity.
+	Grid *timegrid.Grid
+	// Suitability tunes the suitability metric (zero value = paper).
+	Suitability floorplan.SuitabilityOptions
+	// Plan tunes the greedy planner; Shape and Topology are filled
+	// from the scenario and Modules when zero.
+	Plan floorplan.Options
+	// Module overrides the PV module model (default: the paper's
+	// Mitsubishi PV-MF165EB3 empirical model).
+	Module pvmodel.Module
+	// Wiring overrides the cable assumptions (default: the paper's
+	// AWG 10 at 7 mΩ/m, 1 $/m).
+	Wiring wiring.Spec
+	// SkipBaseline skips the compact reference (saves its sweep when
+	// only the proposed placement is wanted).
+	SkipBaseline bool
+}
+
+// Result carries every artifact of a pipeline run.
+type Result struct {
+	// Scenario echoes the input.
+	Scenario *scenario.Scenario
+	// Evaluator is the constructed solar field (reusable for custom
+	// evaluations).
+	Evaluator *field.Evaluator
+	// Stats are the per-cell trace statistics.
+	Stats *field.CellStats
+	// Suitability is the ranking matrix derived from Stats.
+	Suitability *floorplan.Suitability
+	// Proposed is the paper's greedy sparse placement.
+	Proposed *floorplan.Placement
+	// Traditional is the compact baseline (nil with SkipBaseline).
+	Traditional *floorplan.Placement
+	// ProposedEval / TraditionalEval are the yearly energy reports.
+	ProposedEval    floorplan.Evaluation
+	TraditionalEval floorplan.Evaluation
+}
+
+// ImprovementPct returns the net-energy gain of the proposed
+// placement over the traditional baseline, in percent.
+func (r *Result) ImprovementPct() float64 {
+	t := r.TraditionalEval.NetMWh()
+	if t == 0 {
+		return 0
+	}
+	return (r.ProposedEval.NetMWh() - t) / t * 100
+}
+
+// TableIRow formats the run as one row of the paper's Table I.
+func (r *Result) TableIRow() report.TableIRow {
+	return report.TableIRow{
+		Roof:           r.Scenario.Name,
+		W:              r.Scenario.Suitable.W(),
+		L:              r.Scenario.Suitable.H(),
+		Ng:             r.Scenario.Ng(),
+		N:              r.Proposed.Topology.Modules(),
+		TraditionalMWh: r.TraditionalEval.NetMWh(),
+		ProposedMWh:    r.ProposedEval.NetMWh(),
+		WiringExtraM:   r.ProposedEval.WiringExtraM,
+	}
+}
+
+// ProposedMap renders the proposed placement as ASCII art in the
+// style of the paper's Fig. 7(d-f).
+func (r *Result) ProposedMap(maxCols int) string {
+	return render.PlacementASCII(r.Scenario.Suitable, r.Proposed, maxCols)
+}
+
+// TraditionalMap renders the baseline placement (Fig. 7(a-c)).
+func (r *Result) TraditionalMap(maxCols int) string {
+	return render.PlacementASCII(r.Scenario.Suitable, r.Traditional, maxCols)
+}
+
+// SuitabilityMap renders the suitability matrix as ASCII art in the
+// style of the paper's Fig. 6(b).
+func (r *Result) SuitabilityMap(maxCols int) string {
+	return render.HeatmapASCII(render.Field{
+		W: r.Suitability.W, H: r.Suitability.H,
+		At: r.Suitability.At,
+	}, maxCols)
+}
+
+// Run executes the full pipeline.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Scenario == nil {
+		return nil, fmt.Errorf("pvfloor: nil scenario")
+	}
+	grid := cfg.Grid
+	if grid == nil {
+		if cfg.Fidelity == Full {
+			grid = scenario.FullYearGrid()
+		} else {
+			grid = scenario.FastGrid()
+		}
+	}
+	var ev *field.Evaluator
+	var err error
+	if cfg.Fidelity == Full {
+		ev, err = cfg.Scenario.Field(grid)
+	} else {
+		ev, err = cfg.Scenario.FieldFast(grid)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return RunWithField(cfg, ev)
+}
+
+// RunWithField executes the planning and evaluation stages against an
+// already-built solar field (letting callers amortise field
+// construction across many planning runs).
+func RunWithField(cfg Config, ev *field.Evaluator) (*Result, error) {
+	if cfg.Scenario == nil || ev == nil {
+		return nil, fmt.Errorf("pvfloor: nil scenario or field")
+	}
+	cs, err := ev.Stats()
+	if err != nil {
+		return nil, err
+	}
+	suit, err := floorplan.ComputeSuitability(cs, cfg.Suitability)
+	if err != nil {
+		return nil, err
+	}
+
+	planOpts := cfg.Plan
+	if planOpts.Shape == (floorplan.ModuleShape{}) {
+		planOpts.Shape = cfg.Scenario.Shape
+	}
+	if planOpts.Topology.Modules() == 0 {
+		topo, err := scenario.Topology(cfg.Modules)
+		if err != nil {
+			return nil, err
+		}
+		planOpts.Topology = topo
+	}
+	mod := cfg.Module
+	if mod == nil {
+		mod = pvmodel.PVMF165EB3()
+	}
+	spec := cfg.Wiring
+	if spec == (wiring.Spec{}) {
+		spec = wiring.AWG10(scenario.CellSizeM)
+	}
+
+	res := &Result{
+		Scenario:    cfg.Scenario,
+		Evaluator:   ev,
+		Stats:       cs,
+		Suitability: suit,
+	}
+	res.Proposed, err = floorplan.Plan(suit, cfg.Scenario.Suitable, planOpts)
+	if err != nil {
+		return nil, fmt.Errorf("pvfloor: proposed placement: %w", err)
+	}
+	res.ProposedEval, err = floorplan.Evaluate(ev, mod, res.Proposed, spec)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.SkipBaseline {
+		res.Traditional, err = floorplan.PlanCompact(suit, cfg.Scenario.Suitable, planOpts)
+		if err != nil {
+			return nil, fmt.Errorf("pvfloor: traditional placement: %w", err)
+		}
+		res.TraditionalEval, err = floorplan.Evaluate(ev, mod, res.Traditional, spec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
