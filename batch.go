@@ -1,0 +1,200 @@
+package pvfloor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/solar/field"
+)
+
+// BatchOptions tunes RunBatch.
+type BatchOptions struct {
+	// Concurrency bounds how many runs execute simultaneously
+	// (0 = one per CPU). Field construction for a group of runs that
+	// share a scenario and calendar happens once, inside whichever
+	// run gets there first; the other runs of the group wait for it
+	// instead of duplicating the work.
+	Concurrency int
+	// FieldWorkers bounds the solar-field engine's concurrency for
+	// every group's shared field construction and memoized
+	// statistics pass, superseding the per-run Config.Workers: a
+	// shared field cannot honour conflicting per-run settings, and
+	// which run would otherwise win the build race is
+	// nondeterministic. 0 = one worker per CPU; results are
+	// identical for every value.
+	FieldWorkers int
+}
+
+// BatchRun is the structured outcome of one run in a batch. Exactly
+// one of Result/Err is meaningful: Err == nil implies Result != nil.
+type BatchRun struct {
+	// Index is the position of the run's Config in the RunBatch
+	// input slice (results are returned in input order).
+	Index int
+	// Name labels the run: Config.Label when set, otherwise a
+	// derived "Roof 2/N=32"-style name.
+	Name string
+	// Config echoes the input.
+	Config Config
+	// Result is the full pipeline outcome (nil if the run failed).
+	Result *Result
+	// Err records the run's failure, if any.
+	Err error
+	// Elapsed is the wall-clock duration of the run. For the run
+	// that builds its group's solar field this includes the
+	// construction; for the other runs of the group it includes any
+	// time spent waiting for that shared build, so summing Elapsed
+	// across runs overcounts actual work.
+	Elapsed time.Duration
+	// FieldBuilt reports whether this run successfully constructed
+	// its group's solar field (false = reused one built by another
+	// run, or the build failed).
+	FieldBuilt bool
+}
+
+// fieldGroup shares one constructed solar field among all runs that
+// agree on scenario, horizon fidelity and calendar.
+type fieldGroup struct {
+	once    sync.Once
+	workers int // BatchOptions.FieldWorkers, fixed at batch start
+	ev      *field.Evaluator
+	err     error
+	built   int32 // index of the run that performed the build
+}
+
+// groupKey identifies a shareable field: same scenario object, same
+// horizon fidelity, and a calendar with the same fingerprint (two
+// Grid instances enumerating identical instants share).
+type groupKey struct {
+	sc   *scenario.Scenario
+	fast bool
+	grid string
+}
+
+// RunBatch executes many pipeline configurations concurrently — the
+// fleet-of-roofs entry point. Runs fan out on a bounded pool
+// (BatchOptions.Concurrency); runs that share a scenario and calendar
+// share one solar field via the RunWithField amortisation, so a sweep
+// of module counts or planner options over one roof pays for the
+// field construction and the per-cell statistics pass exactly once.
+//
+// Per-run failures do not abort the batch: they are recorded in the
+// corresponding BatchRun.Err and the remaining runs proceed. The
+// returned slice always has len(cfgs) entries, in input order.
+// RunBatch itself errors only on an empty batch.
+func RunBatch(cfgs []Config, opts BatchOptions) ([]BatchRun, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("pvfloor: empty batch")
+	}
+	// Pre-size the group table serially so the hot phase only reads
+	// the map.
+	groups := make(map[groupKey]*fieldGroup)
+	keys := make([]groupKey, len(cfgs))
+	for i, cfg := range cfgs {
+		if cfg.Scenario == nil {
+			continue
+		}
+		k := groupKey{
+			sc:   cfg.Scenario,
+			fast: cfg.Fidelity != Full,
+			grid: cfg.effectiveGrid().Fingerprint(),
+		}
+		keys[i] = k
+		if _, ok := groups[k]; !ok {
+			groups[k] = &fieldGroup{built: -1, workers: opts.FieldWorkers}
+		}
+	}
+
+	workers := opts.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+
+	runs := make([]BatchRun, len(cfgs))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				runs[i] = runOne(i, cfgs[i], groups[keys[i]])
+			}
+		}()
+	}
+	for i := range cfgs {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	return runs, nil
+}
+
+// runOne executes one batch entry against its (possibly shared) field
+// group.
+func runOne(i int, cfg Config, g *fieldGroup) BatchRun {
+	start := time.Now()
+	br := BatchRun{Index: i, Name: batchName(cfg), Config: cfg}
+	if cfg.Scenario == nil {
+		br.Err = fmt.Errorf("pvfloor: batch run %d: nil scenario", i)
+		br.Elapsed = time.Since(start)
+		return br
+	}
+	g.once.Do(func() {
+		g.built = int32(i)
+		g.ev, g.err = cfg.Scenario.FieldWith(scenario.FieldConfig{
+			Grid:    cfg.effectiveGrid(),
+			Fast:    cfg.Fidelity != Full,
+			Workers: g.workers,
+		})
+	})
+	br.FieldBuilt = g.built == int32(i) && g.err == nil
+	if g.err != nil {
+		br.Err = fmt.Errorf("pvfloor: batch run %d (%s): field: %w", i, br.Name, g.err)
+		br.Elapsed = time.Since(start)
+		return br
+	}
+	br.Result, br.Err = RunWithField(cfg, g.ev)
+	br.Elapsed = time.Since(start)
+	return br
+}
+
+// batchName derives the display name of a batch entry.
+func batchName(cfg Config) string {
+	if cfg.Label != "" {
+		return cfg.Label
+	}
+	if cfg.Scenario == nil {
+		return "(nil scenario)"
+	}
+	name := fmt.Sprintf("%s/N=%d", cfg.Scenario.Name, cfg.Modules)
+	if cfg.Fidelity == Full {
+		name += "/full"
+	}
+	return name
+}
+
+// BatchTableI formats the successful runs of a batch as the paper's
+// Table I, in input order. Failed runs are skipped (inspect their
+// BatchRun.Err separately).
+func BatchTableI(runs []BatchRun) string {
+	rows := make([]report.TableIRow, 0, len(runs))
+	for _, br := range runs {
+		if br.Err != nil || br.Result == nil {
+			continue
+		}
+		row := br.Result.TableIRow()
+		if br.Config.Label != "" {
+			row.Roof = br.Config.Label
+		}
+		rows = append(rows, row)
+	}
+	return report.FormatTableI(rows)
+}

@@ -1,0 +1,130 @@
+package pvfloor
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunBatchSharesFieldsAcrossVariants: runs over the same scenario
+// and calendar must share one constructed solar field (the RunWithField
+// amortisation), and every run must succeed with consistent physics.
+func TestRunBatchSharesFieldsAcrossVariants(t *testing.T) {
+	sc, err := Residential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{
+		{Scenario: sc, Modules: 8},
+		{Scenario: sc, Modules: 16},
+		{Scenario: sc, Modules: 8, SkipBaseline: true, Label: "no-baseline"},
+	}
+	runs, err := RunBatch(cfgs, BatchOptions{Concurrency: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != len(cfgs) {
+		t.Fatalf("%d runs for %d configs", len(runs), len(cfgs))
+	}
+	built := 0
+	for i, br := range runs {
+		if br.Err != nil {
+			t.Fatalf("run %d (%s): %v", i, br.Name, br.Err)
+		}
+		if br.Index != i {
+			t.Errorf("run %d reported index %d", i, br.Index)
+		}
+		if br.Result == nil || br.Result.Evaluator == nil {
+			t.Fatalf("run %d: missing result", i)
+		}
+		if br.FieldBuilt {
+			built++
+		}
+	}
+	if built != 1 {
+		t.Errorf("%d field builds for one scenario/calendar group, want 1", built)
+	}
+	// All three runs must hold the very same evaluator and share its
+	// memoized statistics pass (one accumulation per field).
+	ev := runs[0].Result.Evaluator
+	for i, br := range runs[1:] {
+		if br.Result.Evaluator != ev {
+			t.Errorf("run %d did not reuse the group's field", i+1)
+		}
+		if br.Result.Stats != runs[0].Result.Stats {
+			t.Errorf("run %d did not share the memoized statistics", i+1)
+		}
+	}
+	// Names: derived and explicit labels.
+	if runs[0].Name != "Residential/N=8" {
+		t.Errorf("derived name = %q", runs[0].Name)
+	}
+	if runs[2].Name != "no-baseline" {
+		t.Errorf("labelled name = %q", runs[2].Name)
+	}
+	// Physics consistency across the shared field.
+	if !(runs[1].Result.ProposedEval.GrossMWh > runs[0].Result.ProposedEval.GrossMWh) {
+		t.Error("16 modules must out-produce 8 on the shared field")
+	}
+	if runs[2].Result.Traditional != nil {
+		t.Error("SkipBaseline variant must have no baseline")
+	}
+}
+
+// TestRunBatchIsolatesFailures: a failing run must not abort the
+// batch, and its error must be recorded in place.
+func TestRunBatchIsolatesFailures(t *testing.T) {
+	sc, err := Residential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{
+		{Scenario: nil, Modules: 8}, // nil scenario
+		{Scenario: sc, Modules: 7},  // not a multiple of 8
+		{Scenario: sc, Modules: 8},  // fine
+	}
+	runs, err := RunBatch(cfgs, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs[0].Err == nil {
+		t.Error("nil scenario must fail its run")
+	}
+	if runs[1].Err == nil {
+		t.Error("bad module count must fail its run")
+	}
+	if runs[2].Err != nil {
+		t.Errorf("healthy run failed: %v", runs[2].Err)
+	}
+	if runs[2].Result == nil {
+		t.Error("healthy run missing result")
+	}
+}
+
+func TestRunBatchEmpty(t *testing.T) {
+	if _, err := RunBatch(nil, BatchOptions{}); err == nil {
+		t.Error("empty batch must error")
+	}
+}
+
+// TestBatchTableI: the summary must contain one row per successful
+// run and skip failures.
+func TestBatchTableI(t *testing.T) {
+	sc, err := Residential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := RunBatch([]Config{
+		{Scenario: sc, Modules: 8},
+		{Scenario: nil},
+	}, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := BatchTableI(runs)
+	if !strings.Contains(table, "Residential") {
+		t.Errorf("summary missing roof row:\n%s", table)
+	}
+	if lines := strings.Count(table, "\n"); lines != 4 { // header(2) + rule + 1 row
+		t.Errorf("summary has %d lines, want 4:\n%s", lines, table)
+	}
+}

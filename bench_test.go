@@ -431,6 +431,64 @@ func cropMask(m *geom.Mask, w, h int) *geom.Mask {
 	return out
 }
 
+// BenchmarkFieldConstruction measures solar-field construction — the
+// stage Run pays before any planning: memoized astronomy, parallel
+// sky precompute, horizon map. Sub-benchmarks contrast the serial
+// reference path against the parallel engine, and a cold astronomy
+// cache against a warm one (the batch/fleet case, where every
+// evaluator over the same calendar shares the memoized table). The
+// full-year calendar on the residential roof keeps the sky precompute
+// — the part concurrency and memoization accelerate — dominant over
+// the horizon map.
+func BenchmarkFieldConstruction(b *testing.B) {
+	sc, err := scenario.Residential()
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := scenario.FullYearGrid()
+	build := func(b *testing.B, workers int, cold bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			if cold {
+				field.ResetAstroCache()
+			}
+			if _, err := sc.FieldWith(scenario.FieldConfig{Grid: grid, Fast: true, Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial-cold", func(b *testing.B) { build(b, 1, true) })
+	b.Run("parallel-cold", func(b *testing.B) { build(b, 0, true) })
+	b.Run("parallel-warm", func(b *testing.B) { build(b, 0, false) })
+}
+
+// BenchmarkRunBatch measures the batch runner planning all Table I
+// roofs in one invocation (two module counts per roof; the variants
+// of each roof share one solar field).
+func BenchmarkRunBatch(b *testing.B) {
+	scs, err := scenario.All()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cfgs []Config
+	for _, sc := range scs {
+		for _, n := range []int{16, 32} {
+			cfgs = append(cfgs, Config{Scenario: sc, Modules: n})
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		runs, err := RunBatch(cfgs, BatchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, br := range runs {
+			if br.Err != nil {
+				b.Fatal(br.Err)
+			}
+		}
+	}
+}
+
 // BenchmarkHorizonBuild measures the horizon-map precomputation — the
 // dominant setup cost of the shadow model (the GIS stage the paper
 // runs once per roof).

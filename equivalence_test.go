@@ -1,0 +1,112 @@
+package pvfloor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/solar/field"
+)
+
+// TestFieldParallelEquivalenceOnRoofs builds the solar field of two
+// paper roofs twice — once on the serial reference path (Workers=1)
+// and once on the parallel engine — and requires the per-cell
+// statistics to be bit-identical: same NaN mask, same percentiles,
+// same means, same sample counts.
+func TestFieldParallelEquivalenceOnRoofs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds four solar fields")
+	}
+	for _, mk := range []struct {
+		name  string
+		build func() (*scenario.Scenario, error)
+	}{
+		{"Residential", Residential},
+		{"Roof2", Roof2},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			sc, err := mk.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			grid := scenario.FastGrid()
+			serial, err := sc.FieldWith(scenario.FieldConfig{Grid: grid, Fast: true, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := sc.FieldWith(scenario.FieldConfig{Grid: grid, Fast: true, Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			csSerial, err := serial.StatsPercentileSerial(75)
+			if err != nil {
+				t.Fatal(err)
+			}
+			csParallel, err := parallel.StatsPercentile(75)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if csSerial.Samples == 0 {
+				t.Fatal("no samples accumulated")
+			}
+			if csSerial.Samples != csParallel.Samples {
+				t.Fatalf("samples: serial %d vs parallel %d", csSerial.Samples, csParallel.Samples)
+			}
+			if csSerial.W != csParallel.W || csSerial.H != csParallel.H {
+				t.Fatalf("dims differ: %dx%d vs %dx%d",
+					csSerial.W, csSerial.H, csParallel.W, csParallel.H)
+			}
+			diff := 0
+			for i := range csSerial.GPct {
+				if math.Float64bits(csSerial.GPct[i]) != math.Float64bits(csParallel.GPct[i]) ||
+					math.Float64bits(csSerial.GMean[i]) != math.Float64bits(csParallel.GMean[i]) ||
+					math.Float64bits(csSerial.TactPct[i]) != math.Float64bits(csParallel.TactPct[i]) {
+					diff++
+				}
+			}
+			if diff != 0 {
+				t.Errorf("%d of %d cells differ between serial and parallel stats",
+					diff, len(csSerial.GPct))
+			}
+		})
+	}
+}
+
+// TestRunWorkersKnobEquivalence: a full pipeline run must give the
+// same placements and energies for any Workers setting.
+func TestRunWorkersKnobEquivalence(t *testing.T) {
+	sc, err := Residential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Run(Config{Scenario: sc, Modules: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(Config{Scenario: sc, Modules: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.ProposedEval.NetMWh() != parallel.ProposedEval.NetMWh() {
+		t.Errorf("proposed energy differs: %v vs %v",
+			serial.ProposedEval.NetMWh(), parallel.ProposedEval.NetMWh())
+	}
+	if serial.TraditionalEval.NetMWh() != parallel.TraditionalEval.NetMWh() {
+		t.Errorf("baseline energy differs: %v vs %v",
+			serial.TraditionalEval.NetMWh(), parallel.TraditionalEval.NetMWh())
+	}
+	if len(serial.Proposed.Rects) != len(parallel.Proposed.Rects) {
+		t.Fatalf("placement sizes differ")
+	}
+	for i := range serial.Proposed.Rects {
+		if serial.Proposed.Rects[i] != parallel.Proposed.Rects[i] {
+			t.Errorf("module %d placed differently: %v vs %v",
+				i, serial.Proposed.Rects[i], parallel.Proposed.Rects[i])
+		}
+	}
+	// Both runs share one calendar/site/turbidity: the astronomy must
+	// have been memoized, not recomputed per run.
+	if field.AstroCacheLen() == 0 {
+		t.Error("astro cache empty after two runs over the same calendar")
+	}
+}

@@ -92,32 +92,53 @@ func FastGrid() *timegrid.Grid {
 	return g
 }
 
+// FieldConfig tunes solar-field construction for a scenario beyond
+// the calendar choice.
+type FieldConfig struct {
+	// Grid is the simulation calendar (required).
+	Grid *timegrid.Grid
+	// Fast selects reduced horizon fidelity (32 sectors, 40 m rays)
+	// — a few times faster to construct, for tests and interactive
+	// runs. The default is the paper's full-fidelity horizon.
+	Fast bool
+	// Workers bounds the field engine's concurrency during
+	// construction and statistics: 0 = one worker per CPU, 1 = the
+	// serial reference path. Results are identical for every value.
+	Workers int
+}
+
 // Field builds the solar-field evaluator for the scenario on the
 // given calendar with full-fidelity horizon options.
 func (s *Scenario) Field(grid *timegrid.Grid) (*field.Evaluator, error) {
-	return s.fieldWith(grid, horizon.Options{})
+	return s.FieldWith(FieldConfig{Grid: grid})
 }
 
 // FieldFast builds the evaluator with reduced horizon fidelity
 // (32 sectors, 40 m rays) — a few times faster to construct, for
 // tests and interactive runs.
 func (s *Scenario) FieldFast(grid *timegrid.Grid) (*field.Evaluator, error) {
-	return s.fieldWith(grid, horizon.Options{Sectors: 32, MaxDistanceM: 40})
+	return s.FieldWith(FieldConfig{Grid: grid, Fast: true})
 }
 
-func (s *Scenario) fieldWith(grid *timegrid.Grid, hopts horizon.Options) (*field.Evaluator, error) {
+// FieldWith builds the evaluator according to cfg.
+func (s *Scenario) FieldWith(cfg FieldConfig) (*field.Evaluator, error) {
 	wx, err := weather.NewSynthetic(s.Seed, s.Climate)
 	if err != nil {
 		return nil, err
+	}
+	var hopts horizon.Options
+	if cfg.Fast {
+		hopts = horizon.Options{Sectors: 32, MaxDistanceM: 40}
 	}
 	return field.New(field.Config{
 		Site:      s.Site,
 		Scene:     s.Scene,
 		Suitable:  s.Suitable,
 		Weather:   wx,
-		Grid:      grid,
+		Grid:      cfg.Grid,
 		MonthlyTL: s.MonthlyTL,
 		Horizon:   hopts,
+		Workers:   cfg.Workers,
 	})
 }
 

@@ -15,12 +15,48 @@
 // accumulates per-cell histograms (for the suitability percentiles)
 // in one pass, and StreamTraces replays the calendar for just the
 // cells covered by a candidate placement.
+//
+// # Concurrency
+//
+// The engine is parallel by default and deterministic by
+// construction. Config.Workers bounds the worker pool used for the
+// per-timestep sky precompute and the per-cell statistics pass:
+// 0 selects runtime.GOMAXPROCS(0), 1 runs the fully serial reference
+// path (no goroutines), and any value produces bit-identical results
+// because workers only ever write disjoint index ranges and never
+// share accumulators. Evaluator.StatsPercentileSerial exposes the
+// serial reference directly for equivalence testing. An Evaluator is
+// immutable after New, so one field may serve concurrent Stats,
+// StreamTraces and CellIrradiance callers (the batch runner relies on
+// this to share a field across scenario variants). When Workers != 1
+// the Weather provider must tolerate concurrent Sample calls — both
+// bundled providers (weather.Synthetic, weather.Trace) are stateless
+// after construction and qualify.
+//
+// # Memoization
+//
+// Sun positions and clear-sky irradiance are scenario-wide: they
+// depend on the calendar, the site and the turbidity climatology, but
+// not on the weather realisation, the roof geometry or any cell. The
+// package memoizes that per-timestep astronomy in a bounded
+// process-wide cache keyed by (site, turbidity, calendar
+// fingerprint), so constructing several evaluators over the same
+// calendar — the three Table I roofs, a batch of config variants, a
+// sweep of weather seeds — computes it once. See ResetAstroCache.
+//
+// # Fidelity
+//
+// Construction cost is dominated by the horizon map and the sky
+// precompute, both proportional to fidelity: the paper's full-year
+// 15-minute calendar with fine horizon sectors takes minutes per
+// roof, while the reduced calendar + coarse horizon used by the Fast
+// path of the pvfloor facade takes well under a second. The physics
+// pipeline is identical in both; only sampling density changes.
 package field
 
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 	"time"
 
@@ -77,16 +113,48 @@ type Config struct {
 	DaylightOnly bool
 	// Horizon tunes horizon-map construction.
 	Horizon horizon.Options
+	// Workers bounds the concurrency of evaluator construction and
+	// the statistics pass: 0 = runtime.GOMAXPROCS(0), 1 = serial
+	// reference path. Results are bit-identical for every setting;
+	// see the package documentation.
+	Workers int
 }
 
-// Evaluator is a configured, reusable solar field.
+// Evaluator is a configured, reusable solar field. It is logically
+// immutable after New (the only internal mutation is the memoized
+// result behind CachedStats, guarded by a sync.Once) and safe for
+// concurrent use.
 type Evaluator struct {
 	cfg   Config
 	esra  *clearsky.ESRA
 	hmap  *horizon.Map
 	plane poa.Plane
+	// statsOnce guards the memoized default statistics; see
+	// CachedStats.
+	statsOnce sync.Once
+	statsMemo *CellStats
+	statsErr  error
 	// sky[i] caches the cell-independent state of calendar step i.
 	sky []skyState
+	// suitIdx lists the dense indices of suitable cells in row-major
+	// order (the statistics pass iterates it instead of re-scanning
+	// the mask).
+	suitIdx []int32
+	// daySteps counts the calendar steps with the sun up and positive
+	// irradiance (the steps the per-cell inner loop runs for).
+	daySteps uint64
+	// night aggregates the cell-independent night-step contributions
+	// to the statistics (every cell sees irradiance 0 and the same
+	// ambient temperature at night, so this is computed once).
+	night nightAgg
+}
+
+// nightAgg is the shared accumulation of all night steps.
+type nightAgg struct {
+	count uint64
+	// tact holds the binned ambient temperatures of night steps,
+	// using the same bin layout as the per-cell T_act histograms.
+	tact *stats.Histogram
 }
 
 // skyState is the per-timestep state shared by all cells.
@@ -137,48 +205,85 @@ func New(cfg Config) (*Evaluator, error) {
 	}
 	e := &Evaluator{cfg: cfg, esra: esra, hmap: hmap, plane: plane}
 	e.precomputeSky()
+	e.indexSuitable()
+	e.precomputeNight()
 	return e, nil
 }
 
 // precomputeSky evaluates the cell-independent sky state once per
-// calendar step.
+// calendar step: the memoized astronomy (shared across evaluators)
+// plus this evaluator's weather, decomposition and transposition.
+// The pass is chunked over timesteps on the worker pool; every index
+// is written exactly once, so the result does not depend on the
+// worker count.
 func (e *Evaluator) precomputeSky() {
+	astro := astroTable(e.cfg.Site, e.cfg.MonthlyTL, e.cfg.Grid, e.esra, e.cfg.Workers)
 	n := e.cfg.Grid.Len()
 	e.sky = make([]skyState, n)
-	e.cfg.Grid.ForEach(func(i int, t time.Time) {
-		e.sky[i] = e.skyAt(t)
+	forChunks(n, e.cfg.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.sky[i] = e.skyFromAstro(e.cfg.Grid.At(i), astro[i])
+		}
 	})
 }
 
-func (e *Evaluator) skyAt(t time.Time) skyState {
+// skyFromAstro combines the memoized astronomy of one step with the
+// evaluator's weather realisation and plane transposition.
+func (e *Evaluator) skyFromAstro(t time.Time, a astroStep) skyState {
 	smp := e.cfg.Weather.Sample(t)
-	pos := sunpos.At(t, e.cfg.Site)
 	st := skyState{ambient: smp.AmbientC}
-	if !pos.Up() {
+	if !a.pos.Up() {
 		return st
 	}
-	clear := e.esra.At(pos, int(t.Month()))
-	ghiClear := clear.GlobalHorizontal()
-	ghi := smp.ClearSkyIndex * ghiClear
+	ghi := smp.ClearSkyIndex * a.ghiClear
 	if ghi <= 0 {
 		return st
 	}
 	var split decomp.Split
 	switch e.cfg.Decomposition {
 	case DecompEngerer:
-		split = decomp.Engerer(ghi, ghiClear, pos, decomp.Engerer2)
+		split = decomp.Engerer(ghi, a.ghiClear, a.pos, decomp.Engerer2)
 	default:
-		split = decomp.Erbs(ghi, pos)
+		split = decomp.Erbs(ghi, a.pos)
 	}
-	comps := e.plane.Transpose(pos, split.DNI, split.DHI, ghi)
+	comps := e.plane.Transpose(a.pos, split.DNI, split.DHI, ghi)
 
 	st.up = true
-	st.sector = int32(e.hmap.SectorOf(pos.AzimuthRad))
-	st.tanElev = math.Tan(pos.ElevRad)
+	st.sector = int32(e.hmap.SectorOf(a.pos.AzimuthRad))
+	st.tanElev = math.Tan(a.pos.ElevRad)
 	st.beamPart = comps.Beam + comps.Circumsolar
 	st.diffPart = comps.Diffuse - comps.Circumsolar
 	st.reflected = comps.Reflected
 	return st
+}
+
+// indexSuitable caches the dense indices of suitable cells.
+func (e *Evaluator) indexSuitable() {
+	w, h := e.cfg.Suitable.W(), e.cfg.Suitable.H()
+	e.suitIdx = make([]int32, 0, e.cfg.Suitable.Count())
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if e.cfg.Suitable.Get(geom.Cell{X: x, Y: y}) {
+				e.suitIdx = append(e.suitIdx, int32(y*w+x))
+			}
+		}
+	}
+}
+
+// precomputeNight folds the cell-independent night steps into one
+// shared aggregate so the statistics pass touches night steps once
+// instead of once per cell.
+func (e *Evaluator) precomputeNight() {
+	e.night.tact = stats.NewHistogram(tLo, tHi, tBins)
+	for i := range e.sky {
+		st := &e.sky[i]
+		if st.up {
+			e.daySteps++
+			continue
+		}
+		e.night.count++
+		e.night.tact.Add(st.ambient)
+	}
 }
 
 // CellIrradiance returns the plane-of-array irradiance at the
@@ -255,12 +360,41 @@ const (
 // the paper's 75th percentile. See StatsPercentile.
 func (e *Evaluator) Stats() (*CellStats, error) { return e.StatsPercentile(75) }
 
+// CachedStats returns the evaluator's memoized default statistics
+// (the paper's 75th percentile), computing them on the first call.
+// The statistics depend only on the field itself — not on module
+// count, planner options or topology — so every planning run over
+// one field can share the same result; pvfloor.RunWithField (and
+// through it the batch runner) relies on this to make variant sweeps
+// pay for the pass once. Safe for concurrent callers; the returned
+// CellStats is shared and must be treated as read-only.
+func (e *Evaluator) CachedStats() (*CellStats, error) {
+	e.statsOnce.Do(func() { e.statsMemo, e.statsErr = e.Stats() })
+	return e.statsMemo, e.statsErr
+}
+
 // StatsPercentile streams the whole calendar and returns per-cell
 // summaries at the requested percentile for every suitable cell (the
-// suitability-metric ablation sweeps this). The pass is parallelised
-// over row bands; the result is deterministic regardless of worker
-// count.
+// suitability-metric ablation sweeps this). The pass is chunked over
+// the suitable cells on a bounded worker pool sized by
+// Config.Workers; each chunk owns private accumulators and writes
+// disjoint result indices, so the output is bit-identical for every
+// worker count. Night steps — identical for all cells — are folded in
+// from the shared aggregate computed at construction.
 func (e *Evaluator) StatsPercentile(pct float64) (*CellStats, error) {
+	return e.statsPercentile(pct, e.cfg.Workers)
+}
+
+// StatsPercentileSerial runs the single-threaded reference
+// implementation of StatsPercentile on the calling goroutine,
+// regardless of Config.Workers. It exists so equivalence tests (and
+// suspicious callers) can compare the parallel pass against a
+// goroutine-free execution of the same arithmetic.
+func (e *Evaluator) StatsPercentileSerial(pct float64) (*CellStats, error) {
+	return e.statsPercentile(pct, 1)
+}
+
+func (e *Evaluator) statsPercentile(pct float64, workers int) (*CellStats, error) {
 	if pct < 0 || pct > 100 {
 		return nil, fmt.Errorf("field: percentile %g outside [0,100]", pct)
 	}
@@ -276,89 +410,54 @@ func (e *Evaluator) StatsPercentile(pct float64) (*CellStats, error) {
 		cs.GMean[i] = math.NaN()
 		cs.TactPct[i] = math.NaN()
 	}
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > h {
-		workers = h
+	if len(e.suitIdx) == 0 {
+		return cs, nil
 	}
-	if workers < 1 {
-		workers = 1
+	cs.Samples = e.daySteps
+	if !e.cfg.DaylightOnly {
+		cs.Samples += e.night.count
 	}
-	var wg sync.WaitGroup
-	rowsPer := (h + workers - 1) / workers
-	var sampleCount uint64
-	var mu sync.Mutex
-	for wk := 0; wk < workers; wk++ {
-		y0 := wk * rowsPer
-		y1 := y0 + rowsPer
-		if y1 > h {
-			y1 = h
-		}
-		if y0 >= y1 {
-			continue
-		}
-		wg.Add(1)
-		go func(y0, y1 int) {
-			defer wg.Done()
-			n := e.statsBand(cs, y0, y1)
-			mu.Lock()
-			if n > sampleCount {
-				sampleCount = n
-			}
-			mu.Unlock()
-		}(y0, y1)
-	}
-	wg.Wait()
-	cs.Samples = sampleCount
+	forChunks(len(e.suitIdx), workers, func(lo, hi int) {
+		e.statsChunk(cs, e.suitIdx[lo:hi])
+	})
 	return cs, nil
 }
 
-// statsBand accumulates one horizontal band of cells across the whole
-// calendar and writes its summaries into cs. Returns the per-cell
-// sample count (identical for all suitable cells).
-func (e *Evaluator) statsBand(cs *CellStats, y0, y1 int) uint64 {
-	w := cs.W
-	// Collect the suitable cell indices of the band.
-	var cells []int
-	for y := y0; y < y1; y++ {
-		for x := 0; x < w; x++ {
-			if e.cfg.Suitable.Get(geom.Cell{X: x, Y: y}) {
-				cells = append(cells, y*w+x)
-			}
-		}
-	}
-	if len(cells) == 0 {
-		return 0
-	}
+// statsChunk accumulates one contiguous run of suitable cells across
+// the whole calendar and writes its summaries into cs. Chunks share
+// nothing writable: banks and sums are chunk-local and the result
+// indices of distinct chunks are disjoint.
+func (e *Evaluator) statsChunk(cs *CellStats, cells []int32) {
 	gBank := stats.NewHistogramBank(len(cells), gLo, gHi, gBins)
 	tBank := stats.NewHistogramBank(len(cells), tLo, tHi, tBins)
 	gSum := make([]float64, len(cells))
-	var samples uint64
 
 	k := e.cfg.ThermalK
 	for i := range e.sky {
 		st := &e.sky[i]
 		if !st.up {
-			if e.cfg.DaylightOnly {
-				continue
-			}
-			for j := range cells {
-				gBank.Add(j, 0)
-				tBank.Add(j, st.ambient)
-			}
-			samples++
 			continue
 		}
 		for j, idx := range cells {
-			g := e.cellIrr(st, idx)
+			g := e.cellIrr(st, int(idx))
 			gBank.Add(j, g)
 			tBank.Add(j, st.ambient+k*g)
 			gSum[j] += g
 		}
-		samples++
 	}
 
+	withNight := !e.cfg.DaylightOnly && e.night.count > 0
 	for j, idx := range cells {
+		if withNight {
+			// Nights contribute irradiance 0 and the shared ambient
+			// distribution; fold them in once per cell in O(bins).
+			gBank.AddBulk(j, 0, uint32(e.night.count))
+			if err := tBank.MergeHistogram(j, e.night.tact); err != nil {
+				// Impossible by construction (identical bin layout);
+				// skip the cell rather than corrupt it.
+				continue
+			}
+		}
 		gp, err := gBank.Percentile(j, cs.Pct)
 		if err != nil {
 			continue
@@ -369,9 +468,8 @@ func (e *Evaluator) statsBand(cs *CellStats, y0, y1 int) uint64 {
 		}
 		cs.GPct[idx] = gp
 		cs.TactPct[idx] = tp
-		cs.GMean[idx] = gSum[j] / float64(samples)
+		cs.GMean[idx] = gSum[j] / float64(cs.Samples)
 	}
-	return samples
 }
 
 // CellSummary collects the full irradiance-sample distribution of one

@@ -45,17 +45,27 @@ func (h *Histogram) Add(v float64) {
 }
 
 func (h *Histogram) binOf(v float64) int {
-	if v <= h.lo {
+	return binIndex(v, h.lo, h.hi, h.width, len(h.counts))
+}
+
+// binIndex maps a value to its clamped bin index for an equal-width
+// layout over [lo, hi]. Histogram and HistogramBank must bin
+// identically — MergeHistogram merges raw counts between the two and
+// can only validate the layout, not the binning arithmetic — so both
+// delegate here.
+func binIndex(v, lo, hi, width float64, bins int) int {
+	switch {
+	case v <= lo:
 		return 0
+	case v >= hi:
+		return bins - 1
+	default:
+		idx := int((v - lo) / width)
+		if idx >= bins { // guard the hi-edge rounding case
+			idx = bins - 1
+		}
+		return idx
 	}
-	if v >= h.hi {
-		return len(h.counts) - 1
-	}
-	idx := int((v - h.lo) / h.width)
-	if idx >= len(h.counts) { // guard the hi-edge rounding case
-		idx = len(h.counts) - 1
-	}
-	return idx
 }
 
 // N returns the number of recorded samples.
@@ -154,22 +164,43 @@ func NewHistogramBank(cells int, lo, hi float64, bins int) *HistogramBank {
 // Cells returns the number of per-cell histograms in the bank.
 func (b *HistogramBank) Cells() int { return b.cells }
 
+// binOf maps a sample value to its (clamped) bin index.
+func (b *HistogramBank) binOf(v float64) int {
+	return binIndex(v, b.lo, b.hi, b.width, b.bins)
+}
+
 // Add records one sample for the given cell index.
 func (b *HistogramBank) Add(cell int, v float64) {
-	var idx int
-	switch {
-	case v <= b.lo:
-		idx = 0
-	case v >= b.hi:
-		idx = b.bins - 1
-	default:
-		idx = int((v - b.lo) / b.width)
-		if idx >= b.bins {
-			idx = b.bins - 1
-		}
-	}
-	b.counts[cell*b.bins+idx]++
+	b.counts[cell*b.bins+b.binOf(v)]++
 	b.n[cell]++
+}
+
+// AddBulk records n identical samples of value v for the given cell
+// in O(1) — the degenerate-distribution fast path the field engine
+// uses for night steps, where every cell sees the same value.
+func (b *HistogramBank) AddBulk(cell int, v float64, n uint32) {
+	if n == 0 {
+		return
+	}
+	b.counts[cell*b.bins+b.binOf(v)] += n
+	b.n[cell] += n
+}
+
+// MergeHistogram adds every count of h into the given cell's
+// histogram. The bin layouts must match exactly; the field engine
+// uses this to share one cell-independent accumulation (the night
+// ambient-temperature distribution) across all cells.
+func (b *HistogramBank) MergeHistogram(cell int, h *Histogram) error {
+	if h.lo != b.lo || h.hi != b.hi || len(h.counts) != b.bins {
+		return fmt.Errorf("stats: merge of [%g,%g]x%d histogram into [%g,%g]x%d bank",
+			h.lo, h.hi, len(h.counts), b.lo, b.hi, b.bins)
+	}
+	row := b.counts[cell*b.bins : (cell+1)*b.bins]
+	for i, c := range h.counts {
+		row[i] += c
+	}
+	b.n[cell] += uint32(h.n)
+	return nil
 }
 
 // N returns the sample count of the given cell.

@@ -1,0 +1,44 @@
+package timegrid
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFingerprintIdentity(t *testing.T) {
+	cet := time.FixedZone("CET", 3600)
+	mk := func(step time.Duration, days, stride int) *Grid {
+		g, err := New(time.Date(2017, 1, 1, 0, 0, 0, 0, cet), step, days, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a := mk(time.Hour, 365, 30)
+	b := mk(time.Hour, 365, 30)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical grids must share a fingerprint")
+	}
+	if a == b {
+		t.Fatal("test needs distinct instances")
+	}
+	for name, other := range map[string]*Grid{
+		"step":   mk(30*time.Minute, 365, 30),
+		"days":   mk(time.Hour, 364, 30),
+		"stride": mk(time.Hour, 365, 29),
+		"year":   Year(2018, cet),
+	} {
+		if a.Fingerprint() == other.Fingerprint() {
+			t.Errorf("grid differing in %s must not share a fingerprint", name)
+		}
+	}
+	// Same wall-clock start in a different zone is a different
+	// calendar (different absolute instants and civil arithmetic).
+	utcGrid, err := New(time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC), time.Hour, 365, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == utcGrid.Fingerprint() {
+		t.Error("different zones must not share a fingerprint")
+	}
+}

@@ -99,6 +99,22 @@ func (g *Grid) ScaleToFullPeriod(v float64) float64 {
 	return v * float64(g.days) / float64(g.SimulatedDays())
 }
 
+// Fingerprint returns a compact, stable identity of the calendar: two
+// grids with equal fingerprints enumerate exactly the same instants in
+// the same civil time zone. The solar-field engine keys its memoized
+// per-timestep astronomy tables on it, and the batch runner uses it to
+// decide when two runs can share one constructed field.
+//
+// The zone is identified by its location name; two *different*
+// time.Locations that share a name and the offset at the start instant
+// (a contrived case) would collide.
+func (g *Grid) Fingerprint() string {
+	_, offset := g.start.Zone()
+	return fmt.Sprintf("%d|%d|%d|%d|%s|%d",
+		g.start.UnixNano(), int64(g.step), g.days, g.dayStride,
+		g.start.Location().String(), offset)
+}
+
 // ForEach calls fn for each sample index and instant, in order.
 func (g *Grid) ForEach(fn func(i int, t time.Time)) {
 	n := g.Len()

@@ -18,6 +18,33 @@
 //	    res.TraditionalEval.NetMWh(), res.ProposedEval.NetMWh(),
 //	    res.ImprovementPct())
 //
+// # Fidelity
+//
+// Config.Fidelity trades accuracy for runtime. Fast (the default)
+// simulates a reduced calendar — hourly steps, one day per ~monthly
+// stride, scaled back to annual totals — over a coarse horizon map:
+// well under a second per roof, right for tests, exploration and
+// interactive sweeps. Full runs the paper's setup — a full year at
+// 15-minute steps over fine horizon maps — and costs minutes per
+// roof. Both fidelities run the identical physics pipeline; relative
+// placement quality agrees between them, absolute MWh differ by the
+// sampling density. Config.Grid overrides the calendar when neither
+// preset fits.
+//
+// # Concurrency
+//
+// The solar-field engine underneath Run is parallel by default and
+// deterministic for every worker count (see internal/solar/field).
+// Config.Workers bounds its worker pool: 0 uses one worker per CPU,
+// 1 forces the serial reference path — useful when embedding runs in
+// an outer parallel harness. For simulating fleets of roofs, prefer
+// RunBatch (or the cmd/pvbatch tool) over looping on Run: it fans
+// whole scenarios out concurrently and amortises both field
+// construction and the statistics pass across the config variants of
+// each roof (within a batch, the shared engine runs with
+// BatchOptions.FieldWorkers rather than per-run Workers — a shared
+// field cannot honour conflicting per-run settings).
+//
 // Lower-level building blocks live in internal/ packages; everything
 // needed to reproduce the paper's tables and figures is reachable
 // from this package, the examples/ programs and the cmd/ tools.
@@ -63,6 +90,9 @@ const (
 type Config struct {
 	// Scenario is the roof to plan on (required).
 	Scenario *scenario.Scenario
+	// Label optionally names the run in batch results and reports
+	// (RunBatch derives "Roof 2/N=32"-style names when empty).
+	Label string
 	// Modules is the number of PV modules N (must be a multiple of
 	// the paper's string length 8 unless Plan.Topology is set
 	// explicitly).
@@ -85,6 +115,24 @@ type Config struct {
 	// SkipBaseline skips the compact reference (saves its sweep when
 	// only the proposed placement is wanted).
 	SkipBaseline bool
+	// Workers bounds the solar-field engine's concurrency for this
+	// run: 0 = one worker per CPU, 1 = serial reference path.
+	// Results are identical for every value (see the package
+	// documentation's Concurrency section). Within RunBatch, shared
+	// field groups use BatchOptions.FieldWorkers instead.
+	Workers int
+}
+
+// effectiveGrid returns the simulation calendar the config implies:
+// the explicit Grid when set, otherwise the Fidelity preset.
+func (cfg Config) effectiveGrid() *timegrid.Grid {
+	if cfg.Grid != nil {
+		return cfg.Grid
+	}
+	if cfg.Fidelity == Full {
+		return scenario.FullYearGrid()
+	}
+	return scenario.FastGrid()
 }
 
 // Result carries every artifact of a pipeline run.
@@ -156,21 +204,11 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Scenario == nil {
 		return nil, fmt.Errorf("pvfloor: nil scenario")
 	}
-	grid := cfg.Grid
-	if grid == nil {
-		if cfg.Fidelity == Full {
-			grid = scenario.FullYearGrid()
-		} else {
-			grid = scenario.FastGrid()
-		}
-	}
-	var ev *field.Evaluator
-	var err error
-	if cfg.Fidelity == Full {
-		ev, err = cfg.Scenario.Field(grid)
-	} else {
-		ev, err = cfg.Scenario.FieldFast(grid)
-	}
+	ev, err := cfg.Scenario.FieldWith(scenario.FieldConfig{
+		Grid:    cfg.effectiveGrid(),
+		Fast:    cfg.Fidelity != Full,
+		Workers: cfg.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +222,10 @@ func RunWithField(cfg Config, ev *field.Evaluator) (*Result, error) {
 	if cfg.Scenario == nil || ev == nil {
 		return nil, fmt.Errorf("pvfloor: nil scenario or field")
 	}
-	cs, err := ev.Stats()
+	// The statistics depend only on the field, so runs sharing one
+	// evaluator (a module-count sweep, a batch group) share the
+	// memoized pass instead of recomputing it per variant.
+	cs, err := ev.CachedStats()
 	if err != nil {
 		return nil, err
 	}
