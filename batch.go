@@ -79,8 +79,9 @@ type groupKey struct {
 // fleet-of-roofs entry point. Runs fan out on a bounded pool
 // (BatchOptions.Concurrency); runs that share a scenario and calendar
 // share one solar field via the RunWithField amortisation, so a sweep
-// of module counts or planner options over one roof pays for the
-// field construction and the per-cell statistics pass exactly once.
+// of module counts, planner options or optimizer strategies
+// (Config.Optimizer) over one roof pays for the field construction
+// and the per-cell statistics pass exactly once.
 //
 // Per-run failures do not abort the batch: they are recorded in the
 // corresponding BatchRun.Err and the remaining runs proceed. The
@@ -175,6 +176,9 @@ func batchName(cfg Config) string {
 		return "(nil scenario)"
 	}
 	name := fmt.Sprintf("%s/N=%d", cfg.Scenario.Name, cfg.Modules)
+	if tag := cfg.Optimizer.label(); tag != "" {
+		name += "/" + tag
+	}
 	if cfg.Fidelity == Full {
 		name += "/full"
 	}
@@ -193,6 +197,8 @@ func BatchTableI(runs []BatchRun) string {
 		row := br.Result.TableIRow()
 		if br.Config.Label != "" {
 			row.Roof = br.Config.Label
+		} else if tag := br.Config.Optimizer.label(); tag != "" {
+			row.Roof += "/" + tag
 		}
 		rows = append(rows, row)
 	}

@@ -445,7 +445,7 @@ func (h *harness) ablation() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	refined, err := anneal.Refine(plGreedy, suit, sc.Suitable, anneal.Options{Seed: 1, Iterations: 30000})
+	refined, err := anneal.Refine(plGreedy, suit, sc.Suitable, anneal.Options{Seed: 1, Iterations: anneal.Ptr(30000)})
 	if err != nil {
 		log.Fatal(err)
 	}

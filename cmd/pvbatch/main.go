@@ -1,14 +1,17 @@
 // Command pvbatch plans many scenario/configuration variants in one
 // invocation — the batch front-end of the library. It builds the cross
-// product of the requested roofs and module counts, fans the runs out
-// on the concurrent batch engine (sharing one solar field per roof),
-// and prints per-run results plus a Table-I-style summary.
+// product of the requested roofs, module counts and optimizer
+// strategies, fans the runs out on the concurrent batch engine
+// (sharing one solar field per roof), and prints per-run results plus
+// a Table-I-style summary.
 //
 // Usage:
 //
 //	pvbatch                          # all Table I roofs, N=16 and 32
 //	pvbatch -roofs all,residential   # include the home rooftop
 //	pvbatch -roofs 2 -n 8,16,24,32   # module-count sweep on Roof 2
+//	pvbatch -opt greedy,anneal,multistart
+//	                                 # optimizer-strategy sweep
 //	pvbatch -full -runs 2            # paper fidelity, 2 runs at a time
 //	pvbatch -json                    # machine-readable per-run output
 package main
@@ -37,6 +40,9 @@ func main() {
 	workers := flag.Int("workers", 0, "solar-field workers per shared field (0 = one per CPU, 1 = serial)")
 	noBaseline := flag.Bool("nobaseline", false, "skip the compact baseline placement")
 	asJSON := flag.Bool("json", false, "emit per-run results as JSON instead of text")
+	optNames := flag.String("opt", "greedy", "comma list of optimizer strategies: greedy, anneal, multistart, bnb")
+	seed := flag.Int64("seed", 1, "random seed for the stochastic strategies")
+	restarts := flag.Int("restarts", 0, "multistart restart count K (0 = default 8)")
 	flag.Parse()
 
 	scs, err := pickScenarios(*roofs)
@@ -44,6 +50,10 @@ func main() {
 		log.Fatal(err)
 	}
 	ns, err := parseCounts(*counts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strategies, err := parseStrategies(*optNames)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,12 +65,19 @@ func main() {
 	var cfgs []pvfloor.Config
 	for _, sc := range scs {
 		for _, n := range ns {
-			cfgs = append(cfgs, pvfloor.Config{
-				Scenario:     sc,
-				Modules:      n,
-				Fidelity:     fid,
-				SkipBaseline: *noBaseline,
-			})
+			for _, strat := range strategies {
+				cfgs = append(cfgs, pvfloor.Config{
+					Scenario:     sc,
+					Modules:      n,
+					Fidelity:     fid,
+					SkipBaseline: *noBaseline,
+					Optimizer: pvfloor.OptimizerConfig{
+						Strategy: strat,
+						Seed:     *seed,
+						Restarts: *restarts,
+					},
+				})
+			}
 		}
 	}
 
@@ -159,6 +176,29 @@ func parseCounts(spec string) ([]int, error) {
 	return out, nil
 }
 
+func parseStrategies(spec string) ([]pvfloor.Strategy, error) {
+	var out []pvfloor.Strategy
+	seen := map[pvfloor.Strategy]bool{}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		s, err := pvfloor.ParseStrategy(tok)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no optimizer strategies given")
+	}
+	return out, nil
+}
+
 func emitText(results []pvfloor.BatchRun, elapsed time.Duration) {
 	for _, br := range results {
 		if br.Err != nil {
@@ -183,6 +223,7 @@ type runJSON struct {
 	Name           string  `json:"name"`
 	Roof           string  `json:"roof"`
 	Modules        int     `json:"modules"`
+	Optimizer      string  `json:"optimizer,omitempty"`
 	ElapsedMS      float64 `json:"elapsed_ms"`
 	FieldBuilt     bool    `json:"field_built"`
 	ProposedMWh    float64 `json:"proposed_mwh,omitempty"`
@@ -203,6 +244,7 @@ func emitJSON(results []pvfloor.BatchRun) error {
 			rj.Roof = br.Config.Scenario.Name
 		}
 		rj.Modules = br.Config.Modules
+		rj.Optimizer = string(br.Config.Optimizer.Strategy)
 		rj.FieldBuilt = br.FieldBuilt
 		if br.Err != nil {
 			rj.Error = br.Err.Error()

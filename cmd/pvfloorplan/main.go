@@ -8,6 +8,8 @@
 //	pvfloorplan -roof residential -n 8   # home rooftop
 //	pvfloorplan -roof 1 -n 16 -full      # paper-fidelity full year
 //	pvfloorplan -roof 3 -n 32 -pgm out/  # also dump PGM heat maps
+//	pvfloorplan -roof 2 -n 32 -opt multistart -restarts 8
+//	                                     # parallel multi-start anneal
 package main
 
 import (
@@ -31,6 +33,10 @@ func main() {
 	full := flag.Bool("full", false, "full fidelity (15-minute full year)")
 	noMaps := flag.Bool("nomaps", false, "suppress ASCII maps")
 	pgmDir := flag.String("pgm", "", "directory to write PGM heat maps into")
+	optName := flag.String("opt", "greedy", "optimizer strategy: greedy, anneal, multistart or bnb")
+	seed := flag.Int64("seed", 1, "random seed for the stochastic strategies")
+	iters := flag.Int("iters", 0, "annealing iterations per walk (0 = default 20000)")
+	restarts := flag.Int("restarts", 0, "multistart restart count K (0 = default 8)")
 	flag.Parse()
 
 	sc, err := pickScenario(*roof)
@@ -41,14 +47,28 @@ func main() {
 	if *full {
 		fid = pvfloor.Full
 	}
-	res, err := pvfloor.Run(pvfloor.Config{Scenario: sc, Modules: *modules, Fidelity: fid})
+	strategy, err := pvfloor.ParseStrategy(*optName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pvfloor.Run(pvfloor.Config{
+		Scenario: sc,
+		Modules:  *modules,
+		Fidelity: fid,
+		Optimizer: pvfloor.OptimizerConfig{
+			Strategy:   strategy,
+			Seed:       *seed,
+			Iterations: *iters,
+			Restarts:   *restarts,
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("%s — %s\n", sc.Name, sc.Description)
-	fmt.Printf("grid %dx%d, Ng = %d, N = %d (%s)\n\n",
-		sc.Suitable.W(), sc.Suitable.H(), sc.Ng(), *modules, res.Proposed.Topology)
+	fmt.Printf("grid %dx%d, Ng = %d, N = %d (%s), optimizer %s\n\n",
+		sc.Suitable.W(), sc.Suitable.H(), sc.Ng(), *modules, res.Proposed.Topology, strategy)
 	if !*noMaps {
 		fmt.Println("Suitability (p75 irradiance with temperature correction):")
 		fmt.Println(res.SuitabilityMap(110))

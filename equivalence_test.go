@@ -2,10 +2,15 @@ package pvfloor
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/objective"
 	"repro/internal/scenario"
 	"repro/internal/solar/field"
+	"repro/internal/wiring"
 )
 
 // TestFieldParallelEquivalenceOnRoofs builds the solar field of two
@@ -108,5 +113,130 @@ func TestRunWorkersKnobEquivalence(t *testing.T) {
 	// have been memoized, not recomputed per run.
 	if field.AstroCacheLen() == 0 {
 		t.Error("astro cache empty after two runs over the same calendar")
+	}
+}
+
+// TestObjectiveTraceEquivalenceOnRoofs drives the optimizer layer's
+// incremental objective through a long recorded random-move trace on
+// two paper roofs and requires, after every applied move, that the
+// incrementally maintained value is bit-identical to the from-scratch
+// re-evaluation (full footprint re-sum + full wiring estimator). This
+// is the contract that lets the annealing strategies trust millions
+// of O(1) delta evaluations.
+func TestObjectiveTraceEquivalenceOnRoofs(t *testing.T) {
+	for _, mk := range []struct {
+		name  string
+		build func() (*scenario.Scenario, error)
+	}{
+		{"Roof1", Roof1},
+		{"Roof2", Roof2},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			sc, err := mk.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, err := sc.FieldWith(scenario.FieldConfig{Grid: scenario.FastGrid(), Fast: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs, err := ev.CachedStats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			suit, err := floorplan.ComputeSuitability(cs, floorplan.SuitabilityOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			topo, err := scenario.Topology(32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, err := floorplan.Plan(suit, sc.Suitable, floorplan.Options{Shape: sc.Shape, Topology: topo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			obj, err := objective.New(suit, sc.Suitable, objective.Params{
+				Shape:        sc.Shape,
+				Topology:     topo,
+				WiringWeight: objective.DefaultWiringWeight,
+				Spec:         wiring.AWG10(scenario.CellSizeM),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := obj.Bind(pl.Rects); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(2026))
+			aw, ah := obj.AnchorDims()
+			const wantMoves = 1200
+			applied := 0
+			for proposals := 0; applied < wantMoves; proposals++ {
+				if proposals > 500*wantMoves {
+					t.Fatalf("only %d of %d moves applied after %d proposals", applied, wantMoves, proposals)
+				}
+				k := rng.Intn(len(pl.Rects))
+				anchor := geom.Cell{X: rng.Intn(aw), Y: rng.Intn(ah)}
+				if _, ok := obj.DeltaMove(k, anchor); !ok {
+					continue
+				}
+				if err := obj.ApplyMove(k, anchor); err != nil {
+					t.Fatal(err)
+				}
+				applied++
+				want, err := obj.FromScratch(obj.Rects())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := obj.Value(); math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("move %d: incremental %v (bits %x) != from-scratch %v (bits %x)",
+						applied, got, math.Float64bits(got), want, math.Float64bits(want))
+				}
+			}
+		})
+	}
+}
+
+// TestMultiStartWorkerEquivalenceThroughConfig runs the public
+// multistart strategy end to end with SearchWorkers 1, 2 and 8 and
+// requires identical proposed placements and energies — the same
+// determinism contract the solar-field engine gives for
+// Config.Workers.
+func TestMultiStartWorkerEquivalenceThroughConfig(t *testing.T) {
+	sc, err := Residential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *Result
+	for _, workers := range []int{1, 2, 8} {
+		res, err := Run(Config{
+			Scenario: sc,
+			Modules:  8,
+			Optimizer: OptimizerConfig{
+				Strategy:      StrategyMultiStart,
+				Seed:          5,
+				Iterations:    2000,
+				Restarts:      6,
+				SearchWorkers: workers,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.ProposedEval.NetMWh() != ref.ProposedEval.NetMWh() {
+			t.Errorf("SearchWorkers=%d energy %v differs from serial %v",
+				workers, res.ProposedEval.NetMWh(), ref.ProposedEval.NetMWh())
+		}
+		for i := range ref.Proposed.Rects {
+			if res.Proposed.Rects[i] != ref.Proposed.Rects[i] {
+				t.Errorf("SearchWorkers=%d module %d at %v, serial at %v",
+					workers, i, res.Proposed.Rects[i], ref.Proposed.Rects[i])
+			}
+		}
 	}
 }

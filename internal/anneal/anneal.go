@@ -1,9 +1,16 @@
 // Package anneal refines a floorplan by simulated annealing — the
 // natural "future work" extension of the paper's greedy heuristic:
 // starting from the greedy placement, single-module relocation moves
-// are accepted by the Metropolis rule against an objective combining
-// the suitability sum with a wiring-length penalty. Ablation A4
-// quantifies how much headroom the greedy leaves on the table.
+// are accepted by the Metropolis rule against the shared optimizer
+// objective (suitability sum minus a wiring-length penalty,
+// internal/objective). Ablation A4 quantifies how much headroom the
+// greedy leaves on the table.
+//
+// Every proposed move is priced by the objective's O(1) delta
+// evaluation — a score-table lookup plus at most two wiring gaps —
+// instead of re-summing the suitability field and re-running the
+// wiring estimator, so iteration counts in the hundreds of thousands
+// stay cheap.
 package anneal
 
 import (
@@ -13,45 +20,71 @@ import (
 
 	"repro/internal/floorplan"
 	"repro/internal/geom"
+	"repro/internal/objective"
 	"repro/internal/wiring"
 )
 
-// Options tunes the annealer. Zero values take the documented
-// defaults.
+// Ptr wraps a literal for the Options pointer fields:
+// anneal.Options{Iterations: anneal.Ptr(50000)}.
+func Ptr[T any](v T) *T { return &v }
+
+// Options tunes the annealer. Nil pointer fields and zero values take
+// the documented defaults; pointer fields distinguish "unset" from an
+// explicit zero (Iterations: Ptr(0) runs no moves, WiringWeight:
+// Ptr(0.0) disables the wiring penalty — a plain zero value would
+// silently mean "default").
 type Options struct {
 	// Seed fixes the random walk (deterministic refinement).
 	Seed int64
-	// Iterations is the number of proposed moves (default 20000).
-	Iterations int
+	// Iterations is the number of proposed moves (nil defaults to
+	// 20000; an explicit 0 proposes none and returns the input).
+	Iterations *int
 	// StartTemp and EndTemp bound the geometric cooling schedule in
 	// objective units (defaults 5.0 and 0.01).
 	StartTemp, EndTemp float64
 	// WiringWeight converts extra cable metres into objective units
-	// subtracted from the suitability sum (default 0.05 — cable is
-	// cheap, §V-C, so the penalty is a gentle regulariser).
-	WiringWeight float64
+	// subtracted from the suitability sum (nil defaults to 0.05 —
+	// cable is cheap, §V-C, so the penalty is a gentle regulariser;
+	// an explicit 0 disables the penalty).
+	WiringWeight *float64
 	// Spec prices the wiring (required for the penalty; defaults to
 	// AWG10 at 0.2 m cells).
 	Spec wiring.Spec
 }
 
-func (o Options) withDefaults() Options {
-	if o.Iterations == 0 {
-		o.Iterations = 20000
+type resolved struct {
+	seed               int64
+	iterations         int
+	startTemp, endTemp float64
+	wiringWeight       float64
+	spec               wiring.Spec
+}
+
+func (o Options) resolve() resolved {
+	r := resolved{
+		seed:         o.Seed,
+		iterations:   20000,
+		startTemp:    o.StartTemp,
+		endTemp:      o.EndTemp,
+		wiringWeight: objective.DefaultWiringWeight,
+		spec:         o.Spec,
 	}
-	if o.StartTemp == 0 {
-		o.StartTemp = 5
+	if o.Iterations != nil {
+		r.iterations = *o.Iterations
 	}
-	if o.EndTemp == 0 {
-		o.EndTemp = 0.01
+	if r.startTemp == 0 {
+		r.startTemp = 5
 	}
-	if o.WiringWeight == 0 {
-		o.WiringWeight = 0.05
+	if r.endTemp == 0 {
+		r.endTemp = 0.01
 	}
-	if o.Spec == (wiring.Spec{}) {
-		o.Spec = wiring.AWG10(0.2)
+	if o.WiringWeight != nil {
+		r.wiringWeight = *o.WiringWeight
 	}
-	return o
+	if r.spec == (wiring.Spec{}) {
+		r.spec = wiring.AWG10(0.2)
+	}
+	return r
 }
 
 // Refine runs the annealer from the given placement and returns the
@@ -62,106 +95,109 @@ func Refine(pl *floorplan.Placement, suit *floorplan.Suitability, mask *geom.Mas
 	if pl == nil || suit == nil || mask == nil {
 		return nil, fmt.Errorf("anneal: nil placement, suitability or mask")
 	}
+	r := opts.resolve()
+	obj, err := objective.New(suit, mask, objective.Params{
+		Shape:        pl.Shape,
+		Topology:     pl.Topology,
+		WiringWeight: r.wiringWeight,
+		Spec:         r.spec,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("anneal: %w", err)
+	}
+	return RefineWith(obj, pl, opts)
+}
+
+// RefineWith runs the annealer against an already-built objective
+// (letting callers — notably the multi-start strategy — amortise the
+// score-table precomputation across many restarts via Fork). The
+// objective's shape and topology must match the placement's, and its
+// wiring weight/spec supersede the corresponding Options fields.
+func RefineWith(obj *objective.Objective, pl *floorplan.Placement, opts Options) (*floorplan.Placement, error) {
+	if obj == nil || pl == nil {
+		return nil, fmt.Errorf("anneal: nil objective or placement")
+	}
 	if len(pl.Rects) == 0 {
 		return nil, fmt.Errorf("anneal: empty placement")
 	}
-	opts = opts.withDefaults()
-	if opts.StartTemp < opts.EndTemp {
-		return nil, fmt.Errorf("anneal: StartTemp %g below EndTemp %g", opts.StartTemp, opts.EndTemp)
+	r := opts.resolve()
+	if r.iterations < 0 {
+		return nil, fmt.Errorf("anneal: negative iteration count %d", r.iterations)
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-
-	cur := clonePlacement(pl)
-	occupied := mask.Clone() // true = free
-	for _, r := range cur.Rects {
-		occupied.SetRect(r, false)
+	if r.startTemp < r.endTemp {
+		return nil, fmt.Errorf("anneal: StartTemp %g below EndTemp %g", r.startTemp, r.endTemp)
 	}
-
-	objective := func(p *floorplan.Placement) float64 {
-		extra, err := opts.Spec.PlacementOverheadMeters(p.Rects, p.Topology.SeriesPerString)
-		if err != nil {
-			return math.Inf(-1)
-		}
-		return p.SuitabilitySum - opts.WiringWeight*extra
+	if err := obj.Bind(pl.Rects); err != nil {
+		return nil, fmt.Errorf("anneal: %w", err)
 	}
+	rng := rand.New(rand.NewSource(r.seed))
+	aw, ah := obj.AnchorDims()
+	n := len(pl.Rects)
 
-	curObj := objective(cur)
-	best := clonePlacement(cur)
-	bestObj := curObj
+	cur := obj.Value()
+	best := cur
+	bestRects := obj.Rects()
 
-	cooling := math.Pow(opts.EndTemp/opts.StartTemp, 1/float64(opts.Iterations))
-	temp := opts.StartTemp
-	area := float64(cur.Shape.W * cur.Shape.H)
+	if r.iterations == 0 {
+		return materialise(obj, pl, bestRects), nil
+	}
+	cooling := math.Pow(r.endTemp/r.startTemp, 1/float64(r.iterations))
+	temp := r.startTemp
 
-	for it := 0; it < opts.Iterations; it++ {
-		k := rng.Intn(len(cur.Rects))
-		oldRect := cur.Rects[k]
-		// Free the module's own cells for the feasibility check.
-		occupied.SetRect(oldRect, true)
-		newAnchor := geom.Cell{
-			X: rng.Intn(mask.W() - cur.Shape.W + 1),
-			Y: rng.Intn(mask.H() - cur.Shape.H + 1),
-		}
-		newRect := cur.Shape.Rect(newAnchor)
-		if !occupied.AllSet(newRect) {
-			occupied.SetRect(oldRect, false)
-			temp *= cooling
-			continue
-		}
-		newScore, ok := footprintScore(suit, newRect, area)
-		if !ok {
-			occupied.SetRect(oldRect, false)
-			temp *= cooling
-			continue
-		}
-		oldScore, _ := footprintScore(suit, oldRect, area)
+	// One 64-bit draw proposes (module, anchor) via three 21-bit
+	// multiply-shift range reductions — a third of the RNG cost of
+	// three Intn calls, at a bias below range/2^21 (irrelevant for
+	// move proposals). Falls back to Intn on grids too large for the
+	// chunks (>2M anchors per axis).
+	fastDraw := n < 1<<21 && aw < 1<<21 && ah < 1<<21
 
-		cur.Rects[k] = newRect
-		cur.SuitabilitySum += newScore - oldScore
-		newObj := objective(cur)
-
-		accept := newObj >= curObj
-		if !accept {
-			accept = rng.Float64() < math.Exp((newObj-curObj)/temp)
-		}
-		if accept {
-			occupied.SetRect(newRect, false)
-			curObj = newObj
-			if newObj > bestObj {
-				bestObj = newObj
-				best = clonePlacement(cur)
-			}
+	for it := 0; it < r.iterations; it++ {
+		var k int
+		var anchor geom.Cell
+		if fastDraw {
+			u := rng.Uint64()
+			k = int((u >> 43) * uint64(n) >> 21)
+			anchor.X = int(((u >> 22) & 0x1FFFFF) * uint64(aw) >> 21)
+			anchor.Y = int(((u >> 1) & 0x1FFFFF) * uint64(ah) >> 21)
 		} else {
-			cur.Rects[k] = oldRect
-			cur.SuitabilitySum += oldScore - newScore
-			occupied.SetRect(oldRect, false)
+			k = rng.Intn(n)
+			anchor = geom.Cell{X: rng.Intn(aw), Y: rng.Intn(ah)}
+		}
+		if m, ok := obj.Prepare(k, anchor); ok {
+			accept := m.Delta >= 0
+			// Moves worse than ~30 temperatures are accepted with
+			// probability < 1e-13: skip the exp and the RNG draw.
+			// (The walk stays deterministic — the branch depends only
+			// on walk state.)
+			if !accept && m.Delta > -30*temp {
+				accept = rng.Float64() < math.Exp(m.Delta/temp)
+			}
+			if accept {
+				obj.Apply(m)
+				cur += m.Delta
+				if cur > best {
+					best = cur
+					bestRects = obj.Rects()
+				}
+			}
 		}
 		temp *= cooling
 	}
-	return best, nil
+	return materialise(obj, pl, bestRects), nil
 }
 
-func footprintScore(suit *floorplan.Suitability, rect geom.Rect, area float64) (float64, bool) {
-	sum := 0.0
-	ok := true
-	rect.Cells(func(c geom.Cell) bool {
-		v := suit.At(c)
-		if math.IsNaN(v) {
-			ok = false
-			return false
-		}
-		sum += v
-		return true
-	})
-	if !ok {
-		return 0, false
+// materialise builds the result placement from the best rects,
+// scoring each module off the objective's table and carrying the
+// input's warnings forward.
+func materialise(obj *objective.Objective, in *floorplan.Placement, rects []geom.Rect) *floorplan.Placement {
+	out := &floorplan.Placement{
+		Topology: in.Topology,
+		Shape:    in.Shape,
+		Rects:    rects,
+		Warnings: append([]string(nil), in.Warnings...),
 	}
-	return sum / area, true
-}
-
-func clonePlacement(p *floorplan.Placement) *floorplan.Placement {
-	out := *p
-	out.Rects = append([]geom.Rect(nil), p.Rects...)
-	out.Warnings = append([]string(nil), p.Warnings...)
-	return &out
+	for _, r := range rects {
+		out.SuitabilitySum += obj.ScoreAt(r.Anchor())
+	}
+	return out
 }

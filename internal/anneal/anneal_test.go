@@ -67,7 +67,7 @@ func TestRefineValidation(t *testing.T) {
 
 func TestRefineNeverWorsensObjective(t *testing.T) {
 	pl, suit, mask := planFixture(t)
-	opts := Options{Seed: 42, Iterations: 5000}
+	opts := Options{Seed: 42, Iterations: Ptr(5000)}
 	refined, err := Refine(pl, suit, mask, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -87,7 +87,7 @@ func TestRefineNeverWorsensObjective(t *testing.T) {
 
 func TestRefineKeepsFeasibility(t *testing.T) {
 	pl, suit, mask := planFixture(t)
-	refined, err := Refine(pl, suit, mask, Options{Seed: 7, Iterations: 8000})
+	refined, err := Refine(pl, suit, mask, Options{Seed: 7, Iterations: Ptr(8000)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,11 +104,11 @@ func TestRefineKeepsFeasibility(t *testing.T) {
 
 func TestRefineDeterministicPerSeed(t *testing.T) {
 	pl, suit, mask := planFixture(t)
-	a, err := Refine(pl, suit, mask, Options{Seed: 5, Iterations: 3000})
+	a, err := Refine(pl, suit, mask, Options{Seed: 5, Iterations: Ptr(3000)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Refine(pl, suit, mask, Options{Seed: 5, Iterations: 3000})
+	b, err := Refine(pl, suit, mask, Options{Seed: 5, Iterations: Ptr(3000)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestRefineDeterministicPerSeed(t *testing.T) {
 func TestRefineDoesNotMutateInput(t *testing.T) {
 	pl, suit, mask := planFixture(t)
 	before := append([]geom.Rect(nil), pl.Rects...)
-	if _, err := Refine(pl, suit, mask, Options{Seed: 3, Iterations: 2000}); err != nil {
+	if _, err := Refine(pl, suit, mask, Options{Seed: 3, Iterations: Ptr(2000)}); err != nil {
 		t.Fatal(err)
 	}
 	for i := range before {
@@ -149,11 +149,74 @@ func TestRefineEscapesDeliberatelyBadStart(t *testing.T) {
 		r.Cells(func(c geom.Cell) bool { sum += suit.At(c); return true })
 		bad.SuitabilitySum += sum / 32
 	}
-	refined, err := Refine(bad, suit, mask, Options{Seed: 11, Iterations: 20000})
+	refined, err := Refine(bad, suit, mask, Options{Seed: 11, Iterations: Ptr(20000)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if refined.SuitabilitySum < bad.SuitabilitySum*1.5 {
 		t.Errorf("annealer failed to escape: %.1f -> %.1f", bad.SuitabilitySum, refined.SuitabilitySum)
+	}
+}
+
+func TestOptionsZeroValueDistinguishedFromUnset(t *testing.T) {
+	// Regression: the pre-pointer Options turned an explicit
+	// WiringWeight 0 into the 0.05 default and Iterations 0 into
+	// 20000, so neither could be disabled.
+	r := Options{}.resolve()
+	if r.iterations != 20000 {
+		t.Errorf("unset Iterations resolved to %d, want default 20000", r.iterations)
+	}
+	if r.wiringWeight != 0.05 {
+		t.Errorf("unset WiringWeight resolved to %g, want default 0.05", r.wiringWeight)
+	}
+	r = Options{Iterations: Ptr(0), WiringWeight: Ptr(0.0)}.resolve()
+	if r.iterations != 0 {
+		t.Errorf("explicit Iterations 0 resolved to %d, want 0", r.iterations)
+	}
+	if r.wiringWeight != 0 {
+		t.Errorf("explicit WiringWeight 0 resolved to %g, want 0 (penalty disabled)", r.wiringWeight)
+	}
+	r = Options{Iterations: Ptr(777), WiringWeight: Ptr(1.5)}.resolve()
+	if r.iterations != 777 || r.wiringWeight != 1.5 {
+		t.Errorf("explicit values not honoured: %+v", r)
+	}
+}
+
+func TestZeroIterationsReturnsInputUnchanged(t *testing.T) {
+	pl, suit, mask := planFixture(t)
+	out, err := Refine(pl, suit, mask, Options{Seed: 9, Iterations: Ptr(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rects) != len(pl.Rects) {
+		t.Fatal("module count changed")
+	}
+	for i := range out.Rects {
+		if out.Rects[i] != pl.Rects[i] {
+			t.Fatalf("module %d moved with zero iterations", i)
+		}
+	}
+	if _, err := Refine(pl, suit, mask, Options{Iterations: Ptr(-1)}); err == nil {
+		t.Error("negative iterations must error")
+	}
+}
+
+func TestExplicitZeroWiringWeightDisablesPenalty(t *testing.T) {
+	// Two hot islands far apart: with the penalty disabled the
+	// annealer is free to split the string across both; the pure
+	// suitability sum of the refined placement must therefore be at
+	// least as good as the penalised run's.
+	pl, suit, mask := planFixture(t)
+	free, err := Refine(pl, suit, mask, Options{Seed: 1, Iterations: Ptr(20000), WiringWeight: Ptr(0.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	taxed, err := Refine(pl, suit, mask, Options{Seed: 1, Iterations: Ptr(20000), WiringWeight: Ptr(5.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.SuitabilitySum < taxed.SuitabilitySum-1e-9 {
+		t.Errorf("penalty-free refinement scored %f below the heavily taxed %f",
+			free.SuitabilitySum, taxed.SuitabilitySum)
 	}
 }

@@ -1,0 +1,299 @@
+package objective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/panel"
+	"repro/internal/wiring"
+)
+
+func gradientSuit(w, h int) *floorplan.Suitability {
+	s := &floorplan.Suitability{W: w, H: h, S: make([]float64, w*h)}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s.S[y*w+x] = 10 + float64(x) + 0.25*float64(y)
+		}
+	}
+	return s
+}
+
+func fullMask(w, h int) *geom.Mask {
+	m := geom.NewMask(w, h)
+	m.Fill(true)
+	return m
+}
+
+func testParams() Params {
+	return Params{
+		Shape:        floorplan.ModuleShape{W: 4, H: 2},
+		Topology:     panel.Topology{SeriesPerString: 2, Strings: 2},
+		WiringWeight: DefaultWiringWeight,
+		Spec:         wiring.AWG10(0.2),
+	}
+}
+
+func boundFixture(t *testing.T) *Objective {
+	t.Helper()
+	o, err := New(gradientSuit(32, 16), fullMask(32, 16), testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := o.Params().Shape
+	rects := []geom.Rect{
+		shape.Rect(geom.Cell{X: 0, Y: 0}),
+		shape.Rect(geom.Cell{X: 6, Y: 0}), // 2-cell horizontal gap to its predecessor
+		shape.Rect(geom.Cell{X: 0, Y: 8}),
+		shape.Rect(geom.Cell{X: 4, Y: 11}), // 1-cell vertical gap
+	}
+	if err := o.Bind(rects); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestNewValidation(t *testing.T) {
+	suit := gradientSuit(32, 16)
+	mask := fullMask(32, 16)
+	if _, err := New(nil, mask, testParams()); err == nil {
+		t.Error("nil suitability must error")
+	}
+	if _, err := New(suit, fullMask(8, 8), testParams()); err == nil {
+		t.Error("dimension mismatch must error")
+	}
+	p := testParams()
+	p.Shape = floorplan.ModuleShape{}
+	if _, err := New(suit, mask, p); err == nil {
+		t.Error("invalid shape must error")
+	}
+	p = testParams()
+	p.Shape = floorplan.ModuleShape{W: 64, H: 2}
+	if _, err := New(suit, mask, p); err == nil {
+		t.Error("oversized module must error")
+	}
+}
+
+func TestScoreTableMatchesFootprintMean(t *testing.T) {
+	suit := gradientSuit(32, 16)
+	mask := fullMask(32, 16)
+	// Punch a hole: anchors whose footprint touches it must be NaN.
+	mask.Set(geom.Cell{X: 10, Y: 5}, false)
+	o, err := New(suit, mask, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor := geom.Cell{X: 3, Y: 7}
+	rect := o.Params().Shape.Rect(anchor)
+	var sum float64
+	rect.Cells(func(c geom.Cell) bool { sum += suit.At(c); return true })
+	want := sum / 8
+	if got := o.ScoreAt(anchor); got != want {
+		t.Errorf("ScoreAt(%v) = %v, want %v", anchor, got, want)
+	}
+	if !math.IsNaN(o.ScoreAt(geom.Cell{X: 9, Y: 5})) {
+		t.Error("anchor covering a masked cell must be NaN")
+	}
+	if !math.IsNaN(o.ScoreAt(geom.Cell{X: 30, Y: 0})) {
+		t.Error("anchor outside the lattice must be NaN")
+	}
+}
+
+func TestBindValidation(t *testing.T) {
+	o, err := New(gradientSuit(32, 16), fullMask(32, 16), testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := o.Params().Shape
+	if err := o.Bind([]geom.Rect{shape.Rect(geom.Cell{})}); err == nil {
+		t.Error("wrong module count must error")
+	}
+	overlapping := []geom.Rect{
+		shape.Rect(geom.Cell{X: 0, Y: 0}),
+		shape.Rect(geom.Cell{X: 2, Y: 0}),
+		shape.Rect(geom.Cell{X: 0, Y: 8}),
+		shape.Rect(geom.Cell{X: 8, Y: 8}),
+	}
+	if err := o.Bind(overlapping); err == nil {
+		t.Error("overlapping rects must error")
+	}
+	outside := []geom.Rect{
+		shape.Rect(geom.Cell{X: 0, Y: 0}),
+		shape.Rect(geom.Cell{X: 30, Y: 0}), // pokes outside the grid
+		shape.Rect(geom.Cell{X: 0, Y: 8}),
+		shape.Rect(geom.Cell{X: 8, Y: 8}),
+	}
+	if err := o.Bind(outside); err == nil {
+		t.Error("out-of-grid rect must error")
+	}
+}
+
+func TestValueMatchesFromScratchAfterBind(t *testing.T) {
+	o := boundFixture(t)
+	want, err := o.FromScratch(o.Rects())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Value(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("Value() = %v, FromScratch = %v (bits differ)", got, want)
+	}
+	// The fixture has 2+1 gap cells = 3 cells of extra cable.
+	if got := o.WiringCells(); got != 3 {
+		t.Errorf("WiringCells = %d, want 3", got)
+	}
+}
+
+func TestDeltaMoveMatchesValueDifference(t *testing.T) {
+	o := boundFixture(t)
+	before := o.Value()
+	anchor := geom.Cell{X: 20, Y: 3}
+	delta, ok := o.DeltaMove(1, anchor)
+	if !ok {
+		t.Fatal("move should be feasible")
+	}
+	if err := o.ApplyMove(1, anchor); err != nil {
+		t.Fatal(err)
+	}
+	after := o.Value()
+	if math.Abs((after-before)-delta) > 1e-9 {
+		t.Errorf("delta %v vs value change %v", delta, after-before)
+	}
+	// And the incremental state still agrees with from-scratch.
+	want, err := o.FromScratch(o.Rects())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(after) != math.Float64bits(want) {
+		t.Errorf("post-move Value %v != FromScratch %v", after, want)
+	}
+}
+
+func TestMoveRejectsOccupiedAndInfeasible(t *testing.T) {
+	o := boundFixture(t)
+	if _, ok := o.DeltaMove(0, geom.Cell{X: 6, Y: 0}); ok {
+		t.Error("move onto another module must be rejected")
+	}
+	if _, ok := o.DeltaMove(0, geom.Cell{X: 30, Y: 0}); ok {
+		t.Error("move outside the lattice must be rejected")
+	}
+	// Overlapping the module's own current cells is fine.
+	if _, ok := o.DeltaMove(0, geom.Cell{X: 1, Y: 1}); !ok {
+		t.Error("move overlapping only the module's own cells must be feasible")
+	}
+	if err := o.ApplyMove(0, geom.Cell{X: 6, Y: 0}); err == nil {
+		t.Error("ApplyMove of an infeasible move must error")
+	}
+}
+
+func TestRandomTraceStaysBitIdenticalToFromScratch(t *testing.T) {
+	o := boundFixture(t)
+	rng := rand.New(rand.NewSource(99))
+	aw, ah := o.AnchorDims()
+	applied := 0
+	for applied < 500 {
+		k := rng.Intn(len(o.Rects()))
+		anchor := geom.Cell{X: rng.Intn(aw), Y: rng.Intn(ah)}
+		if _, ok := o.DeltaMove(k, anchor); !ok {
+			continue
+		}
+		if err := o.ApplyMove(k, anchor); err != nil {
+			t.Fatal(err)
+		}
+		applied++
+		want, err := o.FromScratch(o.Rects())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := o.Value(); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("after %d moves: Value %v != FromScratch %v", applied, got, want)
+		}
+	}
+}
+
+func TestForkSharesTableButNotState(t *testing.T) {
+	o := boundFixture(t)
+	f := o.Fork()
+	if f.ScoreAt(geom.Cell{X: 3, Y: 3}) != o.ScoreAt(geom.Cell{X: 3, Y: 3}) {
+		t.Error("fork must share the score table")
+	}
+	if !math.IsNaN(f.Value()) {
+		t.Error("fork must start unbound")
+	}
+	if err := f.Bind(o.Rects()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ApplyMove(0, geom.Cell{X: 12, Y: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Rects()[0] == f.Rects()[0] {
+		t.Error("fork state leaked into the parent")
+	}
+}
+
+func TestForEachAnchorSkipsInfeasible(t *testing.T) {
+	mask := fullMask(12, 6)
+	mask.SetRect(geom.RectAt(geom.Cell{X: 0, Y: 0}, 4, 2), false)
+	o, err := New(gradientSuit(12, 6), mask, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	o.ForEachAnchor(func(anchor geom.Cell, score float64) {
+		if math.IsNaN(score) {
+			t.Fatalf("NaN score surfaced at %v", anchor)
+		}
+		if anchor == (geom.Cell{X: 0, Y: 0}) {
+			t.Fatal("masked anchor surfaced")
+		}
+		count++
+	})
+	if count == 0 {
+		t.Fatal("no anchors enumerated")
+	}
+}
+
+func TestPlacementMaterialisation(t *testing.T) {
+	o := boundFixture(t)
+	pl := o.Placement()
+	if len(pl.Rects) != 4 || pl.Topology != o.Params().Topology || pl.Shape != o.Params().Shape {
+		t.Fatalf("bad placement: %+v", pl)
+	}
+	var want float64
+	for _, r := range pl.Rects {
+		want += o.ScoreAt(r.Anchor())
+	}
+	if pl.SuitabilitySum != want {
+		t.Errorf("SuitabilitySum %v, want %v", pl.SuitabilitySum, want)
+	}
+	if !pl.OverlapFree() {
+		t.Error("materialised placement overlaps")
+	}
+}
+
+func TestZeroWiringWeightIgnoresGaps(t *testing.T) {
+	p := testParams()
+	p.WiringWeight = 0
+	o, err := New(gradientSuit(32, 16), fullMask(32, 16), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := p.Shape
+	rects := []geom.Rect{
+		shape.Rect(geom.Cell{X: 0, Y: 0}),
+		shape.Rect(geom.Cell{X: 20, Y: 10}), // huge gap
+		shape.Rect(geom.Cell{X: 0, Y: 8}),
+		shape.Rect(geom.Cell{X: 8, Y: 8}),
+	}
+	if err := o.Bind(rects); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range rects {
+		sum += o.ScoreAt(r.Anchor())
+	}
+	if got := o.Value(); got != sum {
+		t.Errorf("zero weight: Value %v, want pure suitability sum %v", got, sum)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/floorplan"
 	"repro/internal/geom"
+	"repro/internal/objective"
 )
 
 // ErrBudgetExhausted is returned when the search exceeds its node
@@ -68,7 +69,10 @@ func Optimal(suit *floorplan.Suitability, mask *geom.Mask, opts Options) (*Resul
 		opts.MaxNodes = 5_000_000
 	}
 
-	cands := enumerate(suit, mask, opts.Shape)
+	cands, err := enumerate(suit, mask, opts.Shape)
+	if err != nil {
+		return nil, err
+	}
 	if len(cands) < opts.N {
 		return nil, &floorplan.ErrNoSpace{Placed: len(cands), Wanted: opts.N}
 	}
@@ -158,33 +162,18 @@ func (s *search) dfs(start, need int, depth int) {
 	}
 }
 
-// enumerate lists all valid anchors with footprint-mean scores.
-func enumerate(suit *floorplan.Suitability, mask *geom.Mask, shape floorplan.ModuleShape) []candidate {
-	var out []candidate
-	area := float64(shape.W * shape.H)
-	for y := 0; y+shape.H <= mask.H(); y++ {
-		for x := 0; x+shape.W <= mask.W(); x++ {
-			anchor := geom.Cell{X: x, Y: y}
-			rect := shape.Rect(anchor)
-			if !mask.AllSet(rect) {
-				continue
-			}
-			sum := 0.0
-			ok := true
-			rect.Cells(func(c geom.Cell) bool {
-				v := suit.At(c)
-				if math.IsNaN(v) {
-					ok = false
-					return false
-				}
-				sum += v
-				return true
-			})
-			if !ok {
-				continue
-			}
-			out = append(out, candidate{anchor: anchor, score: sum / area, rect: rect})
-		}
+// enumerate lists all valid anchors with footprint-mean scores,
+// sourced from the optimizer layer's shared precomputed score table
+// (internal/objective) so every search node prices a candidate with a
+// table lookup, never a footprint re-sum.
+func enumerate(suit *floorplan.Suitability, mask *geom.Mask, shape floorplan.ModuleShape) ([]candidate, error) {
+	obj, err := objective.New(suit, mask, objective.Params{Shape: shape})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	var out []candidate
+	obj.ForEachAnchor(func(anchor geom.Cell, score float64) {
+		out = append(out, candidate{anchor: anchor, score: score, rect: shape.Rect(anchor)})
+	})
+	return out, nil
 }

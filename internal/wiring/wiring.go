@@ -42,18 +42,34 @@ func (s Spec) Validate() error {
 	return nil
 }
 
+// ChainOverheadCells returns the extra cable length of one series
+// string in grid cells: the sum over consecutive pairs of the
+// horizontal plus vertical clear gaps between the rectangles. The
+// integer cell count is the exact quantity incremental optimizers
+// maintain per move (internal/objective); metres are derived from it.
+func ChainOverheadCells(chain []geom.Rect) int {
+	var cells int
+	for i := 1; i < len(chain); i++ {
+		dh, dv := geom.GapDist(chain[i-1], chain[i])
+		cells += dh + dv
+	}
+	return cells
+}
+
+// PairOverheadCells returns the gap cells between two consecutive
+// modules of a string — the single-hop term of ChainOverheadCells.
+func PairOverheadCells(a, b geom.Rect) int {
+	dh, dv := geom.GapDist(a, b)
+	return dh + dv
+}
+
 // ChainOverheadMeters returns the extra cable length of one series
 // string whose module footprints are visited in electrical order: the
 // sum over consecutive pairs of the horizontal plus vertical clear
 // gaps between the rectangles, converted to metres. A compact
 // placement (all modules flush) yields zero.
 func (s Spec) ChainOverheadMeters(chain []geom.Rect) float64 {
-	var cells int
-	for i := 1; i < len(chain); i++ {
-		dh, dv := geom.GapDist(chain[i-1], chain[i])
-		cells += dh + dv
-	}
-	return float64(cells) * s.CellSizeM
+	return float64(ChainOverheadCells(chain)) * s.CellSizeM
 }
 
 // PlacementOverheadMeters sums the chain overhead of every series

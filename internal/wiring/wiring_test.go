@@ -155,3 +155,22 @@ func TestAssessValidation(t *testing.T) {
 		t.Error("ragged placement must error")
 	}
 }
+
+func TestOverheadCellsMatchMeters(t *testing.T) {
+	// The integer cell counts are the quantity incremental optimizers
+	// maintain; the metre conversions must be exactly cells times the
+	// grid pitch.
+	a := geom.RectAt(geom.Cell{X: 0, Y: 0}, 8, 4)
+	b := geom.RectAt(geom.Cell{X: 11, Y: 6}, 8, 4) // 3 cells right, 2 down
+	if got := PairOverheadCells(a, b); got != 5 {
+		t.Errorf("PairOverheadCells = %d, want 5", got)
+	}
+	chain := []geom.Rect{a, b, geom.RectAt(geom.Cell{X: 19, Y: 6}, 8, 4)}
+	if got := ChainOverheadCells(chain); got != 5 {
+		t.Errorf("ChainOverheadCells = %d, want 5 (third module is flush)", got)
+	}
+	spec := AWG10(0.2)
+	if got, want := spec.ChainOverheadMeters(chain), float64(5)*0.2; got != want {
+		t.Errorf("ChainOverheadMeters = %v, want %v", got, want)
+	}
+}

@@ -31,6 +31,23 @@
 // sampling density. Config.Grid overrides the calendar when neither
 // preset fits.
 //
+// # Optimizer strategies
+//
+// Config.Optimizer selects how the proposed placement is searched
+// for: the paper's greedy heuristic (the default), a
+// simulated-annealing refinement, a parallel multi-start annealer, or
+// the exact branch-and-bound reference on reduced instances. All
+// strategies optimise one shared objective with O(1)-per-move
+// incremental evaluation (see internal/objective), and all are
+// deterministic — multistart returns a bit-identical placement for
+// every SearchWorkers value.
+//
+//	res, _ := pvfloor.Run(pvfloor.Config{
+//	    Scenario:  sc,
+//	    Modules:   32,
+//	    Optimizer: pvfloor.OptimizerConfig{Strategy: pvfloor.StrategyMultiStart, Restarts: 8},
+//	})
+//
 // # Concurrency
 //
 // The solar-field engine underneath Run is parallel by default and
@@ -54,6 +71,7 @@ import (
 	"fmt"
 
 	"repro/internal/floorplan"
+	"repro/internal/optimize"
 	"repro/internal/pvmodel"
 	"repro/internal/render"
 	"repro/internal/report"
@@ -112,6 +130,10 @@ type Config struct {
 	// Wiring overrides the cable assumptions (default: the paper's
 	// AWG 10 at 7 mΩ/m, 1 $/m).
 	Wiring wiring.Spec
+	// Optimizer selects the placement-search strategy for the
+	// proposed placement (zero value = the paper's greedy heuristic).
+	// See OptimizerConfig and the Strategy constants.
+	Optimizer OptimizerConfig
 	// SkipBaseline skips the compact reference (saves its sweep when
 	// only the proposed placement is wanted).
 	SkipBaseline bool
@@ -260,9 +282,19 @@ func RunWithField(cfg Config, ev *field.Evaluator) (*Result, error) {
 		Stats:       cs,
 		Suitability: suit,
 	}
-	res.Proposed, err = floorplan.Plan(suit, cfg.Scenario.Suitable, planOpts)
+	placer, err := cfg.Optimizer.placer()
 	if err != nil {
-		return nil, fmt.Errorf("pvfloor: proposed placement: %w", err)
+		return nil, err
+	}
+	res.Proposed, err = placer.Place(optimize.Problem{
+		Suit:         suit,
+		Mask:         cfg.Scenario.Suitable,
+		Opts:         planOpts,
+		WiringWeight: cfg.Optimizer.wiringWeight(),
+		Spec:         spec,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pvfloor: proposed placement (%s): %w", placer.Name(), err)
 	}
 	res.ProposedEval, err = floorplan.Evaluate(ev, mod, res.Proposed, spec)
 	if err != nil {

@@ -141,3 +141,73 @@ func TestRunWithFieldReuse(t *testing.T) {
 		t.Error("16 modules must out-produce 8")
 	}
 }
+
+func TestParseStrategy(t *testing.T) {
+	for in, want := range map[string]Strategy{
+		"":            StrategyGreedy,
+		"greedy":      StrategyGreedy,
+		"anneal":      StrategyAnneal,
+		"multistart":  StrategyMultiStart,
+		"bnb":         StrategyBranchBound,
+		"branchbound": StrategyBranchBound,
+	} {
+		got, err := ParseStrategy(in)
+		if err != nil {
+			t.Fatalf("ParseStrategy(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("ParseStrategy(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if _, err := ParseStrategy("tabu"); err == nil {
+		t.Error("unknown strategy must error")
+	}
+}
+
+func TestOptimizerStrategySelection(t *testing.T) {
+	base := residentialRun(t) // default greedy
+	sc := base.Scenario
+	// anneal must reuse the cached field (same evaluator) and give a
+	// feasible placement at least as good under the shared objective.
+	annealed, err := RunWithField(Config{
+		Scenario:  sc,
+		Modules:   8,
+		Optimizer: OptimizerConfig{Strategy: StrategyAnneal, Seed: 2, Iterations: 4000},
+	}, base.Evaluator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !annealed.Proposed.OverlapFree() || !annealed.Proposed.WithinMask(sc.Suitable) {
+		t.Error("annealed placement infeasible")
+	}
+	if len(annealed.Proposed.Rects) != len(base.Proposed.Rects) {
+		t.Error("annealed module count differs")
+	}
+	// An unknown strategy must fail loudly, not fall back to greedy.
+	if _, err := RunWithField(Config{
+		Scenario:  sc,
+		Modules:   8,
+		Optimizer: OptimizerConfig{Strategy: Strategy("tabu")},
+	}, base.Evaluator); err == nil {
+		t.Error("unknown strategy must error")
+	}
+}
+
+func TestBatchNameCarriesOptimizerStrategy(t *testing.T) {
+	sc, err := Residential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Scenario: sc, Modules: 8}
+	if got := batchName(cfg); got != "Residential/N=8" {
+		t.Errorf("default name = %q", got)
+	}
+	cfg.Optimizer.Strategy = StrategyMultiStart
+	if got := batchName(cfg); got != "Residential/N=8/multistart" {
+		t.Errorf("multistart name = %q", got)
+	}
+	cfg.Optimizer.Strategy = StrategyGreedy
+	if got := batchName(cfg); got != "Residential/N=8" {
+		t.Errorf("explicit greedy name = %q", got)
+	}
+}
