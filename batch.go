@@ -67,12 +67,14 @@ type fieldGroup struct {
 }
 
 // groupKey identifies a shareable field: same scenario object, same
-// horizon fidelity, and a calendar with the same fingerprint (two
-// Grid instances enumerating identical instants share).
+// horizon fidelity, a calendar with the same fingerprint (two Grid
+// instances enumerating identical instants share), and the same
+// artifact cache directory.
 type groupKey struct {
-	sc   *scenario.Scenario
-	fast bool
-	grid string
+	sc       *scenario.Scenario
+	fast     bool
+	grid     string
+	cacheDir string
 }
 
 // RunBatch executes many pipeline configurations concurrently — the
@@ -81,7 +83,11 @@ type groupKey struct {
 // share one solar field via the RunWithField amortisation, so a sweep
 // of module counts, planner options or optimizer strategies
 // (Config.Optimizer) over one roof pays for the field construction
-// and the per-cell statistics pass exactly once.
+// and the per-cell statistics pass exactly once. With Config.CacheDir
+// set, both are additionally served from the persistent artifact
+// cache, so a re-run of the whole batch over unchanged roofs skips
+// horizon construction and the statistics pass entirely — across
+// processes, not just within one.
 //
 // Per-run failures do not abort the batch: they are recorded in the
 // corresponding BatchRun.Err and the remaining runs proceed. The
@@ -100,9 +106,10 @@ func RunBatch(cfgs []Config, opts BatchOptions) ([]BatchRun, error) {
 			continue
 		}
 		k := groupKey{
-			sc:   cfg.Scenario,
-			fast: cfg.Fidelity != Full,
-			grid: cfg.effectiveGrid().Fingerprint(),
+			sc:       cfg.Scenario,
+			fast:     cfg.Fidelity != Full,
+			grid:     cfg.effectiveGrid().Fingerprint(),
+			cacheDir: cfg.CacheDir,
 		}
 		keys[i] = k
 		if _, ok := groups[k]; !ok {
@@ -151,9 +158,10 @@ func runOne(i int, cfg Config, g *fieldGroup) BatchRun {
 	g.once.Do(func() {
 		g.built = int32(i)
 		g.ev, g.err = cfg.Scenario.FieldWith(scenario.FieldConfig{
-			Grid:    cfg.effectiveGrid(),
-			Fast:    cfg.Fidelity != Full,
-			Workers: g.workers,
+			Grid:     cfg.effectiveGrid(),
+			Fast:     cfg.Fidelity != Full,
+			Workers:  g.workers,
+			CacheDir: cfg.CacheDir,
 		})
 	})
 	br.FieldBuilt = g.built == int32(i) && g.err == nil

@@ -1,8 +1,13 @@
 package pvfloor
 
 import (
+	"math"
 	"strings"
+	"sync"
 	"testing"
+
+	"repro/internal/solar/field"
+	"repro/internal/solar/horizon"
 )
 
 // TestRunBatchSharesFieldsAcrossVariants: runs over the same scenario
@@ -126,5 +131,108 @@ func TestBatchTableI(t *testing.T) {
 	}
 	if lines := strings.Count(table, "\n"); lines != 4 { // header(2) + rule + 1 row
 		t.Errorf("summary has %d lines, want 4:\n%s", lines, table)
+	}
+}
+
+// TestRunBatchWarmCacheSkipsRecomputation: with a persistent cache
+// directory, a second batch over the same unchanged roof must restore
+// horizon maps and statistics from disk — no ray marching, no kernel
+// pass — and produce bit-identical results.
+func TestRunBatchWarmCacheSkipsRecomputation(t *testing.T) {
+	sc, err := Residential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfgs := []Config{
+		{Scenario: sc, Modules: 8, CacheDir: dir},
+		{Scenario: sc, Modules: 16, CacheDir: dir},
+	}
+	cold, err := RunBatch(cfgs, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, br := range cold {
+		if br.Err != nil {
+			t.Fatalf("cold %s: %v", br.Name, br.Err)
+		}
+	}
+
+	hb, sp := horizon.BuildCount(), field.StatsPassCount()
+	warm, err := RunBatch(cfgs, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, br := range warm {
+		if br.Err != nil {
+			t.Fatalf("warm %s: %v", br.Name, br.Err)
+		}
+	}
+	if got := horizon.BuildCount(); got != hb {
+		t.Errorf("warm batch ray-marched %d horizon maps, want 0", got-hb)
+	}
+	if got := field.StatsPassCount(); got != sp {
+		t.Errorf("warm batch executed %d statistics passes, want 0", got-sp)
+	}
+	if !warm[0].Result.Evaluator.HorizonFromCache() {
+		t.Error("warm batch field must report a cached horizon")
+	}
+	for i := range cfgs {
+		c, w := cold[i].Result, warm[i].Result
+		if c.ProposedEval.NetMWh() != w.ProposedEval.NetMWh() ||
+			c.TraditionalEval.NetMWh() != w.TraditionalEval.NetMWh() {
+			t.Errorf("run %d: warm energies differ from cold", i)
+		}
+		for j := range c.Stats.GPct {
+			if math.Float64bits(c.Stats.GPct[j]) != math.Float64bits(w.Stats.GPct[j]) ||
+				math.Float64bits(c.Stats.GMean[j]) != math.Float64bits(w.Stats.GMean[j]) ||
+				math.Float64bits(c.Stats.TactPct[j]) != math.Float64bits(w.Stats.TactPct[j]) {
+				t.Fatalf("run %d: cached statistics differ from cold at cell %d", i, j)
+			}
+		}
+	}
+}
+
+// TestRunBatchConcurrentSharedCacheDir: concurrent batches sharing one
+// cache directory must be race-clean (run under -race in CI) and all
+// succeed with consistent results.
+func TestRunBatchConcurrentSharedCacheDir(t *testing.T) {
+	sc, err := Residential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfgs := []Config{
+		{Scenario: sc, Modules: 8, CacheDir: dir},
+		{Scenario: sc, Modules: 16, CacheDir: dir},
+	}
+	const callers = 3
+	results := make([][]BatchRun, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runs, err := RunBatch(cfgs, BatchOptions{Concurrency: 2})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			results[i] = runs
+		}(i)
+	}
+	wg.Wait()
+	for i, runs := range results {
+		if runs == nil {
+			t.Fatalf("caller %d produced no runs", i)
+		}
+		for _, br := range runs {
+			if br.Err != nil {
+				t.Fatalf("caller %d run %s: %v", i, br.Name, br.Err)
+			}
+		}
+		if got, want := runs[0].Result.ProposedEval.NetMWh(), results[0][0].Result.ProposedEval.NetMWh(); got != want {
+			t.Errorf("caller %d: proposed %v differs from caller 0's %v", i, got, want)
+		}
 	}
 }

@@ -95,11 +95,13 @@ func planOpts(b *testing.B, st *benchState, n int) floorplan.Options {
 // production on Roofs 1-3 for N in {16, 32}. The gain percentage is
 // reported as a custom metric.
 func BenchmarkTableI(b *testing.B) {
+	b.ReportAllocs()
 	mod := pvmodel.PVMF165EB3()
 	spec := wiring.AWG10(scenario.CellSizeM)
 	for _, st := range roofStates(b) {
 		for _, n := range []int{16, 32} {
 			b.Run(fmt.Sprintf("%s/N=%d", slugify(st.sc.Name), n), func(b *testing.B) {
+				b.ReportAllocs()
 				opts := planOpts(b, st, n)
 				var gain float64
 				for i := 0; i < b.N; i++ {
@@ -130,6 +132,7 @@ func BenchmarkTableI(b *testing.B) {
 // BenchmarkFig1Conceptual regenerates the Fig. 1 motivation: sparse
 // vs compact on a synthetic gradient surface.
 func BenchmarkFig1Conceptual(b *testing.B) {
+	b.ReportAllocs()
 	const w, h = 72, 32
 	suit := &floorplan.Suitability{W: w, H: h, S: make([]float64, w*h)}
 	for y := 0; y < h; y++ {
@@ -169,6 +172,7 @@ func BenchmarkFig1Conceptual(b *testing.B) {
 // BenchmarkFig2IVCurves regenerates the Fig. 2(a) I-V curves from the
 // single-diode model.
 func BenchmarkFig2IVCurves(b *testing.B) {
+	b.ReportAllocs()
 	dio := pvmodel.PVMF165EB3Diode()
 	for i := 0; i < b.N; i++ {
 		for _, g := range []float64{200, 400, 600, 800, 1000} {
@@ -186,6 +190,7 @@ func BenchmarkFig2IVCurves(b *testing.B) {
 // characteristics from the empirical model and reports the paper's 5x
 // power swing over G in [200,1000].
 func BenchmarkFig3ModuleCharacteristics(b *testing.B) {
+	b.ReportAllocs()
 	emp := pvmodel.PVMF165EB3()
 	var swing float64
 	for i := 0; i < b.N; i++ {
@@ -205,6 +210,7 @@ func BenchmarkFig3ModuleCharacteristics(b *testing.B) {
 // BenchmarkFig4WiringModel regenerates the Fig. 4 wiring-overhead
 // characterisation over displaced module pairs.
 func BenchmarkFig4WiringModel(b *testing.B) {
+	b.ReportAllocs()
 	spec := wiring.AWG10(scenario.CellSizeM)
 	shape := floorplan.ModuleShape{W: 8, H: 4}
 	var total float64
@@ -224,8 +230,10 @@ func BenchmarkFig4WiringModel(b *testing.B) {
 // BenchmarkFig6IrradianceMaps regenerates the Fig. 6(b) per-cell p75
 // irradiance statistics (the full stats streaming pass per roof).
 func BenchmarkFig6IrradianceMaps(b *testing.B) {
+	b.ReportAllocs()
 	for _, st := range roofStates(b) {
 		b.Run(slugify(st.sc.Name), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cs, err := st.ev.Stats()
 				if err != nil {
@@ -242,8 +250,10 @@ func BenchmarkFig6IrradianceMaps(b *testing.B) {
 // BenchmarkFig7Placements regenerates the Fig. 7 placement maps
 // (N=32 planning plus ASCII rendering).
 func BenchmarkFig7Placements(b *testing.B) {
+	b.ReportAllocs()
 	for _, st := range roofStates(b) {
 		b.Run(slugify(st.sc.Name), func(b *testing.B) {
+			b.ReportAllocs()
 			opts := planOpts(b, st, 32)
 			for i := 0; i < b.N; i++ {
 				sparse, err := floorplan.Plan(st.suit, st.sc.Suitable, opts)
@@ -262,6 +272,7 @@ func BenchmarkFig7Placements(b *testing.B) {
 // BenchmarkOverheadAssessment regenerates the §V-C wiring overhead
 // numbers and reports the worst-case extra cable metres.
 func BenchmarkOverheadAssessment(b *testing.B) {
+	b.ReportAllocs()
 	spec := wiring.AWG10(scenario.CellSizeM)
 	mod := pvmodel.PVMF165EB3()
 	st := roofStates(b)[2] // Roof 3 exhibits the largest overhead
@@ -289,9 +300,11 @@ func BenchmarkOverheadAssessment(b *testing.B) {
 // time scales with Ng and N (the paper reports <120 s at ≈12k cells
 // on a 2017 server; the greedy here runs in milliseconds).
 func BenchmarkPlacementScaling(b *testing.B) {
+	b.ReportAllocs()
 	for _, st := range roofStates(b) {
 		for _, n := range []int{8, 16, 32} {
 			b.Run(fmt.Sprintf("%s/Ng=%d/N=%d", slugify(st.sc.Name), st.sc.Ng(), n), func(b *testing.B) {
+				b.ReportAllocs()
 				opts := planOpts(b, st, n)
 				for i := 0; i < b.N; i++ {
 					if _, err := floorplan.Plan(st.suit, st.sc.Suitable, opts); err != nil {
@@ -306,9 +319,11 @@ func BenchmarkPlacementScaling(b *testing.B) {
 // BenchmarkAblationPercentile sweeps the suitability statistic
 // (ablation A1) on Roof 2, N=32.
 func BenchmarkAblationPercentile(b *testing.B) {
+	b.ReportAllocs()
 	st := roofStates(b)[1]
 	for _, pct := range []float64{50, 75, 90} {
 		b.Run(fmt.Sprintf("p%.0f", pct), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cs, err := st.ev.StatsPercentile(pct)
 				if err != nil {
@@ -330,10 +345,12 @@ func BenchmarkAblationPercentile(b *testing.B) {
 // (ablation A2) on Roof 2, N=32, reporting the wiring overhead each
 // policy produces.
 func BenchmarkAblationDistancePolicy(b *testing.B) {
+	b.ReportAllocs()
 	st := roofStates(b)[1]
 	spec := wiring.AWG10(scenario.CellSizeM)
 	for _, pol := range []floorplan.DistancePolicy{floorplan.PolicyChain, floorplan.PolicyCentroid, floorplan.PolicyNone} {
 		b.Run(pol.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			opts := planOpts(b, st, 32)
 			opts.Policy = pol
 			var extra float64
@@ -356,11 +373,13 @@ func BenchmarkAblationDistancePolicy(b *testing.B) {
 // branch-and-bound placer on reduced instances (ablation A3) and
 // reports the suitability-sum gap.
 func BenchmarkOptimalityGap(b *testing.B) {
+	b.ReportAllocs()
 	st := roofStates(b)[1]
 	sub := cropSuit(st.suit, 60, 24)
 	mask := cropMask(st.sc.Suitable, 60, 24)
 	for _, n := range []int{2, 3, 4} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var gap float64
 			for i := 0; i < b.N; i++ {
 				g, err := floorplan.Plan(sub, mask, floorplan.Options{
@@ -392,6 +411,7 @@ func BenchmarkOptimalityGap(b *testing.B) {
 // below that baseline; "cold" additionally pays the one-off table
 // construction inside every call.
 func BenchmarkAnnealRefine(b *testing.B) {
+	b.ReportAllocs()
 	st := roofStates(b)[1]
 	opts := planOpts(b, st, 32)
 	seed, err := floorplan.Plan(st.suit, st.sc.Suitable, opts)
@@ -400,6 +420,7 @@ func BenchmarkAnnealRefine(b *testing.B) {
 	}
 	const iters = 10000
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		var improve float64
 		start := time.Now()
 		for i := 0; i < b.N; i++ {
@@ -415,6 +436,7 @@ func BenchmarkAnnealRefine(b *testing.B) {
 		b.ReportMetric(improve, "suit_gain%")
 	})
 	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
 		obj, err := objective.New(st.suit, st.sc.Suitable, objective.Params{
 			Shape:        opts.Shape,
 			Topology:     opts.Topology,
@@ -441,6 +463,7 @@ func BenchmarkAnnealRefine(b *testing.B) {
 // restarts over one shared score table) against the single-walk
 // refinement budgeted identically, reporting the objective values.
 func BenchmarkMultiStart(b *testing.B) {
+	b.ReportAllocs()
 	st := roofStates(b)[1]
 	opts := planOpts(b, st, 32)
 	problem := optimize.Problem{Suit: st.suit, Mask: st.sc.Suitable, Opts: opts}
@@ -451,6 +474,7 @@ func BenchmarkMultiStart(b *testing.B) {
 			name = "parallel"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var val float64
 			for i := 0; i < b.N; i++ {
 				ms := optimize.MultiStart{Seed: 7, Iterations: iters, Restarts: 8, Workers: workers}
@@ -475,6 +499,7 @@ func BenchmarkMultiStart(b *testing.B) {
 // re-evaluation (footprint re-sum + full wiring estimator) every
 // search strategy would otherwise pay per candidate.
 func BenchmarkObjectiveDelta(b *testing.B) {
+	b.ReportAllocs()
 	st := roofStates(b)[1]
 	opts := planOpts(b, st, 32)
 	seed, err := floorplan.Plan(st.suit, st.sc.Suitable, opts)
@@ -508,6 +533,7 @@ func BenchmarkObjectiveDelta(b *testing.B) {
 		}
 	}
 	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
 		var acc float64
 		for i := 0; i < b.N; i++ {
 			m := moves[i%len(moves)]
@@ -520,6 +546,7 @@ func BenchmarkObjectiveDelta(b *testing.B) {
 		_ = acc
 	})
 	b.Run("fromscratch", func(b *testing.B) {
+		b.ReportAllocs()
 		rects := obj.Rects()
 		var acc float64
 		for i := 0; i < b.N; i++ {
@@ -578,6 +605,7 @@ func cropMask(m *geom.Mask, w, h int) *geom.Mask {
 // — the part concurrency and memoization accelerate — dominant over
 // the horizon map.
 func BenchmarkFieldConstruction(b *testing.B) {
+	b.ReportAllocs()
 	sc, err := scenario.Residential()
 	if err != nil {
 		b.Fatal(err)
@@ -603,6 +631,7 @@ func BenchmarkFieldConstruction(b *testing.B) {
 // roofs in one invocation (two module counts per roof; the variants
 // of each roof share one solar field).
 func BenchmarkRunBatch(b *testing.B) {
+	b.ReportAllocs()
 	scs, err := scenario.All()
 	if err != nil {
 		b.Fatal(err)
@@ -630,6 +659,7 @@ func BenchmarkRunBatch(b *testing.B) {
 // dominant setup cost of the shadow model (the GIS stage the paper
 // runs once per roof).
 func BenchmarkHorizonBuild(b *testing.B) {
+	b.ReportAllocs()
 	st := roofStates(b)[0]
 	for i := 0; i < b.N; i++ {
 		if _, err := horizon.Build(st.sc.Scene.Raster, st.sc.Scene.RoofRect,
@@ -643,6 +673,7 @@ func BenchmarkHorizonBuild(b *testing.B) {
 // evaluation of one N=32 placement (the inner loop of every
 // experiment).
 func BenchmarkEvaluatePlacement(b *testing.B) {
+	b.ReportAllocs()
 	st := roofStates(b)[1]
 	mod := pvmodel.PVMF165EB3()
 	spec := wiring.AWG10(scenario.CellSizeM)
@@ -660,6 +691,7 @@ func BenchmarkEvaluatePlacement(b *testing.B) {
 
 // BenchmarkMonthlyProfile measures the monthly-energy extraction.
 func BenchmarkMonthlyProfile(b *testing.B) {
+	b.ReportAllocs()
 	st := roofStates(b)[1]
 	mod := pvmodel.PVMF165EB3()
 	pl, err := floorplan.Plan(st.suit, st.sc.Suitable, planOpts(b, st, 32))
@@ -678,6 +710,7 @@ func BenchmarkMonthlyProfile(b *testing.B) {
 // free-rotation placement (extension study), reporting the
 // suitability gain rotation buys.
 func BenchmarkAblationOrientation(b *testing.B) {
+	b.ReportAllocs()
 	st := roofStates(b)[2]
 	for _, rotate := range []bool{false, true} {
 		name := "fixed"
@@ -685,6 +718,7 @@ func BenchmarkAblationOrientation(b *testing.B) {
 			name = "rotating"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			opts := planOpts(b, st, 32)
 			opts.AllowRotation = rotate
 			var suitSum float64
@@ -704,9 +738,11 @@ func BenchmarkAblationOrientation(b *testing.B) {
 // same roof, reporting each one's suitability total — the sanity
 // ordering random <= compact <= greedy.
 func BenchmarkBaselineHierarchy(b *testing.B) {
+	b.ReportAllocs()
 	st := roofStates(b)[1]
 	opts := planOpts(b, st, 16)
 	b.Run("random", func(b *testing.B) {
+		b.ReportAllocs()
 		var s float64
 		for i := 0; i < b.N; i++ {
 			pl, err := floorplan.PlanRandom(st.suit, st.sc.Suitable, opts, int64(i))
@@ -718,6 +754,7 @@ func BenchmarkBaselineHierarchy(b *testing.B) {
 		b.ReportMetric(s, "suit_sum")
 	})
 	b.Run("compact", func(b *testing.B) {
+		b.ReportAllocs()
 		var s float64
 		for i := 0; i < b.N; i++ {
 			pl, err := floorplan.PlanCompact(st.suit, st.sc.Suitable, opts)
@@ -729,6 +766,7 @@ func BenchmarkBaselineHierarchy(b *testing.B) {
 		b.ReportMetric(s, "suit_sum")
 	})
 	b.Run("greedy", func(b *testing.B) {
+		b.ReportAllocs()
 		var s float64
 		for i := 0; i < b.N; i++ {
 			pl, err := floorplan.Plan(st.suit, st.sc.Suitable, opts)
@@ -743,6 +781,7 @@ func BenchmarkBaselineHierarchy(b *testing.B) {
 
 // BenchmarkEconomics prices the Table I headline configuration.
 func BenchmarkEconomics(b *testing.B) {
+	b.ReportAllocs()
 	var npv float64
 	for i := 0; i < b.N; i++ {
 		a, err := econ.Assess(7.4, 32, 5.28, 30, econ.Residential2018(), econ.TurinFeedIn2018())

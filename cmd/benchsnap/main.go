@@ -1,0 +1,102 @@
+// Command benchsnap records a benchmark-trajectory snapshot: it runs
+// (or parses) `go test -bench` output and writes a structured JSON
+// file — ns/op, B/op, allocs/op and every custom metric per benchmark
+// — so performance numbers live in the repository's history instead of
+// scrolling away in terminal logs. CI regenerates a snapshot per run
+// and uploads it as a workflow artifact; the committed BENCH_pr<N>.json
+// files pin the trajectory across PRs.
+//
+// Usage:
+//
+//	benchsnap                                  # hot-path defaults → BENCH.json
+//	benchsnap -out BENCH_pr3.json -benchtime 5x
+//	benchsnap -bench 'Fig6|TableI' -pkg .      # narrower selection
+//	go test -run '^$' -bench . -benchmem . | benchsnap -in - -out snap.json
+//
+// The JSON format is documented in README.md ("Benchmark snapshots").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"runtime"
+	"time"
+)
+
+// defaultBench selects the headline benchmarks of the four pipeline
+// stages: Table I regeneration (planning + evaluation), the Fig. 6
+// statistics pass, solar-field construction and the incremental
+// objective.
+const defaultBench = "BenchmarkTableI|BenchmarkFig6IrradianceMaps|BenchmarkFieldConstruction|BenchmarkObjectiveDelta"
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchsnap: ")
+	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
+	pkg := flag.String("pkg", ".", "package pattern to benchmark")
+	out := flag.String("out", "BENCH.json", "output JSON path")
+	in := flag.String("in", "", "parse existing go test -bench output from this file ('-' = stdin) instead of running benchmarks")
+	flag.Parse()
+
+	var (
+		raw []byte
+		err error
+	)
+	switch {
+	case *in == "-":
+		raw, err = io.ReadAll(os.Stdin)
+	case *in != "":
+		raw, err = os.ReadFile(*in)
+	default:
+		raw, err = runBenchmarks(*bench, *benchtime, *pkg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	snap, err := parseBenchOutput(string(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		log.Fatal("no benchmark result lines found in input")
+	}
+	snap.Schema = schemaID
+	snap.Generated = time.Now().UTC().Format(time.RFC3339)
+	snap.GoVersion = runtime.Version()
+	snap.BenchRegex = *bench
+	snap.BenchTime = *benchtime
+	if *in != "" {
+		snap.BenchRegex = ""
+		snap.BenchTime = ""
+	}
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchsnap: %d benchmarks -> %s\n", len(snap.Benchmarks), *out)
+}
+
+// runBenchmarks executes the benchmark selection with -benchmem so
+// allocation figures are always present.
+func runBenchmarks(bench, benchtime, pkg string) ([]byte, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchtime", benchtime, "-benchmem", pkg)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import "testing"
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTableI/Roof1/N=16-8  	       5	  14493151 ns/op	        16.63 gain%	 1673376 B/op	      88 allocs/op
+BenchmarkFig6IrradianceMaps/Roof2-8         	       5	  14824931 ns/op	  368821 B/op	       5 allocs/op
+BenchmarkObjectiveDelta/incremental-8       	20000000	        54.62 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	3.561s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	snap, err := parseBenchOutput(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" || snap.Pkg != "repro" {
+		t.Errorf("header parsed as %q/%q/%q", snap.Goos, snap.Goarch, snap.Pkg)
+	}
+	if snap.CPU == "" {
+		t.Error("cpu line not captured")
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+
+	b := snap.Benchmarks[0]
+	if b.Name != "BenchmarkTableI/Roof1/N=16" || b.Procs != 8 {
+		t.Errorf("name/procs = %q/%d", b.Name, b.Procs)
+	}
+	if b.Iterations != 5 || b.NsPerOp != 14493151 {
+		t.Errorf("iterations/ns = %d/%g", b.Iterations, b.NsPerOp)
+	}
+	if b.BytesPerOp != 1673376 || b.AllocsPerOp != 88 {
+		t.Errorf("allocs parsed as %g B, %g allocs", b.BytesPerOp, b.AllocsPerOp)
+	}
+	if got := b.Metrics["gain%"]; got != 16.63 {
+		t.Errorf("custom metric gain%% = %g", got)
+	}
+
+	if b := snap.Benchmarks[2]; b.NsPerOp != 54.62 || len(b.Metrics) != 0 {
+		t.Errorf("fractional ns/op parsed as %g (metrics %v)", b.NsPerOp, b.Metrics)
+	}
+}
+
+func TestParseBenchLineErrors(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX-8",
+		"BenchmarkX-8 notanumber 12 ns/op",
+		"BenchmarkX-8 5 bad ns/op",
+	} {
+		if _, err := parseBenchLine(line); err == nil {
+			t.Errorf("line %q must fail to parse", line)
+		}
+	}
+}
+
+func TestParseBenchOutputEmpty(t *testing.T) {
+	snap, err := parseBenchOutput("PASS\nok x 1s\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 0 {
+		t.Errorf("expected no benchmarks, got %d", len(snap.Benchmarks))
+	}
+}

@@ -14,6 +14,8 @@
 //	                                 # optimizer-strategy sweep
 //	pvbatch -full -runs 2            # paper fidelity, 2 runs at a time
 //	pvbatch -json                    # machine-readable per-run output
+//	pvbatch -cache ~/.pvcache        # reuse horizon maps + statistics
+//	                                 # across invocations (bit-identical)
 package main
 
 import (
@@ -43,6 +45,7 @@ func main() {
 	optNames := flag.String("opt", "greedy", "comma list of optimizer strategies: greedy, anneal, multistart, bnb")
 	seed := flag.Int64("seed", 1, "random seed for the stochastic strategies")
 	restarts := flag.Int("restarts", 0, "multistart restart count K (0 = default 8)")
+	cacheDir := flag.String("cache", "", "persistent field-artifact cache directory (horizon maps + statistics reused across invocations)")
 	flag.Parse()
 
 	scs, err := pickScenarios(*roofs)
@@ -71,6 +74,7 @@ func main() {
 					Modules:      n,
 					Fidelity:     fid,
 					SkipBaseline: *noBaseline,
+					CacheDir:     *cacheDir,
 					Optimizer: pvfloor.OptimizerConfig{
 						Strategy: strat,
 						Seed:     *seed,

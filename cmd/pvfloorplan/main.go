@@ -10,6 +10,9 @@
 //	pvfloorplan -roof 3 -n 32 -pgm out/  # also dump PGM heat maps
 //	pvfloorplan -roof 2 -n 32 -opt multistart -restarts 8
 //	                                     # parallel multi-start anneal
+//	pvfloorplan -roof 1 -full -cache ~/.pvcache
+//	                                     # warm re-runs skip horizon +
+//	                                     # statistics via the disk cache
 package main
 
 import (
@@ -37,6 +40,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for the stochastic strategies")
 	iters := flag.Int("iters", 0, "annealing iterations per walk (0 = default 20000)")
 	restarts := flag.Int("restarts", 0, "multistart restart count K (0 = default 8)")
+	cacheDir := flag.String("cache", "", "persistent field-artifact cache directory (horizon maps + statistics reused across invocations)")
 	flag.Parse()
 
 	sc, err := pickScenario(*roof)
@@ -55,6 +59,7 @@ func main() {
 		Scenario: sc,
 		Modules:  *modules,
 		Fidelity: fid,
+		CacheDir: *cacheDir,
 		Optimizer: pvfloor.OptimizerConfig{
 			Strategy:   strategy,
 			Seed:       *seed,

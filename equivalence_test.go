@@ -77,6 +77,86 @@ func TestFieldParallelEquivalenceOnRoofs(t *testing.T) {
 	}
 }
 
+// TestSectorKernelEquivalenceOnRoofs pins the sector-sweep statistics
+// kernel on the three paper roofs: for percentiles {50, 75, 90} and
+// Workers ∈ {1, 2, 8} the pass must be bit-identical across worker
+// counts (per-cell accumulation shares nothing), and against the
+// retired scalar reference (StatsPercentileScalar) the
+// histogram-derived outputs — GPct, TactPct, Samples, the NaN mask —
+// must match bit-for-bit, with GMean agreeing to floating-point
+// rounding (the kernel sums in its documented sector order instead of
+// calendar order).
+func TestSectorKernelEquivalenceOnRoofs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds nine solar fields")
+	}
+	scs, err := scenario.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := scenario.FastGrid()
+	for _, sc := range scs {
+		t.Run(sc.Name, func(t *testing.T) {
+			evs := map[int]*field.Evaluator{}
+			for _, workers := range []int{1, 2, 8} {
+				ev, err := sc.FieldWith(scenario.FieldConfig{Grid: grid, Fast: true, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				evs[workers] = ev
+			}
+			for _, pct := range []float64{50, 75, 90} {
+				ref, err := evs[1].StatsPercentile(pct)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref.Samples == 0 {
+					t.Fatal("no samples accumulated")
+				}
+				for _, workers := range []int{2, 8} {
+					got, err := evs[workers].StatsPercentile(pct)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Samples != ref.Samples || got.W != ref.W || got.H != ref.H {
+						t.Fatalf("pct %g workers %d: frame mismatch", pct, workers)
+					}
+					for i := range ref.GPct {
+						if math.Float64bits(got.GPct[i]) != math.Float64bits(ref.GPct[i]) ||
+							math.Float64bits(got.GMean[i]) != math.Float64bits(ref.GMean[i]) ||
+							math.Float64bits(got.TactPct[i]) != math.Float64bits(ref.TactPct[i]) {
+							t.Fatalf("pct %g: workers %d differs from serial at cell %d", pct, workers, i)
+						}
+					}
+				}
+				scal, err := evs[1].StatsPercentileScalar(pct)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if scal.Samples != ref.Samples {
+					t.Fatalf("pct %g: scalar samples %d vs kernel %d", pct, scal.Samples, ref.Samples)
+				}
+				for i := range ref.GPct {
+					if math.Float64bits(scal.GPct[i]) != math.Float64bits(ref.GPct[i]) ||
+						math.Float64bits(scal.TactPct[i]) != math.Float64bits(ref.TactPct[i]) {
+						t.Fatalf("pct %g: kernel percentiles differ from scalar reference at cell %d", pct, i)
+					}
+					if math.IsNaN(ref.GMean[i]) != math.IsNaN(scal.GMean[i]) {
+						t.Fatalf("pct %g: NaN mask differs from scalar reference at cell %d", pct, i)
+					}
+					if !math.IsNaN(ref.GMean[i]) {
+						rel := math.Abs(ref.GMean[i]-scal.GMean[i]) / math.Max(1, math.Abs(scal.GMean[i]))
+						if rel > 1e-12 {
+							t.Fatalf("pct %g cell %d: GMean %v vs scalar %v (rel %g)",
+								pct, i, ref.GMean[i], scal.GMean[i], rel)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestRunWorkersKnobEquivalence: a full pipeline run must give the
 // same placements and energies for any Workers setting.
 func TestRunWorkersKnobEquivalence(t *testing.T) {

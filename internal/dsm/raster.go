@@ -11,6 +11,8 @@
 package dsm
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -86,6 +88,28 @@ func (r *Raster) AtMetres(xm, ym float64) float64 {
 // metres from the raster origin (x grows east, y grows south).
 func (r *Raster) CellCenterMetres(c geom.Cell) (xm, ym float64) {
 	return (float64(c.X) + 0.5) * r.cellSize, (float64(c.Y) + 0.5) * r.cellSize
+}
+
+// ContentHash returns a hex SHA-256 digest of the raster's identity:
+// dimensions, cell size and every elevation's exact bit pattern. Two
+// rasters share a hash iff they are cell-for-cell identical, so the
+// persistent field-artifact cache uses it to key horizon maps — any
+// edit to the surface (a new obstacle, a changed height) invalidates
+// the cached artifacts derived from it.
+func (r *Raster) ContentHash() string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(r.w))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(r.h))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(r.cellSize))
+	h.Write(buf[:])
+	for _, z := range r.z {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(z))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
 // Clone returns a deep copy of the raster.

@@ -1,0 +1,205 @@
+// Package fieldcache is the persistent artifact cache of the solar
+// pipeline: a content-addressed directory of gob-encoded artifacts
+// (horizon maps, per-cell statistics) keyed by composite fingerprints
+// of everything they depend on. Repeated scenario sweeps over the same
+// roofs — across processes, not just within one — skip both horizon
+// construction and the statistics pass.
+//
+// # Keying and invalidation
+//
+// The cache itself is value-agnostic: callers present a kind (a short
+// artifact-class tag) and a fingerprint string, and the cache maps the
+// pair to a file named by the SHA-256 of both. The field engine
+// composes fingerprints from the DSM raster content hash, the roof
+// region, the horizon options, the calendar fingerprint, the site,
+// turbidity, weather realisation and statistics configuration — so any
+// input change produces a different key and the stale artifact is
+// simply never read again (no explicit invalidation pass; run a
+// directory cleanup out of band if space matters).
+//
+// # Integrity
+//
+// Files carry a magic header, a format version, the full fingerprint
+// and a SHA-256 checksum of the payload. Loads verify all four before
+// decoding: corrupt, truncated or colliding files are treated as
+// misses (counted in Metrics.Corrupt) and recomputed, never trusted.
+//
+// # Concurrency
+//
+// Stores write to a unique temporary file and atomically rename it
+// into place, so concurrent writers — goroutines or whole processes
+// sharing one cache directory — race benignly: readers observe either
+// nothing or a complete file, and identical keys hold identical
+// content by construction.
+package fieldcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+const (
+	fileMagic   = "pvfield-cache"
+	fileVersion = 1
+)
+
+// envelope is the on-disk frame around a payload.
+type envelope struct {
+	Magic       string
+	Version     int
+	Kind        string
+	Fingerprint string
+	Payload     []byte
+	Sum         [sha256.Size]byte
+}
+
+// Cache is a handle on one cache directory. The zero value is not
+// usable; construct with Open. All methods are safe for concurrent
+// use.
+type Cache struct {
+	dir string
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	stores  atomic.Uint64
+	corrupt atomic.Uint64
+}
+
+// Metrics is a snapshot of a cache handle's counters. Counters are
+// per-handle, not per-directory: two handles on one directory count
+// separately.
+type Metrics struct {
+	// Hits counts loads that returned a verified artifact.
+	Hits uint64
+	// Misses counts loads that found no usable artifact (absent or
+	// corrupt; corrupt ones also increment Corrupt).
+	Misses uint64
+	// Stores counts successful writes.
+	Stores uint64
+	// Corrupt counts files that existed but failed verification.
+	Corrupt uint64
+}
+
+// Open creates (if needed) and opens a cache directory.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("fieldcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fieldcache: creating %s: %w", dir, err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Metrics returns a snapshot of this handle's counters.
+func (c *Cache) Metrics() Metrics {
+	return Metrics{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Stores:  c.stores.Load(),
+		Corrupt: c.corrupt.Load(),
+	}
+}
+
+// path maps (kind, fingerprint) to the artifact file. The fingerprint
+// is hashed — it can be arbitrarily long and contain any bytes — and
+// the kind is kept readable for debugging.
+func (c *Cache) path(kind, fingerprint string) string {
+	sum := sha256.Sum256([]byte(kind + "\x00" + fingerprint))
+	return filepath.Join(c.dir, fmt.Sprintf("%s-%x.gob", kind, sum[:16]))
+}
+
+// Load looks up the artifact for (kind, fingerprint) and gob-decodes
+// it into out (which must be a non-nil pointer). It returns true only
+// when a fully verified artifact was decoded; every failure mode —
+// absent file, bad magic or version, fingerprint mismatch, checksum
+// mismatch, decode error — is a miss, and the caller recomputes.
+func (c *Cache) Load(kind, fingerprint string, out any) bool {
+	raw, err := os.ReadFile(c.path(kind, fingerprint))
+	if err != nil {
+		c.misses.Add(1)
+		return false
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&env); err != nil {
+		c.markCorrupt()
+		return false
+	}
+	if env.Magic != fileMagic || env.Version != fileVersion ||
+		env.Kind != kind || env.Fingerprint != fingerprint {
+		c.markCorrupt()
+		return false
+	}
+	if sha256.Sum256(env.Payload) != env.Sum {
+		c.markCorrupt()
+		return false
+	}
+	if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(out); err != nil {
+		c.markCorrupt()
+		return false
+	}
+	c.hits.Add(1)
+	return true
+}
+
+func (c *Cache) markCorrupt() {
+	c.corrupt.Add(1)
+	c.misses.Add(1)
+}
+
+// Store writes the artifact for (kind, fingerprint). The write is
+// atomic (temp file + rename), so concurrent stores of the same key
+// and concurrent loads are race-free.
+func (c *Cache) Store(kind, fingerprint string, v any) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("fieldcache: encoding %s artifact: %w", kind, err)
+	}
+	env := envelope{
+		Magic:       fileMagic,
+		Version:     fileVersion,
+		Kind:        kind,
+		Fingerprint: fingerprint,
+		Payload:     payload.Bytes(),
+		Sum:         sha256.Sum256(payload.Bytes()),
+	}
+	var frame bytes.Buffer
+	if err := gob.NewEncoder(&frame).Encode(env); err != nil {
+		return fmt.Errorf("fieldcache: framing %s artifact: %w", kind, err)
+	}
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fieldcache: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(frame.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("fieldcache: writing %s artifact: %w", kind, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fieldcache: closing %s artifact: %w", kind, err)
+	}
+	// CreateTemp opens 0600; published artifacts must be readable by
+	// other users so whole processes can share one cache directory,
+	// as documented.
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fieldcache: publishing %s artifact: %w", kind, err)
+	}
+	if err := os.Rename(tmpName, c.path(kind, fingerprint)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fieldcache: publishing %s artifact: %w", kind, err)
+	}
+	c.stores.Add(1)
+	return nil
+}

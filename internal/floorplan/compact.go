@@ -33,28 +33,55 @@ func PlanCompact(suit *Suitability, mask *geom.Mask, opts Options) (*Placement, 
 	opts.AllowRotation = false
 	n := opts.Topology.Modules()
 
-	// Precompute per-slot scores on the anchor lattice of each block
-	// configuration lazily via scoreAt.
-	scoreAt := func(anchor geom.Cell) (float64, bool) {
-		rect := opts.Shape.Rect(anchor)
-		if !mask.AllSet(rect) {
-			return 0, false
-		}
-		var sum float64
-		valid := true
-		rect.Cells(func(c geom.Cell) bool {
-			v := suit.At(c)
-			if math.IsNaN(v) {
-				valid = false
-				return false
+	// Precompute the per-anchor slot score once: the block sweep below
+	// revisits every anchor many times (once per factorisation whose
+	// lattice contains it), and re-summing the 32-cell footprint per
+	// visit used to dominate the whole Table I regeneration. The table
+	// accumulates each footprint in the same row-major order the
+	// previous per-visit scan used, so every per-slot score — and
+	// therefore every intact-block choice — is bit-identical to the
+	// lazy evaluation. (Holey-fallback candidates now sum their slots
+	// in row-major order rather than the former score-descending
+	// order; see the holey branch below.)
+	aw := mask.W() - opts.Shape.W + 1
+	ah := mask.H() - opts.Shape.H + 1
+	var scores []float64
+	if aw > 0 && ah > 0 {
+		scores = make([]float64, aw*ah)
+		area := float64(opts.Shape.W * opts.Shape.H)
+		for ay := 0; ay < ah; ay++ {
+			for ax := 0; ax < aw; ax++ {
+				scores[ay*aw+ax] = math.NaN()
+				rect := opts.Shape.Rect(geom.Cell{X: ax, Y: ay})
+				if !mask.AllSet(rect) {
+					continue
+				}
+				var sum float64
+				valid := true
+				rect.Cells(func(c geom.Cell) bool {
+					v := suit.At(c)
+					if math.IsNaN(v) {
+						valid = false
+						return false
+					}
+					sum += v
+					return true
+				})
+				if valid {
+					scores[ay*aw+ax] = sum / area
+				}
 			}
-			sum += v
-			return true
-		})
-		if !valid {
+		}
+	}
+	scoreAt := func(anchor geom.Cell) (float64, bool) {
+		if anchor.X < 0 || anchor.X >= aw || anchor.Y < 0 || anchor.Y >= ah {
 			return 0, false
 		}
-		return sum / float64(opts.Shape.W*opts.Shape.H), true
+		s := scores[anchor.Y*aw+anchor.X]
+		if math.IsNaN(s) {
+			return 0, false
+		}
+		return s, true
 	}
 
 	type blockPos struct {
@@ -63,8 +90,22 @@ func PlanCompact(suit *Suitability, mask *geom.Mask, opts Options) (*Placement, 
 		score      float64
 		slots      []geom.Cell // chosen module anchors, row-major
 	}
+	type scoredSlot struct {
+		c geom.Cell
+		s float64
+	}
 
 	var bestIntact, bestHoley *blockPos
+	// One scratch buffer serves every candidate position; slots are
+	// only copied out when a position becomes the incumbent best.
+	all := make([]scoredSlot, 0, n)
+	copySlots := func() []geom.Cell {
+		slots := make([]geom.Cell, len(all))
+		for i, sl := range all {
+			slots[i] = sl.c
+		}
+		return slots
+	}
 	for rows := 1; rows <= n; rows++ {
 		if n%rows != 0 {
 			continue
@@ -79,12 +120,7 @@ func PlanCompact(suit *Suitability, mask *geom.Mask, opts Options) (*Placement, 
 			for x0 := 0; x0+bw <= mask.W(); x0++ {
 				var sum float64
 				var holes int
-				slots := make([]geom.Cell, 0, n)
-				type scoredSlot struct {
-					c geom.Cell
-					s float64
-				}
-				var all []scoredSlot
+				all = all[:0]
 				for r := 0; r < rows; r++ {
 					for c := 0; c < cols; c++ {
 						anchor := geom.Cell{X: x0 + c*opts.Shape.W, Y: y0 + r*opts.Shape.H}
@@ -94,15 +130,12 @@ func PlanCompact(suit *Suitability, mask *geom.Mask, opts Options) (*Placement, 
 							continue
 						}
 						all = append(all, scoredSlot{anchor, s})
+						sum += s
 					}
 				}
 				if holes == 0 {
-					for _, sl := range all {
-						slots = append(slots, sl.c)
-						sum += sl.s
-					}
 					if bestIntact == nil || sum > bestIntact.score {
-						bestIntact = &blockPos{rows, cols, geom.Cell{X: x0, Y: y0}, sum, slots}
+						bestIntact = &blockPos{rows, cols, geom.Cell{X: x0, Y: y0}, sum, copySlots()}
 					}
 					continue
 				}
@@ -114,19 +147,19 @@ func PlanCompact(suit *Suitability, mask *geom.Mask, opts Options) (*Placement, 
 				// sweep finding larger factorisations is not possible
 				// since rows*cols == n). Keep the best "almost" block
 				// for the fallback by padding with the nearest valid
-				// slots around the block.
+				// slots around the block. Slot order within the block
+				// is irrelevant to the outcome (fillShortfall re-sorts
+				// the final module set row-major); the candidate score
+				// itself is summed in row-major slot order — a fixed,
+				// documented order, though not the score-descending
+				// order the pre-table implementation happened to use,
+				// so near-tied holey candidates may rank differently
+				// than they did before this optimisation.
 				if len(all) == 0 {
 					continue
 				}
-				sort.Slice(all, func(i, j int) bool { return all[i].s > all[j].s })
-				var holeySum float64
-				holeySlots := make([]geom.Cell, 0, len(all))
-				for _, sl := range all {
-					holeySlots = append(holeySlots, sl.c)
-					holeySum += sl.s
-				}
-				if bestHoley == nil || holeySum > bestHoley.score {
-					bestHoley = &blockPos{rows, cols, geom.Cell{X: x0, Y: y0}, holeySum, holeySlots}
+				if bestHoley == nil || sum > bestHoley.score {
+					bestHoley = &blockPos{rows, cols, geom.Cell{X: x0, Y: y0}, sum, copySlots()}
 				}
 			}
 		}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/dsm"
+	"repro/internal/fieldcache"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
 	"repro/internal/panel"
@@ -105,6 +106,11 @@ type FieldConfig struct {
 	// construction and statistics: 0 = one worker per CPU, 1 = the
 	// serial reference path. Results are identical for every value.
 	Workers int
+	// CacheDir, when non-empty, enables the persistent field-artifact
+	// cache in that directory: horizon maps and per-cell statistics
+	// are fingerprinted and reused across runs and processes. Cached
+	// results are bit-identical to cold computation.
+	CacheDir string
 }
 
 // Field builds the solar-field evaluator for the scenario on the
@@ -130,6 +136,12 @@ func (s *Scenario) FieldWith(cfg FieldConfig) (*field.Evaluator, error) {
 	if cfg.Fast {
 		hopts = horizon.Options{Sectors: 32, MaxDistanceM: 40}
 	}
+	var cache *fieldcache.Cache
+	if cfg.CacheDir != "" {
+		if cache, err = fieldcache.Open(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
 	return field.New(field.Config{
 		Site:      s.Site,
 		Scene:     s.Scene,
@@ -139,6 +151,7 @@ func (s *Scenario) FieldWith(cfg FieldConfig) (*field.Evaluator, error) {
 		MonthlyTL: s.MonthlyTL,
 		Horizon:   hopts,
 		Workers:   cfg.Workers,
+		Cache:     cache,
 	})
 }
 

@@ -1,0 +1,126 @@
+package field
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/solar/horizon"
+	"repro/internal/weather"
+)
+
+// Artifact kinds in the persistent cache.
+const (
+	kindHorizon = "horizon"
+	kindStats   = "stats"
+)
+
+// statsVersion is baked into every statistics fingerprint; bump it
+// whenever the kernel's output semantics change (e.g. the documented
+// GMean summation order) so stale artifacts from older binaries are
+// never served.
+const statsVersion = "stats-v2-sector"
+
+// horizonMap returns the evaluator's horizon map: from the artifact
+// cache when Config.Cache is set and holds a verified entry, otherwise
+// ray-marched via horizon.Build (and stored for the next process).
+// The fingerprint covers the DSM raster content, the roof region and
+// the horizon options, so any surface or parameter change recomputes.
+func horizonMap(cfg Config, roof geom.Rect) (m *horizon.Map, fp string, fromCache bool, err error) {
+	if cfg.Cache == nil {
+		m, err = horizon.Build(cfg.Scene.Raster, roof, cfg.Horizon)
+		return m, "", false, err
+	}
+	o := cfg.Horizon
+	fp = fmt.Sprintf("horizon-v1|%s|%v|%d|%x|%x|%x|%x|%x",
+		cfg.Scene.Raster.ContentHash(), roof,
+		o.Sectors, o.MaxDistanceM, o.NearStepM, o.NearFieldM, o.FarStepM, o.EyeHeightM)
+	var snap horizon.Snapshot
+	if cfg.Cache.Load(kindHorizon, fp, &snap) {
+		if m, err := horizon.FromSnapshot(snap); err == nil && m.Region() == roof {
+			return m, fp, true, nil
+		}
+		// Shape mismatch despite a verified envelope: fall through and
+		// recompute rather than trust it.
+	}
+	m, err = horizon.Build(cfg.Scene.Raster, roof, cfg.Horizon)
+	if err != nil {
+		return nil, fp, false, err
+	}
+	// A failed store only loses the warm start for the next process;
+	// the computation in hand is unaffected.
+	_ = cfg.Cache.Store(kindHorizon, fp, m.Snapshot())
+	return m, fp, false, nil
+}
+
+// statsFingerprint composes the statistics cache key prefix for the
+// configuration: the horizon fingerprint (DSM + region + options), the
+// calendar, the site and turbidity climatology, the transposition and
+// decomposition models, the weather realisation, the suitability mask
+// and the histogram layout. It returns "" — disabling statistics
+// caching — when no cache is configured or the weather provider is not
+// fingerprintable.
+func statsFingerprint(cfg Config, horizonFP string) string {
+	if cfg.Cache == nil || horizonFP == "" {
+		return ""
+	}
+	wfp, ok := cfg.Weather.(weather.Fingerprinter)
+	if !ok {
+		return ""
+	}
+	// The roof plane's slope and aspect feed the transposition, so
+	// they are part of the statistics identity even though they are
+	// carried on the Scene rather than the raster.
+	plane := cfg.Scene.RoofPlane
+	return fmt.Sprintf("%s|%s|%s|%x|%x|%x|%x|%x|%x|%d|%d|%x|%x|%t|%s|%s|g%d[%g,%g]t%d[%g,%g]",
+		statsVersion, horizonFP, cfg.Grid.Fingerprint(),
+		cfg.Site.LatDeg, cfg.Site.LonDeg, cfg.Site.AltitudeM,
+		plane.SlopeRad(), plane.AspectRad(),
+		cfg.MonthlyTL, cfg.Sky, cfg.Decomposition,
+		cfg.Albedo, cfg.ThermalK, cfg.DaylightOnly,
+		wfp.Fingerprint(), maskDigest(cfg.Suitable),
+		gBins, gLo, gHi, tBins, tLo, tHi)
+}
+
+// maskDigest hashes the suitable mask's exact cell set.
+func maskDigest(m *geom.Mask) string {
+	h := sha256.New()
+	row := make([]byte, m.W())
+	for y := 0; y < m.H(); y++ {
+		for x := 0; x < m.W(); x++ {
+			b := byte(0)
+			if m.Get(geom.Cell{X: x, Y: y}) {
+				b = 1
+			}
+			row[x] = b
+		}
+		h.Write(row)
+	}
+	return fmt.Sprintf("%dx%d-%x", m.W(), m.H(), h.Sum(nil))
+}
+
+// loadCachedStats serves a statistics result from the artifact cache
+// when available. Loaded results are shape-checked against the mask
+// before being trusted.
+func (e *Evaluator) loadCachedStats(pct float64) (*CellStats, bool) {
+	if e.statsFP == "" {
+		return nil, false
+	}
+	var cs CellStats
+	if !e.cfg.Cache.Load(kindStats, fmt.Sprintf("%s|p%x", e.statsFP, pct), &cs) {
+		return nil, false
+	}
+	if cs.W != e.cfg.Suitable.W() || cs.H != e.cfg.Suitable.H() || cs.Pct != pct ||
+		len(cs.GPct) != cs.W*cs.H || len(cs.GMean) != cs.W*cs.H || len(cs.TactPct) != cs.W*cs.H {
+		return nil, false
+	}
+	return &cs, true
+}
+
+// storeCachedStats publishes a freshly computed statistics result.
+func (e *Evaluator) storeCachedStats(pct float64, cs *CellStats) {
+	if e.statsFP == "" {
+		return
+	}
+	_ = e.cfg.Cache.Store(kindStats, fmt.Sprintf("%s|p%x", e.statsFP, pct), cs)
+}

@@ -1,0 +1,183 @@
+package field
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fieldcache"
+	"repro/internal/geom"
+	"repro/internal/solar/horizon"
+)
+
+// cachedEvaluator builds a test evaluator backed by the given cache
+// directory.
+func cachedEvaluator(t *testing.T, dir string, mutate func(*Config)) *Evaluator {
+	t.Helper()
+	cache, err := fieldcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return testEvaluator(t, func(c *Config) {
+		c.Cache = cache
+		if mutate != nil {
+			mutate(c)
+		}
+	})
+}
+
+// TestCacheWarmPathSkipsRecomputation: a second evaluator over the
+// same configuration and cache directory must restore the horizon map
+// and the statistics from disk — no ray marching, no kernel pass —
+// and the restored artifacts must be bit-identical to the cold run.
+func TestCacheWarmPathSkipsRecomputation(t *testing.T) {
+	dir := t.TempDir()
+
+	cold := cachedEvaluator(t, dir, nil)
+	if cold.HorizonFromCache() {
+		t.Fatal("first build cannot hit the horizon cache")
+	}
+	csCold, err := cold.StatsPercentile(75)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hb, sp := horizon.BuildCount(), StatsPassCount()
+	warm := cachedEvaluator(t, dir, nil)
+	if !warm.HorizonFromCache() {
+		t.Fatal("second build must restore the horizon map from cache")
+	}
+	csWarm, err := warm.StatsPercentile(75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := horizon.BuildCount(); got != hb {
+		t.Errorf("warm run ray-marched %d horizon maps, want 0", got-hb)
+	}
+	if got := StatsPassCount(); got != sp {
+		t.Errorf("warm run executed %d statistics passes, want 0", got-sp)
+	}
+	sameStats(t, "cold-vs-warm", csCold, csWarm)
+
+	// The cached horizon must reproduce shadow tests exactly too: the
+	// warm evaluator's sky and irradiance match the cold one.
+	for i := 0; i < warm.Grid().Len(); i += 7 {
+		for _, c := range []geom.Cell{{X: 10, Y: 10}, {X: 31, Y: 9}} {
+			g1 := cold.CellIrradiance(i, c)
+			g2 := warm.CellIrradiance(i, c)
+			if g1 != g2 {
+				t.Fatalf("step %d cell %v: cold %v vs warm %v", i, c, g1, g2)
+			}
+		}
+	}
+}
+
+// TestCacheDistinguishesConfigurations: changing any keyed input must
+// miss the cache instead of serving a stale artifact.
+func TestCacheDistinguishesConfigurations(t *testing.T) {
+	dir := t.TempDir()
+	base := cachedEvaluator(t, dir, nil)
+	if _, err := base.StatsPercentile(75); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different percentile: horizon hits, statistics recompute.
+	sp := StatsPassCount()
+	if _, err := base.StatsPercentile(90); err != nil {
+		t.Fatal(err)
+	}
+	if StatsPassCount() == sp {
+		t.Error("different percentile must recompute statistics")
+	}
+
+	// Different daylight policy: new statistics key.
+	sp = StatsPassCount()
+	other := cachedEvaluator(t, dir, func(c *Config) { c.DaylightOnly = true })
+	if !other.HorizonFromCache() {
+		t.Error("same scene must still hit the horizon cache")
+	}
+	if _, err := other.StatsPercentile(75); err != nil {
+		t.Fatal(err)
+	}
+	if StatsPassCount() == sp {
+		t.Error("daylight-only run must recompute statistics")
+	}
+
+	// Different horizon options: new horizon key.
+	coarse := cachedEvaluator(t, dir, func(c *Config) {
+		c.Horizon = horizon.Options{Sectors: 16, MaxDistanceM: 20}
+	})
+	if coarse.HorizonFromCache() {
+		t.Error("different horizon options must not hit the horizon cache")
+	}
+}
+
+// TestCacheCorruptionRecomputes: mangled cache files are rejected and
+// transparently recomputed with correct results.
+func TestCacheCorruptionRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	cold := cachedEvaluator(t, dir, nil)
+	csCold, err := cold.StatsPercentile(75)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Garble every artifact in the cache directory.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := 0
+	for _, e := range ents {
+		p := filepath.Join(dir, e.Name())
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, raw[:len(raw)/3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mangled++
+	}
+	if mangled == 0 {
+		t.Fatal("cold run stored no artifacts")
+	}
+
+	hb, sp := horizon.BuildCount(), StatsPassCount()
+	warm := cachedEvaluator(t, dir, nil)
+	if warm.HorizonFromCache() {
+		t.Error("corrupt horizon artifact must not be trusted")
+	}
+	csWarm, err := warm.StatsPercentile(75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if horizon.BuildCount() == hb {
+		t.Error("corrupt cache must force a horizon rebuild")
+	}
+	if StatsPassCount() == sp {
+		t.Error("corrupt cache must force a statistics recompute")
+	}
+	sameStats(t, "recomputed-after-corruption", csCold, csWarm)
+}
+
+// TestCachedStatsServedWithoutKernel: the memoized CachedStats path on
+// a warm evaluator serves from disk on first use.
+func TestCachedStatsServedWithoutKernel(t *testing.T) {
+	dir := t.TempDir()
+	cold := cachedEvaluator(t, dir, nil)
+	want, err := cold.CachedStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := StatsPassCount()
+	warm := cachedEvaluator(t, dir, nil)
+	got, err := warm.CachedStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if StatsPassCount() != sp {
+		t.Error("warm CachedStats must not execute the kernel")
+	}
+	sameStats(t, "cached-stats", want, got)
+}

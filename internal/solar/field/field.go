@@ -16,6 +16,22 @@
 // in one pass, and StreamTraces replays the calendar for just the
 // cells covered by a candidate placement.
 //
+// The statistics pass runs a sector-sweep kernel: day steps are held
+// in an SoA table grouped by horizon sector and sorted by solar
+// elevation tangent, so each cell resolves the shadow boundary of a
+// sector with one binary search instead of a per-timestep test (see
+// sector.go and docs/ARCHITECTURE.md "Field hot path"). The retired
+// calendar-order loop survives as StatsPercentileScalar, the pinned
+// equivalence reference.
+//
+// # Artifact cache
+//
+// Config.Cache plugs in the persistent artifact cache
+// (internal/fieldcache): horizon maps and statistics results are
+// keyed by composite fingerprints of all their inputs and reused
+// across processes, bit-identically. See the Cache field's
+// documentation.
+//
 // # Concurrency
 //
 // The engine is parallel by default and deterministic by
@@ -58,9 +74,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dsm"
+	"repro/internal/fieldcache"
 	"repro/internal/geom"
 	"repro/internal/solar/clearsky"
 	"repro/internal/solar/decomp"
@@ -118,6 +136,14 @@ type Config struct {
 	// reference path. Results are bit-identical for every setting;
 	// see the package documentation.
 	Workers int
+	// Cache, when non-nil, is the persistent artifact cache: horizon
+	// maps and per-cell statistics are looked up by composite
+	// fingerprint before being computed, and stored after. Cached
+	// artifacts are bit-identical to cold computation. Statistics
+	// caching additionally requires the Weather provider to implement
+	// weather.Fingerprinter (both bundled providers do); otherwise
+	// only horizon maps are cached.
+	Cache *fieldcache.Cache
 }
 
 // Evaluator is a configured, reusable solar field. It is logically
@@ -136,10 +162,20 @@ type Evaluator struct {
 	statsErr  error
 	// sky[i] caches the cell-independent state of calendar step i.
 	sky []skyState
+	// day is the SoA sector-sweep table derived from sky: night steps
+	// compacted out, day steps grouped by horizon sector and sorted
+	// by elevation tangent. See sector.go.
+	day dayTable
 	// suitIdx lists the dense indices of suitable cells in row-major
 	// order (the statistics pass iterates it instead of re-scanning
 	// the mask).
 	suitIdx []int32
+	// horizonFromCache records whether hmap was restored from the
+	// artifact cache instead of ray-marched.
+	horizonFromCache bool
+	// statsFP is the statistics fingerprint prefix (everything but
+	// the percentile); empty when statistics caching is unavailable.
+	statsFP string
 	// daySteps counts the calendar steps with the sun up and positive
 	// irradiance (the steps the per-cell inner loop runs for).
 	daySteps uint64
@@ -190,7 +226,7 @@ func New(cfg Config) (*Evaluator, error) {
 	if err != nil {
 		return nil, err
 	}
-	hmap, err := horizon.Build(cfg.Scene.Raster, roof, cfg.Horizon)
+	hmap, hfp, hitCache, err := horizonMap(cfg, roof)
 	if err != nil {
 		return nil, err
 	}
@@ -203,12 +239,27 @@ func New(cfg Config) (*Evaluator, error) {
 	if err := plane.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Evaluator{cfg: cfg, esra: esra, hmap: hmap, plane: plane}
+	e := &Evaluator{cfg: cfg, esra: esra, hmap: hmap, plane: plane, horizonFromCache: hitCache}
 	e.precomputeSky()
+	e.day = buildDayTable(e.sky, hmap.Sectors())
 	e.indexSuitable()
 	e.precomputeNight()
+	e.statsFP = statsFingerprint(cfg, hfp)
 	return e, nil
 }
+
+// HorizonFromCache reports whether the evaluator's horizon map was
+// restored from the artifact cache rather than ray-marched.
+func (e *Evaluator) HorizonFromCache() bool { return e.horizonFromCache }
+
+// statsPassCount tallies cold executions of the per-cell statistics
+// kernel process-wide; cache tests use it to assert that warm runs
+// recompute nothing.
+var statsPassCount atomic.Uint64
+
+// StatsPassCount reports how many times the statistics pass has been
+// computed (rather than served from cache or memo) in this process.
+func StatsPassCount() uint64 { return statsPassCount.Load() }
 
 // precomputeSky evaluates the cell-independent sky state once per
 // calendar step: the memoized astronomy (shared across evaluators)
@@ -375,26 +426,59 @@ func (e *Evaluator) CachedStats() (*CellStats, error) {
 
 // StatsPercentile streams the whole calendar and returns per-cell
 // summaries at the requested percentile for every suitable cell (the
-// suitability-metric ablation sweeps this). The pass is chunked over
-// the suitable cells on a bounded worker pool sized by
-// Config.Workers; each chunk owns private accumulators and writes
-// disjoint result indices, so the output is bit-identical for every
-// worker count. Night steps — identical for all cells — are folded in
-// from the shared aggregate computed at construction.
+// suitability-metric ablation sweeps this). The pass runs the
+// sector-sweep kernel (see sector.go), chunked over the suitable
+// cells on a bounded worker pool sized by Config.Workers; per-cell
+// accumulation is fully independent, so the output is bit-identical
+// for every worker count. Night steps — identical for all cells — are
+// folded in from the shared aggregate computed at construction.
+//
+// With Config.Cache set (and a fingerprintable weather provider), the
+// result is first looked up in the persistent artifact cache and, on
+// a miss, stored after computation; cache hits are bit-identical to
+// cold computation.
 func (e *Evaluator) StatsPercentile(pct float64) (*CellStats, error) {
-	return e.statsPercentile(pct, e.cfg.Workers)
+	if cs, ok := e.loadCachedStats(pct); ok {
+		return cs, nil
+	}
+	cs, err := e.statsPercentile(pct, e.cfg.Workers)
+	if err == nil && len(e.suitIdx) > 0 {
+		e.storeCachedStats(pct, cs)
+	}
+	return cs, err
 }
 
-// StatsPercentileSerial runs the single-threaded reference
-// implementation of StatsPercentile on the calling goroutine,
-// regardless of Config.Workers. It exists so equivalence tests (and
-// suspicious callers) can compare the parallel pass against a
-// goroutine-free execution of the same arithmetic.
+// StatsPercentileSerial runs the statistics pass single-threaded on
+// the calling goroutine, regardless of Config.Workers. It exists so
+// equivalence tests (and suspicious callers) can compare the parallel
+// pass against a goroutine-free execution of the same arithmetic —
+// and for that reason it always computes, bypassing the persistent
+// artifact cache even when Config.Cache is set (a comparison against
+// the artifact the parallel pass just stored would be vacuous).
 func (e *Evaluator) StatsPercentileSerial(pct float64) (*CellStats, error) {
 	return e.statsPercentile(pct, 1)
 }
 
-func (e *Evaluator) statsPercentile(pct float64, workers int) (*CellStats, error) {
+// StatsPercentileScalar runs the pre-sector-sweep scalar reference on
+// the calling goroutine: the calendar-ordered per-(cell, timestep)
+// loop with an explicit shadow test per sample. Equivalence tests pin
+// the sector kernel against it — histogram-derived outputs (GPct,
+// TactPct, Samples) must match bit-for-bit since both accumulate
+// identical counts; GMean may differ by float rounding only, because
+// the kernel sums in its documented sector order rather than calendar
+// order.
+func (e *Evaluator) StatsPercentileScalar(pct float64) (*CellStats, error) {
+	cs, err := e.statsFrame(pct)
+	if err != nil || len(e.suitIdx) == 0 {
+		return cs, err
+	}
+	e.statsChunkScalar(cs, e.suitIdx)
+	return cs, nil
+}
+
+// statsFrame allocates and NaN-fills the result frame shared by the
+// kernel and the scalar reference.
+func (e *Evaluator) statsFrame(pct float64) (*CellStats, error) {
 	if pct < 0 || pct > 100 {
 		return nil, fmt.Errorf("field: percentile %g outside [0,100]", pct)
 	}
@@ -417,17 +501,30 @@ func (e *Evaluator) statsPercentile(pct float64, workers int) (*CellStats, error
 	if !e.cfg.DaylightOnly {
 		cs.Samples += e.night.count
 	}
+	return cs, nil
+}
+
+// statsPercentile is the pure computation: it never consults or
+// populates the artifact cache (StatsPercentile layers that on).
+func (e *Evaluator) statsPercentile(pct float64, workers int) (*CellStats, error) {
+	cs, err := e.statsFrame(pct)
+	if err != nil || len(e.suitIdx) == 0 {
+		return cs, err
+	}
+	statsPassCount.Add(1)
 	forChunks(len(e.suitIdx), workers, func(lo, hi int) {
-		e.statsChunk(cs, e.suitIdx[lo:hi])
+		scratch := scratchPool.Get().(*statsScratch)
+		e.statsSectorChunk(cs, e.suitIdx[lo:hi], scratch)
+		scratchPool.Put(scratch)
 	})
 	return cs, nil
 }
 
-// statsChunk accumulates one contiguous run of suitable cells across
-// the whole calendar and writes its summaries into cs. Chunks share
-// nothing writable: banks and sums are chunk-local and the result
-// indices of distinct chunks are disjoint.
-func (e *Evaluator) statsChunk(cs *CellStats, cells []int32) {
+// statsChunkScalar is the retired hot path, kept as the equivalence
+// reference for the sector kernel: it accumulates one contiguous run
+// of suitable cells across the whole calendar in calendar order,
+// testing the horizon shadow per (cell, timestep).
+func (e *Evaluator) statsChunkScalar(cs *CellStats, cells []int32) {
 	gBank := stats.NewHistogramBank(len(cells), gLo, gHi, gBins)
 	tBank := stats.NewHistogramBank(len(cells), tLo, tHi, tBins)
 	gSum := make([]float64, len(cells))
@@ -472,29 +569,53 @@ func (e *Evaluator) statsChunk(cs *CellStats, cells []int32) {
 	}
 }
 
-// CellSummary collects the full irradiance-sample distribution of one
-// roof-local cell and summarises it — the per-cell view behind the
-// paper's §III-C argument that irradiance distributions are strongly
-// right-skewed, making the mean unrepresentative and the 75th
-// percentile the better suitability statistic.
+// CellSummary streams the full irradiance-sample distribution of one
+// roof-local cell through a fixed-size accumulator and summarises it —
+// the per-cell view behind the paper's §III-C argument that irradiance
+// distributions are strongly right-skewed, making the mean
+// unrepresentative and the 75th percentile the better suitability
+// statistic.
+//
+// The moments and extrema are exact (bit-identical to materialising
+// the calendar-ordered sample vector and running stats.Summarize);
+// the percentiles are histogram estimates on the statistics pass's
+// irradiance binning (2 W/m² resolution, cumulative-count convention
+// — the same convention the suitability statistics use, rather than
+// the order-statistic interpolation of stats.Summarize). At paper
+// scale this replaces a ~35k-sample allocation and sort per call with
+// one histogram.
 func (e *Evaluator) CellSummary(c geom.Cell, daylightOnly bool) (stats.Summary, error) {
 	w, h := e.cfg.Suitable.W(), e.cfg.Suitable.H()
 	if c.X < 0 || c.X >= w || c.Y < 0 || c.Y >= h {
 		return stats.Summary{}, fmt.Errorf("field: cell %v outside roof region", c)
 	}
 	idx := c.Y*w + c.X
-	samples := make([]float64, 0, len(e.sky))
-	for i := range e.sky {
+	// Map summary-sample positions to calendar steps without
+	// materialising values: with daylightOnly the day steps are
+	// enumerated in calendar order, otherwise every step contributes
+	// (nights as zero).
+	var steps []int32
+	n := len(e.sky)
+	if daylightOnly {
+		steps = make([]int32, 0, e.daySteps)
+		for i := range e.sky {
+			if e.sky[i].up {
+				steps = append(steps, int32(i))
+			}
+		}
+		n = len(steps)
+	}
+	at := func(i int) float64 {
+		if steps != nil {
+			i = int(steps[i])
+		}
 		st := &e.sky[i]
 		if !st.up {
-			if !daylightOnly {
-				samples = append(samples, 0)
-			}
-			continue
+			return 0
 		}
-		samples = append(samples, e.cellIrr(st, idx))
+		return e.cellIrr(st, idx)
 	}
-	return stats.Summarize(samples)
+	return stats.SummarizeBinned(gLo, gHi, gBins, n, at)
 }
 
 // StreamTraces replays the calendar for the given roof-local cells,

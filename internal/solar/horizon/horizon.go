@@ -10,6 +10,7 @@ package horizon
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/dsm"
 	"repro/internal/geom"
@@ -82,6 +83,15 @@ type Map struct {
 	svf []float32 // per-cell sky view factor
 }
 
+// buildCount tallies ray-marched Build executions process-wide; cache
+// tests use it to assert that warm runs construct no horizon maps.
+var buildCount atomic.Uint64
+
+// BuildCount reports how many times Build has ray-marched a horizon
+// map in this process. Maps restored from snapshots (the persistent
+// artifact cache) do not count.
+func BuildCount() uint64 { return buildCount.Load() }
+
 // Build computes the horizon map for every cell of region (given in
 // raster coordinates) of the DSM.
 func Build(r *dsm.Raster, region geom.Rect, opts Options) (*Map, error) {
@@ -89,6 +99,7 @@ func Build(r *dsm.Raster, region geom.Rect, opts Options) (*Map, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	buildCount.Add(1)
 	clipped := region.Intersect(r.Bounds())
 	if clipped != region {
 		return nil, fmt.Errorf("horizon: region %v exceeds raster bounds %v", region, r.Bounds())
@@ -194,6 +205,14 @@ func (m *Map) ShadowedIdx(cellIdx, sector int, tanElev float64) bool {
 	return tanElev < float64(m.tan[cellIdx*m.sectors+sector])
 }
 
+// TanRow returns the per-sector horizon tangents of the dense-index
+// cell — the sector-sweep statistics kernel reads one row per cell
+// instead of calling ShadowedIdx per timestep. The slice aliases the
+// map's storage: read-only.
+func (m *Map) TanRow(cellIdx int) []float32 {
+	return m.tan[cellIdx*m.sectors : (cellIdx+1)*m.sectors]
+}
+
 // SectorOf exposes the sector quantisation for hot-path callers that
 // precompute it once per timestep.
 func (m *Map) SectorOf(azimuthRad float64) int { return m.sectorOf(azimuthRad) }
@@ -206,6 +225,54 @@ func (m *Map) SVF(c geom.Cell) float64 { return float64(m.svf[m.cellIndex(c)]) }
 
 // SVFIdx is the dense-index variant of SVF.
 func (m *Map) SVFIdx(cellIdx int) float64 { return float64(m.svf[cellIdx]) }
+
+// Snapshot is the serialisable content of a Map — what the persistent
+// field-artifact cache stores on disk. All fields are value data; a
+// Snapshot round-trips through encoding/gob without loss (float32 bit
+// patterns are preserved exactly).
+type Snapshot struct {
+	Region  geom.Rect
+	Sectors int
+	Tan     []float32
+	SVF     []float32
+}
+
+// Snapshot copies the map's contents into a serialisable form.
+func (m *Map) Snapshot() Snapshot {
+	s := Snapshot{
+		Region:  m.region,
+		Sectors: m.sectors,
+		Tan:     make([]float32, len(m.tan)),
+		SVF:     make([]float32, len(m.svf)),
+	}
+	copy(s.Tan, m.tan)
+	copy(s.SVF, m.svf)
+	return s
+}
+
+// FromSnapshot reconstructs a Map from a Snapshot, validating the
+// shape invariants (a truncated or corrupted snapshot is rejected, not
+// trusted). The restored map is bit-identical to the one Snapshot was
+// taken from.
+func FromSnapshot(s Snapshot) (*Map, error) {
+	area := s.Region.Area()
+	if s.Sectors < 4 || area <= 0 {
+		return nil, fmt.Errorf("horizon: invalid snapshot shape: region %v, %d sectors", s.Region, s.Sectors)
+	}
+	if len(s.Tan) != area*s.Sectors || len(s.SVF) != area {
+		return nil, fmt.Errorf("horizon: snapshot arrays %d/%d do not match region %v x %d sectors",
+			len(s.Tan), len(s.SVF), s.Region, s.Sectors)
+	}
+	m := &Map{
+		region:  s.Region,
+		sectors: s.Sectors,
+		tan:     make([]float32, len(s.Tan)),
+		svf:     make([]float32, len(s.SVF)),
+	}
+	copy(m.tan, s.Tan)
+	copy(m.svf, s.SVF)
+	return m, nil
+}
 
 // ShadowMask returns the beam-shadow snapshot of the whole region for
 // a sun at the given azimuth and elevation (radians): set cells are

@@ -293,3 +293,89 @@ func TestShadowMonotoneInElevationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// flatRaster builds a w×h flat raster at the paper's 0.2 m pitch.
+func flatRaster(t *testing.T, w, h int) *dsm.Raster {
+	t.Helper()
+	r, err := dsm.NewRaster(w, h, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestSnapshotRoundTrip: a map restored from its snapshot must be
+// bit-identical in every lookup.
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := flatRaster(t, 40, 30)
+	r.MaxAbove(geom.Rect{X0: 20, Y0: 10, X1: 23, Y1: 13}, 4)
+	region := geom.Rect{X0: 4, Y0: 4, X1: 36, Y1: 26}
+	m, err := Build(r, region, Options{Sectors: 16, MaxDistanceM: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromSnapshot(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sectors() != m.Sectors() || got.Region() != m.Region() {
+		t.Fatalf("restored shape %d/%v, want %d/%v", got.Sectors(), got.Region(), m.Sectors(), m.Region())
+	}
+	for idx := 0; idx < region.Area(); idx++ {
+		if got.SVFIdx(idx) != m.SVFIdx(idx) {
+			t.Fatalf("cell %d: SVF %v vs %v", idx, got.SVFIdx(idx), m.SVFIdx(idx))
+		}
+		for s := 0; s < m.Sectors(); s++ {
+			if got.TanRow(idx)[s] != m.TanRow(idx)[s] {
+				t.Fatalf("cell %d sector %d: tan differs", idx, s)
+			}
+		}
+	}
+}
+
+// TestFromSnapshotRejectsMangledShapes: truncated or inconsistent
+// snapshots must be refused, not trusted.
+func TestFromSnapshotRejectsMangledShapes(t *testing.T) {
+	r := flatRaster(t, 20, 20)
+	region := geom.Rect{X0: 2, Y0: 2, X1: 18, Y1: 18}
+	m, err := Build(r, region, Options{Sectors: 8, MaxDistanceM: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := m.Snapshot()
+	for _, mangle := range []func(s Snapshot) Snapshot{
+		func(s Snapshot) Snapshot { s.Tan = s.Tan[:len(s.Tan)-1]; return s },
+		func(s Snapshot) Snapshot { s.SVF = nil; return s },
+		func(s Snapshot) Snapshot { s.Sectors = 0; return s },
+		func(s Snapshot) Snapshot { s.Region = geom.Rect{}; return s },
+		func(s Snapshot) Snapshot { s.Sectors = 16; return s },
+	} {
+		if _, err := FromSnapshot(mangle(good)); err == nil {
+			t.Error("mangled snapshot must be rejected")
+		}
+	}
+	if _, err := FromSnapshot(good); err != nil {
+		t.Errorf("pristine snapshot rejected: %v", err)
+	}
+}
+
+// TestTanRowMatchesHorizonTan: the kernel's row accessor must agree
+// with the per-azimuth lookup.
+func TestTanRowMatchesHorizonTan(t *testing.T) {
+	r := flatRaster(t, 30, 30)
+	r.MaxAbove(geom.Rect{X0: 14, Y0: 14, X1: 16, Y1: 16}, 6)
+	region := geom.Rect{X0: 2, Y0: 2, X1: 28, Y1: 28}
+	m, err := Build(r, region, Options{Sectors: 32, MaxDistanceM: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := geom.Cell{X: 10, Y: 10}
+	idx := c.Y*region.W() + c.X
+	row := m.TanRow(idx)
+	for s := 0; s < m.Sectors(); s++ {
+		az := (float64(s) + 0.5) * 2 * math.Pi / float64(m.Sectors())
+		if want := m.HorizonTan(c, az); float64(row[s]) != want {
+			t.Fatalf("sector %d: TanRow %v vs HorizonTan %v", s, row[s], want)
+		}
+	}
+}

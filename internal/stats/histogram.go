@@ -48,6 +48,36 @@ func (h *Histogram) binOf(v float64) int {
 	return binIndex(v, h.lo, h.hi, h.width, len(h.counts))
 }
 
+// Binning is the shared equal-width bin-layout arithmetic of Histogram
+// and HistogramBank, exported so flat accumulators (the solar field's
+// sector-sweep kernel keeps one raw count row per worker instead of a
+// bank per chunk) bin with bit-identical results. Construct with
+// NewBinning; the width must come from the same (hi-lo)/bins division
+// the histogram types perform, or counts drift by one bin at edges.
+type Binning struct {
+	Lo, Hi, Width float64
+	Bins          int
+}
+
+// NewBinning builds the layout over [lo, hi] with the given bin count.
+// It panics on a non-positive bin count or an empty range, like
+// NewHistogram.
+func NewBinning(lo, hi float64, bins int) Binning {
+	if bins <= 0 {
+		panic("stats: binning needs at least one bin")
+	}
+	if !(hi > lo) {
+		panic(fmt.Sprintf("stats: invalid binning range [%g,%g]", lo, hi))
+	}
+	return Binning{Lo: lo, Hi: hi, Width: (hi - lo) / float64(bins), Bins: bins}
+}
+
+// Index returns the clamped bin index of v — the exact arithmetic
+// Histogram.Add and HistogramBank.Add use.
+func (b Binning) Index(v float64) int {
+	return binIndex(v, b.Lo, b.Hi, b.Width, b.Bins)
+}
+
 // binIndex maps a value to its clamped bin index for an equal-width
 // layout over [lo, hi]. Histogram and HistogramBank must bin
 // identically — MergeHistogram merges raw counts between the two and
@@ -75,33 +105,51 @@ func (h *Histogram) N() uint64 { return h.n }
 // using linear interpolation inside the containing bin. The estimate
 // deviates from the exact sample percentile by at most one bin width.
 func (h *Histogram) Percentile(p float64) (float64, error) {
-	if h.n == 0 {
+	return percentileOfCounts(h.counts, h.n, h.lo, h.hi, h.width, p)
+}
+
+// Counts exposes the raw bin counts. The slice is the histogram's own
+// storage: callers must treat it as read-only.
+func (h *Histogram) Counts() []uint32 { return h.counts }
+
+// PercentileOfCounts estimates the p-th percentile from a raw count
+// row with n samples over the equal-width layout [lo, hi] — the same
+// interpolation Histogram.Percentile and HistogramBank.Percentile
+// perform, for callers that accumulate into flat rows.
+func PercentileOfCounts(counts []uint32, n uint64, lo, hi float64, p float64) (float64, error) {
+	width := (hi - lo) / float64(len(counts))
+	return percentileOfCounts(counts, n, lo, hi, width, p)
+}
+
+// percentileOfCounts is the single implementation of binned percentile
+// interpolation. Every percentile entry point delegates here so the
+// results are bit-identical regardless of which accumulator collected
+// the counts.
+func percentileOfCounts(counts []uint32, n uint64, lo, hi, width float64, p float64) (float64, error) {
+	if n == 0 {
 		return 0, ErrNoSamples
 	}
 	if p < 0 || p > 100 {
 		return 0, fmt.Errorf("stats: percentile %g out of range [0,100]", p)
 	}
-	target := p / 100 * float64(h.n)
+	target := p / 100 * float64(n)
 	var cum float64
-	for i, c := range h.counts {
+	for i, c := range counts {
 		next := cum + float64(c)
 		if next >= target && c > 0 {
 			// Interpolate within bin i.
-			frac := 0.0
-			if c > 0 {
-				frac = (target - cum) / float64(c)
-			}
+			frac := (target - cum) / float64(c)
 			if frac < 0 {
 				frac = 0
 			}
 			if frac > 1 {
 				frac = 1
 			}
-			return h.lo + (float64(i)+frac)*h.width, nil
+			return lo + (float64(i)+frac)*width, nil
 		}
 		cum = next
 	}
-	return h.hi, nil
+	return hi, nil
 }
 
 // Mean returns the histogram-estimated mean (bin midpoints weighted by
@@ -208,31 +256,8 @@ func (b *HistogramBank) N(cell int) uint64 { return uint64(b.n[cell]) }
 
 // Percentile returns the p-th percentile estimate for the given cell.
 func (b *HistogramBank) Percentile(cell int, p float64) (float64, error) {
-	n := b.n[cell]
-	if n == 0 {
-		return 0, ErrNoSamples
-	}
-	if p < 0 || p > 100 {
-		return 0, fmt.Errorf("stats: percentile %g out of range [0,100]", p)
-	}
-	target := p / 100 * float64(n)
 	counts := b.counts[cell*b.bins : (cell+1)*b.bins]
-	var cum float64
-	for i, c := range counts {
-		next := cum + float64(c)
-		if next >= target && c > 0 {
-			frac := (target - cum) / float64(c)
-			if frac < 0 {
-				frac = 0
-			}
-			if frac > 1 {
-				frac = 1
-			}
-			return b.lo + (float64(i)+frac)*b.width, nil
-		}
-		cum = next
-	}
-	return b.hi, nil
+	return percentileOfCounts(counts, uint64(b.n[cell]), b.lo, b.hi, b.width, p)
 }
 
 // Mean returns the histogram-estimated mean for the given cell.

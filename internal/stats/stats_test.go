@@ -314,3 +314,105 @@ func TestHistogramPercentileMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSummarizeBinnedMatchesSummarizeMoments(t *testing.T) {
+	// Right-skewed synthetic data resembling an irradiance trace:
+	// many zeros (nights) plus a day ramp.
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 0, 4000)
+	for i := 0; i < 4000; i++ {
+		if i%3 == 0 {
+			xs = append(xs, 0)
+			continue
+		}
+		xs = append(xs, 1400*math.Pow(rng.Float64(), 2.2))
+	}
+	want, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bins, lo, hi = 700, 0.0, 1400.0
+	got, err := SummarizeBinned(lo, hi, bins, len(xs), func(i int) float64 { return xs[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moments and extrema accumulate in the same index order and must
+	// be bit-identical to the materialised path.
+	if got.N != want.N ||
+		math.Float64bits(got.Min) != math.Float64bits(want.Min) ||
+		math.Float64bits(got.Max) != math.Float64bits(want.Max) ||
+		math.Float64bits(got.Mean) != math.Float64bits(want.Mean) ||
+		math.Float64bits(got.StdDev) != math.Float64bits(want.StdDev) ||
+		math.Float64bits(got.Skewness) != math.Float64bits(want.Skewness) {
+		t.Errorf("streaming moments differ:\n got %+v\nwant %+v", got, want)
+	}
+	// Percentiles are histogram estimates: exact to one bin width.
+	binW := (hi - lo) / bins
+	for _, q := range []struct{ got, want float64 }{
+		{got.P25, want.P25}, {got.P50, want.P50}, {got.P75, want.P75}, {got.P90, want.P90},
+	} {
+		if math.Abs(q.got-q.want) > binW+1e-9 {
+			t.Errorf("binned percentile %g deviates from exact %g by more than a bin", q.got, q.want)
+		}
+	}
+}
+
+func TestSummarizeBinnedEmpty(t *testing.T) {
+	if _, err := SummarizeBinned(0, 1, 10, 0, func(int) float64 { return 0 }); err == nil {
+		t.Error("empty input must error")
+	}
+}
+
+func TestPercentileOfCountsMatchesHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 50)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		h.Add(rng.Float64() * 110) // exercise the clamped tails too
+	}
+	for _, p := range []float64{0, 10, 50, 75, 90, 100} {
+		want, err := h.Percentile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := PercentileOfCounts(h.Counts(), h.N(), 0, 100, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("PercentileOfCounts(%g) = %v, histogram %v", p, got, want)
+		}
+	}
+	if _, err := PercentileOfCounts(h.Counts(), 0, 0, 100, 50); err == nil {
+		t.Error("zero-sample percentile must error")
+	}
+	if _, err := PercentileOfCounts(h.Counts(), h.N(), 0, 100, 101); err == nil {
+		t.Error("out-of-range percentile must error")
+	}
+}
+
+func TestBinningMatchesHistogramAdd(t *testing.T) {
+	const lo, hi, bins = -30.0, 105.0, 360
+	b := NewBinning(lo, hi, bins)
+	h := NewHistogram(lo, hi, bins)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 20000; i++ {
+		v := lo - 10 + rng.Float64()*(hi-lo+20)
+		h.Add(v)
+		idx := b.Index(v)
+		if idx < 0 || idx >= bins {
+			t.Fatalf("Index(%g) = %d out of range", v, idx)
+		}
+	}
+	// Rebuild the histogram through Binning and compare counts.
+	manual := make([]uint32, bins)
+	rng = rand.New(rand.NewSource(13))
+	for i := 0; i < 20000; i++ {
+		v := lo - 10 + rng.Float64()*(hi-lo+20)
+		manual[b.Index(v)]++
+	}
+	for i, c := range h.Counts() {
+		if manual[i] != c {
+			t.Fatalf("bin %d: Binning count %d vs Histogram count %d", i, manual[i], c)
+		}
+	}
+}

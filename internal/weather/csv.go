@@ -1,9 +1,12 @@
 package weather
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"time"
@@ -53,6 +56,23 @@ func (tr *Trace) Sample(t time.Time) Sample {
 	}
 	r := tr.records[i-1]
 	return Sample{ClearSkyIndex: r.Kc, AmbientC: r.Amb}
+}
+
+// Fingerprint implements Fingerprinter by digesting every record's
+// instant and values exactly, so two traces share a fingerprint iff
+// they replay identically.
+func (tr *Trace) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, r := range tr.records {
+		binary.LittleEndian.PutUint64(buf[:], uint64(r.Time.UnixNano()))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(r.Kc))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(r.Amb))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("trace|%d|%x", len(tr.records), h.Sum(nil))
 }
 
 // csvLayout is the on-disk timestamp format (RFC 3339).

@@ -35,6 +35,16 @@ type Provider interface {
 	Sample(t time.Time) Sample
 }
 
+// Fingerprinter is implemented by providers whose whole realisation
+// can be identified by a compact, stable string: equal fingerprints
+// imply identical Sample results for every instant. The persistent
+// field-artifact cache keys per-cell statistics on it; providers that
+// do not implement it simply opt out of statistics caching (horizon
+// maps, which are weather-independent, stay cacheable).
+type Fingerprinter interface {
+	Fingerprint() string
+}
+
 // Climate parameterises the synthetic generator.
 type Climate struct {
 	// AnnualMeanC is the annual mean temperature (Turin ≈ 13 °C).
@@ -88,6 +98,15 @@ func NewSynthetic(seed int64, climate Climate) (*Synthetic, error) {
 		return nil, err
 	}
 	return &Synthetic{seed: uint64(seed), climate: climate}, nil
+}
+
+// Fingerprint implements Fingerprinter: a Synthetic realisation is a
+// pure function of the seed and the climate parameters, so encoding
+// them exactly (float bit patterns via 'x' formatting) identifies it.
+func (s *Synthetic) Fingerprint() string {
+	c := s.climate
+	return fmt.Sprintf("synthetic|%d|%x|%x|%x|%x|%x",
+		s.seed, c.AnnualMeanC, c.SeasonalAmpC, c.DiurnalAmpC, c.CloudySeasonBias, c.MeanClearness)
 }
 
 // splitmix64 is the standard avalanche mixer; good enough to

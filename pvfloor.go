@@ -143,6 +143,17 @@ type Config struct {
 	// documentation's Concurrency section). Within RunBatch, shared
 	// field groups use BatchOptions.FieldWorkers instead.
 	Workers int
+	// CacheDir, when non-empty, enables the persistent field-artifact
+	// cache in that directory: horizon maps and per-cell statistics
+	// are stored on disk keyed by a fingerprint of everything they
+	// depend on (DSM content, roof region, horizon options, calendar,
+	// site, turbidity, weather realisation, statistics config), so
+	// repeated runs over unchanged roofs — across processes, not just
+	// within one — skip horizon construction and the statistics pass.
+	// Cached results are bit-identical to cold computation; corrupt
+	// cache files are detected and recomputed. Concurrent runs and
+	// processes may share one directory.
+	CacheDir string
 }
 
 // effectiveGrid returns the simulation calendar the config implies:
@@ -227,9 +238,10 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("pvfloor: nil scenario")
 	}
 	ev, err := cfg.Scenario.FieldWith(scenario.FieldConfig{
-		Grid:    cfg.effectiveGrid(),
-		Fast:    cfg.Fidelity != Full,
-		Workers: cfg.Workers,
+		Grid:     cfg.effectiveGrid(),
+		Fast:     cfg.Fidelity != Full,
+		Workers:  cfg.Workers,
+		CacheDir: cfg.CacheDir,
 	})
 	if err != nil {
 		return nil, err
