@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Coverage ratchet: fail when total statement coverage drops below the
+# committed floor (ci/coverage_floor.txt). Raise the floor when new
+# tests push coverage up; lowering it requires justification in review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+floor="$(tr -d '[:space:]' < ci/coverage_floor.txt)"
+profile="${COVERPROFILE:-coverage.out}"
+
+go test -count=1 -coverprofile="$profile" ./...
+total="$(go tool cover -func="$profile" | awk '/^total:/ {gsub(/%/, "", $3); print $3}')"
+echo "total statement coverage: ${total}% (ratchet floor: ${floor}%)"
+if ! awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t+0 >= f+0) }'; then
+	echo "coverage ${total}% fell below the ratchet floor ${floor}%" >&2
+	echo "add tests for the new code, or lower ci/coverage_floor.txt with justification" >&2
+	exit 1
+fi

@@ -1,0 +1,262 @@
+// Command pvdistrict runs the district pipeline end to end: one DSM
+// tile in, a ranked floorplan for every detected roof out. It extracts
+// candidate roofs automatically (height thresholding, connected
+// components, planar fitting), derives a planning scenario per roof,
+// fans them through the concurrent batch engine and prints a ranked
+// district report.
+//
+// Usage:
+//
+//	pvdistrict -tile neighborhood.asc        # sweep a real/exported tile
+//	pvdistrict -demo                         # built-in synthetic block
+//	pvdistrict -tile t.asc -json             # machine-readable report
+//	pvdistrict -tile t.asc -cache ~/.pvcache # warm re-runs skip the physics
+//	pvdistrict -tile t.asc -opt multistart -n 16
+//	pvdistrict -tile t.asc -minheight 3 -minarea 100 -keepborder
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	pvfloor "repro"
+	"repro/internal/district"
+	"repro/internal/dsm"
+	"repro/internal/geom"
+	"repro/internal/gis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pvdistrict: ")
+	tilePath := flag.String("tile", "", "ESRI ASCII grid DSM tile to sweep")
+	demo := flag.Bool("demo", false, "use the built-in synthetic neighborhood tile instead of -tile")
+	asJSON := flag.Bool("json", false, "emit the district report as JSON")
+	full := flag.Bool("full", false, "full fidelity (15-minute full year) — minutes per roof")
+	modules := flag.Int("n", 0, "fixed module count per roof (0 = auto-size from each roof's area)")
+	maxModules := flag.Int("maxn", 32, "auto-size cap on modules per roof")
+	optName := flag.String("opt", "greedy", "optimizer strategy: greedy, anneal, multistart, bnb")
+	seed := flag.Int64("seed", 1, "random seed for the stochastic strategies")
+	restarts := flag.Int("restarts", 0, "multistart restart count K (0 = default 8)")
+	runs := flag.Int("runs", 0, "concurrent roof runs (0 = one per CPU)")
+	workers := flag.Int("workers", 0, "solar-field workers per roof (0 = one per CPU)")
+	cacheDir := flag.String("cache", "", "persistent field-artifact cache directory")
+	noBaseline := flag.Bool("nobaseline", false, "skip the compact baseline placements")
+	minHeight := flag.Float64("minheight", 0, "extraction: min height above ground in metres (0 = default 2.5)")
+	minArea := flag.Int("minarea", 0, "extraction: min roof footprint in cells (0 = default 60)")
+	minRect := flag.Float64("minrect", 0, "extraction: min footprint rectangularity (0 = default 0.55)")
+	maxRMS := flag.Float64("maxrms", 0, "extraction: max plane-fit RMS in metres (0 = default 0.35)")
+	keepBorder := flag.Bool("keepborder", false, "extraction: keep roofs touching the tile border")
+	maxRoofs := flag.Int("maxroofs", 0, "extraction: cap on extracted roofs, largest first (0 = no cap)")
+	margin := flag.Int("margin", 0, "extraction: suitable-area erosion margin in cells")
+	flag.Parse()
+
+	tile, nodata, err := loadTile(*tilePath, *demo)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	strat, err := pvfloor.ParseStrategy(*optName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fid := pvfloor.Fast
+	if *full {
+		fid = pvfloor.Full
+	}
+	cfg := pvfloor.DistrictConfig{
+		Tile:   tile,
+		NoData: nodata,
+		Extract: district.Options{
+			MinHeightM:          *minHeight,
+			MinAreaCells:        *minArea,
+			MinRectangularity:   *minRect,
+			MaxFitRMSM:          *maxRMS,
+			KeepBorder:          *keepBorder,
+			MaxRoofs:            *maxRoofs,
+			SuitableMarginCells: *margin,
+		},
+		Modules:      *modules,
+		MaxModules:   *maxModules,
+		Fidelity:     fid,
+		SkipBaseline: *noBaseline,
+		CacheDir:     *cacheDir,
+		Concurrency:  *runs,
+		FieldWorkers: *workers,
+		Optimizer: pvfloor.OptimizerConfig{
+			Strategy: strat,
+			Seed:     *seed,
+			Restarts: *restarts,
+		},
+	}
+
+	start := time.Now()
+	res, err := pvfloor.RunDistrict(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if *asJSON {
+		if err := emitJSON(res); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		emitText(res, elapsed)
+	}
+	for i := range res.Plans {
+		if rp := &res.Plans[i]; rp.Skipped == "" && rp.Run.Err != nil {
+			os.Exit(1)
+		}
+	}
+}
+
+func loadTile(path string, demo bool) (*dsm.Raster, *geom.Mask, error) {
+	switch {
+	case demo && path != "":
+		return nil, nil, fmt.Errorf("-tile and -demo are mutually exclusive")
+	case demo:
+		return district.SyntheticNeighborhood(), nil, nil
+	case path == "":
+		return nil, nil, fmt.Errorf("either -tile or -demo is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	g, err := gis.ReadAsc(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	tile, missing, err := g.ToRaster(0)
+	if err != nil {
+		return nil, nil, err
+	}
+	var nodata *geom.Mask
+	if missing > 0 {
+		nodata = g.NoDataMask()
+	}
+	return tile, nodata, nil
+}
+
+func emitText(res *pvfloor.DistrictResult, elapsed time.Duration) {
+	ex := res.Extraction
+	fmt.Printf("tile: %d roofs extracted (ground z %.2f m, %d elevated cells, %d candidate regions dropped)\n",
+		len(ex.Roofs), ex.GroundZ, ex.ElevatedCells, len(ex.Dropped))
+	for _, d := range ex.Dropped {
+		fmt.Printf("  dropped %v (%d cells): %s\n", d.Rect, d.Cells, d.Reason)
+	}
+	fmt.Println()
+	fmt.Print(pvfloor.DistrictTable(res))
+	fmt.Printf("%d roofs in %v\n", len(res.Plans), elapsed.Round(time.Millisecond))
+}
+
+// districtJSON is the machine-readable district report.
+type districtJSON struct {
+	GroundZ   float64       `json:"ground_z"`
+	CellSizeM float64       `json:"cell_size_m"`
+	Roofs     []roofJSON    `json:"roofs"`
+	Dropped   []droppedJSON `json:"dropped,omitempty"`
+	Totals    totalsJSON    `json:"totals"`
+}
+
+type rectJSON struct {
+	X0 int `json:"x0"`
+	Y0 int `json:"y0"`
+	X1 int `json:"x1"`
+	Y1 int `json:"y1"`
+}
+
+type roofJSON struct {
+	ID             int      `json:"id"`
+	Rect           rectJSON `json:"rect"`
+	Cells          int      `json:"cells"`
+	SuitableCells  int      `json:"suitable_cells"`
+	SlopeDeg       float64  `json:"slope_deg"`
+	AspectDeg      float64  `json:"aspect_deg"`
+	FitRMSM        float64  `json:"fit_rms_m"`
+	MeanHeightM    float64  `json:"mean_height_m"`
+	Rank           int      `json:"rank,omitempty"`
+	Modules        int      `json:"modules,omitempty"`
+	ProposedMWh    float64  `json:"proposed_mwh,omitempty"`
+	TraditionalMWh float64  `json:"traditional_mwh,omitempty"`
+	GainPct        float64  `json:"gain_pct,omitempty"`
+	WiringExtraM   float64  `json:"wiring_extra_m,omitempty"`
+	Skipped        string   `json:"skipped,omitempty"`
+	Error          string   `json:"error,omitempty"`
+}
+
+type droppedJSON struct {
+	Rect   rectJSON `json:"rect"`
+	Cells  int      `json:"cells"`
+	Reason string   `json:"reason"`
+}
+
+type totalsJSON struct {
+	RoofsExtracted  int     `json:"roofs_extracted"`
+	RoofsPlanned    int     `json:"roofs_planned"`
+	ProposedMWh     float64 `json:"proposed_mwh"`
+	TraditionalMWh  float64 `json:"traditional_mwh"`
+	DistrictGainPct float64 `json:"district_gain_pct"`
+	WiringExtraM    float64 `json:"wiring_extra_m"`
+}
+
+func toRectJSON(r geom.Rect) rectJSON { return rectJSON{X0: r.X0, Y0: r.Y0, X1: r.X1, Y1: r.Y1} }
+
+func emitJSON(res *pvfloor.DistrictResult) error {
+	out := districtJSON{
+		GroundZ:   res.Extraction.GroundZ,
+		CellSizeM: res.Extraction.CellSizeM,
+		Totals: totalsJSON{
+			RoofsExtracted:  len(res.Plans),
+			RoofsPlanned:    len(res.Ranked),
+			ProposedMWh:     res.TotalProposedMWh,
+			TraditionalMWh:  res.TotalTraditionalMWh,
+			DistrictGainPct: res.DistrictGainPct(),
+			WiringExtraM:    res.TotalWiringExtraM,
+		},
+	}
+	rank := make(map[int]int, len(res.Ranked))
+	for i, pi := range res.Ranked {
+		rank[pi] = i + 1
+	}
+	for i := range res.Plans {
+		rp := &res.Plans[i]
+		rj := roofJSON{
+			ID:            rp.Roof.ID,
+			Rect:          toRectJSON(rp.Roof.Rect),
+			Cells:         rp.Roof.Cells,
+			SuitableCells: rp.Roof.Suitable.Count(),
+			SlopeDeg:      rp.Roof.Plane.SlopeDeg,
+			AspectDeg:     rp.Roof.Plane.AspectDeg,
+			FitRMSM:       rp.Roof.FitRMSM,
+			MeanHeightM:   rp.Roof.MeanHeightM,
+			Rank:          rank[i],
+			Skipped:       rp.Skipped,
+		}
+		if rp.Planned() {
+			r := rp.Run.Result
+			rj.Modules = rp.Modules
+			rj.ProposedMWh = r.ProposedEval.NetMWh()
+			rj.TraditionalMWh = r.TraditionalEval.NetMWh()
+			rj.GainPct = r.ImprovementPct()
+			rj.WiringExtraM = r.ProposedEval.WiringExtraM
+		} else if rp.Run.Err != nil {
+			rj.Error = rp.Run.Err.Error()
+		}
+		out.Roofs = append(out.Roofs, rj)
+	}
+	for _, d := range res.Extraction.Dropped {
+		out.Dropped = append(out.Dropped, droppedJSON{
+			Rect: toRectJSON(d.Rect), Cells: d.Cells, Reason: string(d.Reason),
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

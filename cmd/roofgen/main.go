@@ -6,6 +6,10 @@
 //
 //	roofgen -out scenes/            # all scenarios
 //	roofgen -roof 1 -out scenes/    # a single roof
+//	roofgen -district -out testdata/district
+//	                                # the synthetic multi-roof
+//	                                # neighborhood tile (the committed
+//	                                # district fixture)
 package main
 
 import (
@@ -17,6 +21,8 @@ import (
 	"strings"
 
 	pvfloor "repro"
+	"repro/internal/district"
+	"repro/internal/dsm"
 	"repro/internal/geom"
 	"repro/internal/gis"
 	"repro/internal/scenario"
@@ -27,7 +33,22 @@ func main() {
 	log.SetPrefix("roofgen: ")
 	roof := flag.String("roof", "all", "scenario: 1, 2, 3, residential or all")
 	outDir := flag.String("out", "scenes", "output directory")
+	districtTile := flag.Bool("district", false, "export the synthetic multi-roof neighborhood tile instead of the paper scenarios")
 	flag.Parse()
+
+	if *districtTile {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		tile := district.SyntheticNeighborhood()
+		path := filepath.Join(*outDir, "neighborhood.asc")
+		if err := writeRaster(path, tile); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("neighborhood: %s (%dx%d cells at %g m)\n",
+			path, tile.W(), tile.H(), tile.CellSize())
+		return
+	}
 
 	var scs []*scenario.Scenario
 	add := func(fn func() (*scenario.Scenario, error)) {
@@ -74,7 +95,11 @@ func main() {
 }
 
 func writeAsc(path string, sc *scenario.Scenario) error {
-	g := gis.FromRaster(sc.Scene.Raster, 0, 0)
+	return writeRaster(path, sc.Scene.Raster)
+}
+
+func writeRaster(path string, r *dsm.Raster) error {
+	g := gis.FromRaster(r, 0, 0)
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("creating %s: %w", path, err)

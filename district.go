@@ -1,0 +1,323 @@
+package pvfloor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/district"
+	"repro/internal/dsm"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/timegrid"
+)
+
+// DistrictConfig parameterises one whole-tile district run: automatic
+// roof extraction over a DSM tile followed by a batched floorplanning
+// sweep across every extracted roof.
+type DistrictConfig struct {
+	// Tile is the DSM raster to sweep (required).
+	Tile *dsm.Raster
+	// NoData optionally marks missing tile cells (same dims as Tile).
+	NoData *geom.Mask
+	// Extract tunes the roof extraction (zero value = defaults).
+	Extract district.Options
+	// Site carries the geography, climate and module geometry shared
+	// by all roofs (zero value = the paper's Turin setup).
+	Site district.SiteConfig
+	// Modules fixes the module count per roof. 0 auto-sizes each roof
+	// from its suitable area (see MaxModules).
+	Modules int
+	// MaxModules caps the auto-sized count (0 = 32). Ignored when
+	// Modules is set.
+	MaxModules int
+	// Fidelity selects Fast (default) or Full simulation; Grid
+	// overrides the implied calendar.
+	Fidelity Fidelity
+	// Grid overrides the calendar implied by Fidelity.
+	Grid *timegrid.Grid
+	// Optimizer selects the placement-search strategy for every roof.
+	Optimizer OptimizerConfig
+	// SkipBaseline skips the compact reference placements.
+	SkipBaseline bool
+	// CacheDir enables the persistent field-artifact cache. At
+	// district scale this is the difference between re-simulating the
+	// whole neighborhood and re-reading it: roofs are keyed by tile
+	// content + roof rect, so an unchanged tile re-runs warm.
+	CacheDir string
+	// Concurrency bounds how many roof runs execute simultaneously
+	// (0 = one per CPU; the RunBatch pool).
+	Concurrency int
+	// FieldWorkers bounds each roof's solar-field worker pool
+	// (0 = one per CPU). Results are identical for every value.
+	FieldWorkers int
+}
+
+// RoofPlan is the per-roof outcome of a district run.
+type RoofPlan struct {
+	// Roof is the extraction result.
+	Roof district.Roof
+	// Scenario is the derived planning scenario (nil when conversion
+	// failed — see Skipped).
+	Scenario *scenario.Scenario
+	// Modules is the module count actually planned (after auto-sizing
+	// and any no-space shrinking); 0 when skipped.
+	Modules int
+	// Run is the batch outcome (zero-valued when Skipped is set).
+	Run BatchRun
+	// Skipped explains why the roof was never run ("" = it ran;
+	// Run.Err still reports runtime failures).
+	Skipped string
+}
+
+// Planned reports whether the roof produced a successful plan.
+func (rp *RoofPlan) Planned() bool {
+	return rp.Skipped == "" && rp.Run.Err == nil && rp.Run.Result != nil
+}
+
+// DistrictResult aggregates a district run.
+type DistrictResult struct {
+	// Extraction is the full roof-extraction outcome, including
+	// dropped candidate regions.
+	Extraction *district.Extraction
+	// Plans holds one entry per extracted roof, in roof-ID order.
+	Plans []RoofPlan
+	// Ranked indexes Plans best-first: successfully planned roofs by
+	// descending proposed net energy, ties by roof ID.
+	Ranked []int
+	// TotalProposedMWh / TotalTraditionalMWh / TotalWiringExtraM sum
+	// over the successfully planned roofs.
+	TotalProposedMWh    float64
+	TotalTraditionalMWh float64
+	TotalWiringExtraM   float64
+}
+
+// DistrictGainPct returns the aggregate net-energy gain of the
+// proposed placements over the traditional baselines, in percent.
+func (dr *DistrictResult) DistrictGainPct() float64 {
+	if dr.TotalTraditionalMWh == 0 {
+		return 0
+	}
+	return (dr.TotalProposedMWh - dr.TotalTraditionalMWh) / dr.TotalTraditionalMWh * 100
+}
+
+// RunDistrict executes the district pipeline: extract every roof from
+// the tile, derive a scenario per roof, fan the roofs through the
+// concurrent batch engine (sharing the artifact cache when CacheDir is
+// set), and rank the outcomes. Roofs whose initial module count finds
+// no feasible placement are retried with progressively fewer modules
+// (multiples of 8, the paper's string length) before being reported as
+// failed.
+//
+// The result is deterministic for a given tile and config: extraction
+// order, auto-sizing, every optimizer strategy and the ranking are all
+// independent of Concurrency and FieldWorkers.
+func RunDistrict(cfg DistrictConfig) (*DistrictResult, error) {
+	if cfg.Tile == nil {
+		return nil, fmt.Errorf("pvfloor: district run without a tile")
+	}
+	if cfg.Modules == 0 && cfg.MaxModules != 0 && cfg.MaxModules < 8 {
+		return nil, fmt.Errorf("pvfloor: district MaxModules %d below one 8-module string (use 0 for the default)",
+			cfg.MaxModules)
+	}
+	if cfg.Modules != 0 && (cfg.Modules < 8 || cfg.Modules%8 != 0) {
+		return nil, fmt.Errorf("pvfloor: district Modules %d not a positive multiple of 8 (use 0 to auto-size)",
+			cfg.Modules)
+	}
+	ex, err := district.Extract(cfg.Tile, cfg.NoData, cfg.Extract)
+	if err != nil {
+		return nil, err
+	}
+	scs, err := ex.Scenarios(cfg.Tile, cfg.Site)
+	if err != nil {
+		return nil, err
+	}
+	res := &DistrictResult{Extraction: ex, Plans: make([]RoofPlan, len(ex.Roofs))}
+
+	// Derive initial module counts.
+	var cfgs []Config
+	var cfgPlan []int // cfgs[i] plans res.Plans[cfgPlan[i]]
+	for i := range ex.Roofs {
+		rp := &res.Plans[i]
+		rp.Roof = ex.Roofs[i]
+		rp.Scenario = scs[i]
+		n := cfg.Modules
+		if n == 0 {
+			n = autoModules(rp.Scenario, cfg.MaxModules)
+		}
+		if n < 8 {
+			rp.Skipped = fmt.Sprintf("suitable area %d cells too small for one 8-module string", rp.Scenario.Ng())
+			continue
+		}
+		rp.Modules = n
+		cfgs = append(cfgs, cfg.roofConfig(rp.Scenario, n))
+		cfgPlan = append(cfgPlan, i)
+	}
+
+	// One concurrent sweep, then shrink-and-retry the no-space
+	// failures. A retry builds the roof's solar field once (the field
+	// is independent of the module count) and replans against it with
+	// 8 fewer modules per step.
+	if len(cfgs) > 0 {
+		runs, err := RunBatch(cfgs, BatchOptions{
+			Concurrency:  cfg.Concurrency,
+			FieldWorkers: cfg.FieldWorkers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for ri, br := range runs {
+			rp := &res.Plans[cfgPlan[ri]]
+			rp.Run = br
+			var noSpace *floorplan.ErrNoSpace
+			if br.Err != nil && errors.As(br.Err, &noSpace) && rp.Modules > 8 {
+				cfg.retryShrinking(rp)
+			}
+		}
+	}
+
+	// Rank and aggregate.
+	for i := range res.Plans {
+		rp := &res.Plans[i]
+		if !rp.Planned() {
+			continue
+		}
+		res.Ranked = append(res.Ranked, i)
+		res.TotalProposedMWh += rp.Run.Result.ProposedEval.NetMWh()
+		res.TotalTraditionalMWh += rp.Run.Result.TraditionalEval.NetMWh()
+		res.TotalWiringExtraM += rp.Run.Result.ProposedEval.WiringExtraM
+	}
+	sort.SliceStable(res.Ranked, func(a, b int) bool {
+		ea := res.Plans[res.Ranked[a]].Run.Result.ProposedEval.NetMWh()
+		eb := res.Plans[res.Ranked[b]].Run.Result.ProposedEval.NetMWh()
+		if ea != eb {
+			return ea > eb
+		}
+		return res.Ranked[a] < res.Ranked[b]
+	})
+	return res, nil
+}
+
+// retryShrinking replans a roof whose placement ran out of space:
+// the solar field (independent of the module count) is built once —
+// warm when the batch pass populated the artifact cache — and the
+// module count drops by one 8-module string per attempt until a
+// placement fits or the floor is reached. The final attempt's outcome
+// replaces rp.Run.
+func (cfg DistrictConfig) retryShrinking(rp *RoofPlan) {
+	start := time.Now()
+	ev, err := rp.Scenario.FieldWith(scenario.FieldConfig{
+		Grid:     cfg.roofConfig(rp.Scenario, rp.Modules).effectiveGrid(),
+		Fast:     cfg.Fidelity != Full,
+		Workers:  cfg.FieldWorkers,
+		CacheDir: cfg.CacheDir,
+	})
+	if err != nil {
+		rp.Run.Err = fmt.Errorf("pvfloor: district retry (%s): field: %w", rp.Run.Name, err)
+		rp.Run.Elapsed += time.Since(start)
+		return
+	}
+	for rp.Modules > 8 {
+		rp.Modules -= 8
+		c := cfg.roofConfig(rp.Scenario, rp.Modules)
+		result, err := RunWithField(c, ev)
+		rp.Run.Name = batchName(c)
+		rp.Run.Config = c
+		rp.Run.Result = result
+		rp.Run.Err = err
+		var noSpace *floorplan.ErrNoSpace
+		if err == nil || !errors.As(err, &noSpace) {
+			break
+		}
+	}
+	rp.Run.Elapsed += time.Since(start)
+}
+
+// roofConfig assembles the per-roof pipeline config of a district run.
+func (cfg DistrictConfig) roofConfig(sc *scenario.Scenario, n int) Config {
+	return Config{
+		Scenario:     sc,
+		Modules:      n,
+		Fidelity:     cfg.Fidelity,
+		Grid:         cfg.Grid,
+		Optimizer:    cfg.Optimizer,
+		SkipBaseline: cfg.SkipBaseline,
+		CacheDir:     cfg.CacheDir,
+	}
+}
+
+// autoModules sizes a roof's array from its suitable area: the
+// largest multiple of 8 whose footprint fits into 80% of the suitable
+// cells (the slack absorbs fragmentation), capped at maxModules. A
+// roof that clears one 8-module string by raw area but not by the
+// slack still starts at 8 — the no-space retry loop is the real
+// feasibility check.
+func autoModules(sc *scenario.Scenario, maxModules int) int {
+	if maxModules <= 0 {
+		maxModules = 32
+	}
+	area := sc.Shape.W * sc.Shape.H
+	if area <= 0 {
+		return 0
+	}
+	n := sc.Ng() * 4 / 5 / area
+	n -= n % 8
+	if n == 0 && sc.Ng() >= 8*area {
+		n = 8
+	}
+	if n > maxModules {
+		n = maxModules - maxModules%8
+	}
+	return n
+}
+
+// DistrictTable renders the ranked district report: one row per
+// extracted roof (planned roofs best-first, then skipped/failed ones)
+// plus aggregate totals — the district-scale analogue of the paper's
+// Table I.
+func DistrictTable(res *DistrictResult) string {
+	tbl := report.NewTable("Rank", "Roof", "WxL", "Suit", "Slope", "Aspect", "N",
+		"Trad MWh", "Prop MWh", "Gain%", "Wire m")
+	addRow := func(rank string, rp *RoofPlan) {
+		name := fmt.Sprintf("roof%02d", rp.Roof.ID)
+		dims := fmt.Sprintf("%dx%d", rp.Roof.Rect.W(), rp.Roof.Rect.H())
+		slope := fmt.Sprintf("%.1f", rp.Roof.Plane.SlopeDeg)
+		aspect := fmt.Sprintf("%.0f", rp.Roof.Plane.AspectDeg)
+		if rp.Planned() {
+			r := rp.Run.Result
+			tbl.AddRow(rank, name, dims, fmt.Sprint(rp.Roof.Suitable.Count()), slope, aspect,
+				fmt.Sprint(rp.Modules),
+				fmt.Sprintf("%.3f", r.TraditionalEval.NetMWh()),
+				fmt.Sprintf("%.3f", r.ProposedEval.NetMWh()),
+				fmt.Sprintf("%+.2f", r.ImprovementPct()),
+				fmt.Sprintf("%.1f", r.ProposedEval.WiringExtraM))
+			return
+		}
+		why := rp.Skipped
+		if why == "" && rp.Run.Err != nil {
+			why = "failed: " + rp.Run.Err.Error()
+		}
+		tbl.AddRow(rank, name, dims, fmt.Sprint(rp.Roof.Suitable.Count()), slope, aspect,
+			"-", why)
+	}
+	for rank, pi := range res.Ranked {
+		addRow(fmt.Sprint(rank+1), &res.Plans[pi])
+	}
+	ranked := make(map[int]bool, len(res.Ranked))
+	for _, pi := range res.Ranked {
+		ranked[pi] = true
+	}
+	for i := range res.Plans {
+		if !ranked[i] {
+			addRow("-", &res.Plans[i])
+		}
+	}
+	out := tbl.String()
+	out += fmt.Sprintf("\nDistrict totals: %d/%d roofs planned, traditional %.3f MWh, proposed %.3f MWh (%+.2f%%), extra wiring %.1f m\n",
+		len(res.Ranked), len(res.Plans), res.TotalTraditionalMWh, res.TotalProposedMWh,
+		res.DistrictGainPct(), res.TotalWiringExtraM)
+	return out
+}

@@ -1,0 +1,464 @@
+// Package district turns a raw DSM tile into a fleet of planning-ready
+// roofs — the step from the paper's hand-picked single roof to
+// whole-neighborhood sweeps. The paper (§IV) assumes the GIS layer has
+// already identified the roof of interest; at district scale that
+// identification must itself be automatic. This package implements the
+// standard LiDAR-processing recipe:
+//
+//  1. Ground estimation: the tile's ground elevation is taken as a low
+//     percentile of the valid cells (flat-terrain assumption — one
+//     residential block, not a mountainside).
+//  2. Height thresholding: cells at least Options.MinHeightM above
+//     ground are building candidates.
+//  3. Morphological opening (erode+dilate) removes thin clutter —
+//     antenna poles, cables, and the 1-cell bridges that would
+//     otherwise merge adjacent roofs into one component.
+//  4. Connected-component labeling (4-connectivity, row-major seeding,
+//     deterministic IDs) splits the candidate mask into regions.
+//  5. Per-region filters drop regions that are too small
+//     (MinAreaCells), too ragged (MinRectangularity), too non-planar
+//     (MaxFitRMSM — this is what rejects tree crowns), or clipped by
+//     the tile border (unreliable geometry and shadows).
+//  6. Planar-segment fitting: a least-squares plane over each region
+//     yields the roof's slope and aspect; cells protruding above the
+//     fitted plane by more than ObstacleReliefM are classified as roof
+//     encumbrances (chimneys, HVAC), exactly the paper's §IV
+//     "recognise the roof encumbrances" step.
+//
+// The resulting Roof values convert directly into scenario.Scenario
+// configurations (see Roof.Scenario) and from there feed the existing
+// optimizer and batch machinery — one DSM tile in, a fleet of
+// floorplanning problems out.
+package district
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dsm"
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+// Options tunes roof extraction. The zero value selects defaults
+// suitable for residential tiles at the paper's 0.2 m pitch.
+type Options struct {
+	// MinHeightM is the height above estimated ground from which a
+	// cell counts as part of a building (default 2.5 m — below
+	// single-storey eaves never, above garden furniture always).
+	MinHeightM float64
+	// GroundPercentile is the percentile of valid elevations taken as
+	// the ground level (default 10; robust against tiles that are
+	// mostly buildings).
+	GroundPercentile float64
+	// MinAreaCells drops components smaller than this footprint
+	// (default 60 cells = 2.4 m² at 0.2 m pitch).
+	MinAreaCells int
+	// MinRectangularity drops components whose footprint fills less
+	// than this fraction of their bounding rectangle (default 0.55):
+	// roofs are compact, drift-merged clutter is not.
+	MinRectangularity float64
+	// MaxFitRMSM drops components whose best-fit plane leaves an RMS
+	// residual above this (default 0.35 m): planar roofs pass, tree
+	// crowns and rubble fail.
+	MaxFitRMSM float64
+	// ObstacleReliefM classifies footprint cells protruding this far
+	// above the fitted roof plane as encumbrances, excluded from the
+	// suitable area (default 0.25 m).
+	ObstacleReliefM float64
+	// OpeningCells is the radius of the morphological opening applied
+	// to the candidate mask before labeling (0 selects the default
+	// radius 1; negative keeps the raw mask, opening disabled).
+	OpeningCells int
+	// KeepBorder keeps components that touch the tile border instead
+	// of dropping them (their horizon — and often their footprint —
+	// is clipped by the tile edge, so they are dropped by default).
+	KeepBorder bool
+	// SuitableMarginCells erodes each roof's suitable area by this
+	// many cells (installer setback; default 0 — district tiles are
+	// coarse enough that the opening already provides clearance).
+	SuitableMarginCells int
+	// MaxRoofs caps how many roofs are returned, largest footprint
+	// first (0 = no cap).
+	MaxRoofs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinHeightM == 0 {
+		o.MinHeightM = 2.5
+	}
+	if o.GroundPercentile == 0 {
+		o.GroundPercentile = 10
+	}
+	if o.MinAreaCells == 0 {
+		o.MinAreaCells = 60
+	}
+	if o.MinRectangularity == 0 {
+		o.MinRectangularity = 0.55
+	}
+	if o.MaxFitRMSM == 0 {
+		o.MaxFitRMSM = 0.35
+	}
+	if o.ObstacleReliefM == 0 {
+		o.ObstacleReliefM = 0.25
+	}
+	if o.OpeningCells == 0 {
+		o.OpeningCells = 1
+	}
+	if o.OpeningCells < 0 {
+		o.OpeningCells = 0
+	}
+	return o
+}
+
+// Roof is one extracted roof region, in tile coordinates.
+type Roof struct {
+	// ID numbers the roof in deterministic extraction order (row-major
+	// by first footprint cell), starting at 1.
+	ID int
+	// Rect is the footprint bounding rectangle in tile cells.
+	Rect geom.Rect
+	// Footprint marks the component cells, roof-local (Rect dims).
+	Footprint *geom.Mask
+	// Obstacles marks footprint cells protruding above the fitted
+	// plane (roof-local, subset of Footprint).
+	Obstacles *geom.Mask
+	// Suitable is the placement mask: footprint minus obstacles,
+	// eroded by Options.SuitableMarginCells (roof-local).
+	Suitable *geom.Mask
+	// Cells is the footprint area in cells.
+	Cells int
+	// Rectangularity is Cells / Rect.Area().
+	Rectangularity float64
+	// Plane is the fitted roof plane (dsm.Plane conventions: slope
+	// from horizontal, aspect clockwise from north). RidgeZ is the
+	// highest fitted elevation over the bounding rect — the ridge
+	// elevation, informational only; downstream physics consumes
+	// SlopeDeg/AspectDeg while the surface itself stays the DSM tile.
+	Plane dsm.Plane
+	// FitRMSM is the RMS residual of the plane fit in metres.
+	FitRMSM float64
+	// MeanHeightM is the mean footprint height above estimated ground.
+	MeanHeightM float64
+}
+
+// DropReason classifies why a candidate region was rejected.
+type DropReason string
+
+const (
+	DropTooSmall   DropReason = "too-small"
+	DropRagged     DropReason = "ragged"
+	DropNonPlanar  DropReason = "non-planar"
+	DropBorder     DropReason = "border"
+	DropOverCap    DropReason = "over-cap"
+	DropUnsuitable DropReason = "no-suitable-cells"
+)
+
+// Dropped records a rejected candidate region.
+type Dropped struct {
+	Rect   geom.Rect
+	Cells  int
+	Reason DropReason
+}
+
+// Extraction is the result of one tile sweep.
+type Extraction struct {
+	// GroundZ is the estimated ground elevation.
+	GroundZ float64
+	// CellSizeM echoes the tile pitch.
+	CellSizeM float64
+	// Roofs lists the accepted roofs in ID order.
+	Roofs []Roof
+	// Dropped lists rejected candidate regions in scan order.
+	Dropped []Dropped
+	// ElevatedCells counts the cells above the height threshold
+	// (before opening).
+	ElevatedCells int
+}
+
+// Extract sweeps a DSM tile for roof regions. nodata, when non-nil,
+// marks missing cells (same dims as the tile): they never join a
+// footprint, are excluded from the ground estimate, and punch holes in
+// the suitable area — but do not break a roof apart as long as its
+// remaining cells stay 4-connected.
+func Extract(tile *dsm.Raster, nodata *geom.Mask, opts Options) (*Extraction, error) {
+	if tile == nil {
+		return nil, fmt.Errorf("district: nil tile")
+	}
+	if nodata != nil && (nodata.W() != tile.W() || nodata.H() != tile.H()) {
+		return nil, fmt.Errorf("district: nodata mask %dx%d does not match tile %dx%d",
+			nodata.W(), nodata.H(), tile.W(), tile.H())
+	}
+	opts = opts.withDefaults()
+
+	w, h := tile.W(), tile.H()
+	valid := func(c geom.Cell) bool { return nodata == nil || !nodata.Get(c) }
+
+	ground, err := groundLevel(tile, nodata, opts.GroundPercentile)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Extraction{GroundZ: ground, CellSizeM: tile.CellSize()}
+
+	// Height threshold.
+	elevated := geom.NewMask(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := geom.Cell{X: x, Y: y}
+			if valid(c) && tile.At(c)-ground >= opts.MinHeightM {
+				elevated.Set(c, true)
+				ex.ElevatedCells++
+			}
+		}
+	}
+
+	// Morphological opening: thin bridges and poles vanish, compact
+	// regions survive (minus their convex corners). Intersecting with
+	// the raw mask keeps the opened footprint a subset of the actually
+	// elevated cells.
+	opened := elevated.Clone()
+	for i := 0; i < opts.OpeningCells; i++ {
+		opened.Erode()
+	}
+	for i := 0; i < opts.OpeningCells; i++ {
+		opened.Dilate()
+	}
+	opened.And(elevated)
+
+	for _, comp := range components(opened) {
+		cand := Dropped{Rect: comp.rect, Cells: len(comp.cells)}
+		switch {
+		case len(comp.cells) < opts.MinAreaCells:
+			cand.Reason = DropTooSmall
+		case !opts.KeepBorder && touchesBorder(comp.rect, w, h):
+			cand.Reason = DropBorder
+		case float64(len(comp.cells))/float64(comp.rect.Area()) < opts.MinRectangularity:
+			cand.Reason = DropRagged
+		}
+		if cand.Reason != "" {
+			ex.Dropped = append(ex.Dropped, cand)
+			continue
+		}
+		roof, ok := fitRoof(tile, comp, ground, opts)
+		if !ok {
+			cand.Reason = DropNonPlanar
+			ex.Dropped = append(ex.Dropped, cand)
+			continue
+		}
+		if roof.Suitable.Count() == 0 {
+			cand.Reason = DropUnsuitable
+			ex.Dropped = append(ex.Dropped, cand)
+			continue
+		}
+		roof.ID = len(ex.Roofs) + 1 // provisional; re-numbered after the cap
+		ex.Roofs = append(ex.Roofs, roof)
+	}
+
+	if opts.MaxRoofs > 0 && len(ex.Roofs) > opts.MaxRoofs {
+		// Keep the largest footprints; scan order breaks ties so the
+		// cap is deterministic.
+		bySize := make([]Roof, len(ex.Roofs))
+		copy(bySize, ex.Roofs)
+		sort.SliceStable(bySize, func(i, j int) bool { return bySize[i].Cells > bySize[j].Cells })
+		keep := make(map[int]bool, opts.MaxRoofs)
+		for _, r := range bySize[:opts.MaxRoofs] {
+			keep[r.ID] = true
+		}
+		kept := ex.Roofs[:0]
+		for _, r := range ex.Roofs {
+			if keep[r.ID] {
+				kept = append(kept, r)
+			} else {
+				ex.Dropped = append(ex.Dropped, Dropped{Rect: r.Rect, Cells: r.Cells, Reason: DropOverCap})
+			}
+		}
+		ex.Roofs = kept
+	}
+	// Re-number so IDs are dense in final order.
+	for i := range ex.Roofs {
+		ex.Roofs[i].ID = i + 1
+	}
+	return ex, nil
+}
+
+// groundLevel estimates the ground elevation as the pct-th percentile
+// of valid cell elevations (the codebase's one percentile convention,
+// stats.Percentile).
+func groundLevel(tile *dsm.Raster, nodata *geom.Mask, pct float64) (float64, error) {
+	zs := make([]float64, 0, tile.W()*tile.H())
+	for y := 0; y < tile.H(); y++ {
+		for x := 0; x < tile.W(); x++ {
+			c := geom.Cell{X: x, Y: y}
+			if nodata != nil && nodata.Get(c) {
+				continue
+			}
+			zs = append(zs, tile.At(c))
+		}
+	}
+	g, err := stats.Percentile(zs, pct)
+	if err != nil {
+		return 0, fmt.Errorf("district: ground estimate: %w", err)
+	}
+	return g, nil
+}
+
+// component is one 4-connected region of the candidate mask.
+type component struct {
+	cells []geom.Cell
+	rect  geom.Rect
+}
+
+// components labels the mask's 4-connected regions. Seeding is
+// row-major and the flood fill visits a deterministic order, so the
+// returned slice (and each cell list) is reproducible.
+func components(m *geom.Mask) []component {
+	w, h := m.W(), m.H()
+	seen := geom.NewMask(w, h)
+	var out []component
+	var stack []geom.Cell
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			seed := geom.Cell{X: x, Y: y}
+			if !m.Get(seed) || seen.Get(seed) {
+				continue
+			}
+			comp := component{rect: geom.RectAt(seed, 1, 1)}
+			stack = append(stack[:0], seed)
+			seen.Set(seed, true)
+			for len(stack) > 0 {
+				c := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				comp.cells = append(comp.cells, c)
+				comp.rect = comp.rect.Union(geom.RectAt(c, 1, 1))
+				for _, n := range [4]geom.Cell{c.Add(1, 0), c.Add(-1, 0), c.Add(0, 1), c.Add(0, -1)} {
+					if m.Get(n) && !seen.Get(n) {
+						seen.Set(n, true)
+						stack = append(stack, n)
+					}
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	return out
+}
+
+func touchesBorder(r geom.Rect, w, h int) bool {
+	return r.X0 == 0 || r.Y0 == 0 || r.X1 == w || r.Y1 == h
+}
+
+// fitRoof least-squares fits a plane over the component, derives slope
+// and aspect, classifies encumbrances, and assembles the Roof. It
+// reports false when the fit residual exceeds Options.MaxFitRMSM.
+func fitRoof(tile *dsm.Raster, comp component, ground float64, opts Options) (Roof, bool) {
+	cs := tile.CellSize()
+	// Normal equations for z = a·xm + b·ym + c over the footprint,
+	// with (xm, ym) in metres relative to the rect anchor (keeps the
+	// system well-conditioned for any tile offset).
+	var sx, sy, sxx, syy, sxy, sz, sxz, syz float64
+	n := float64(len(comp.cells))
+	var heightSum float64
+	for _, c := range comp.cells {
+		xm := (float64(c.X-comp.rect.X0) + 0.5) * cs
+		ym := (float64(c.Y-comp.rect.Y0) + 0.5) * cs
+		z := tile.At(c)
+		sx += xm
+		sy += ym
+		sxx += xm * xm
+		syy += ym * ym
+		sxy += xm * ym
+		sz += z
+		sxz += xm * z
+		syz += ym * z
+		heightSum += z - ground
+	}
+	// Solve the 3x3 system by Cramer's rule.
+	det := sxx*(syy*n-sy*sy) - sxy*(sxy*n-sy*sx) + sx*(sxy*sy-syy*sx)
+	var a, b, c0 float64
+	if math.Abs(det) < 1e-12 {
+		// Degenerate footprint (collinear cells): treat as flat at the
+		// mean elevation.
+		a, b, c0 = 0, 0, sz/n
+	} else {
+		a = (sxz*(syy*n-sy*sy) - sxy*(syz*n-sy*sz) + sx*(syz*sy-syy*sz)) / det
+		b = (sxx*(syz*n-sy*sz) - sxz*(sxy*n-sx*sy) + sx*(sxy*sz-sx*syz)) / det
+		c0 = (sxx*(syy*sz-syz*sy) - sxy*(sxy*sz-syz*sx) + sxz*(sxy*sy-syy*sx)) / det
+	}
+	planeAt := func(c geom.Cell) float64 {
+		xm := (float64(c.X-comp.rect.X0) + 0.5) * cs
+		ym := (float64(c.Y-comp.rect.Y0) + 0.5) * cs
+		return a*xm + b*ym + c0
+	}
+
+	var sqSum float64
+	for _, c := range comp.cells {
+		d := tile.At(c) - planeAt(c)
+		sqSum += d * d
+	}
+	// Highest fitted elevation over the bounding rect (the ridge).
+	maxPlaneZ := math.Inf(-1)
+	for _, corner := range [4]geom.Cell{
+		{X: comp.rect.X0, Y: comp.rect.Y0}, {X: comp.rect.X1 - 1, Y: comp.rect.Y0},
+		{X: comp.rect.X0, Y: comp.rect.Y1 - 1}, {X: comp.rect.X1 - 1, Y: comp.rect.Y1 - 1},
+	} {
+		if pz := planeAt(corner); pz > maxPlaneZ {
+			maxPlaneZ = pz
+		}
+	}
+	rms := math.Sqrt(sqSum / n)
+	if rms > opts.MaxFitRMSM {
+		return Roof{}, false
+	}
+
+	// Slope/aspect from the fitted gradient (a = dz/dx east, b = dz/dy
+	// south), matching dsm.Raster.SlopeAspect conventions. A gradient
+	// below 1e-9 m/m is numerically flat: its direction is rounding
+	// noise, so the aspect is pinned to 0 for determinism.
+	slope := math.Atan(math.Hypot(a, b))
+	aspect := 0.0
+	if math.Hypot(a, b) >= 1e-9 {
+		aspect = math.Atan2(-a, b)
+		if aspect < 0 {
+			aspect += 2 * math.Pi
+		}
+	}
+	// RidgeZ records the highest fitted elevation over the bounding
+	// rect. Downstream physics only consumes SlopeDeg/AspectDeg
+	// — the actual surface stays the DSM tile itself — but RidgeZ
+	// keeps the Plane self-consistent for reporting.
+	plane := dsm.Plane{
+		RidgeZ:    maxPlaneZ,
+		SlopeDeg:  slope * 180 / math.Pi,
+		AspectDeg: aspect * 180 / math.Pi,
+	}
+
+	rw, rh := comp.rect.W(), comp.rect.H()
+	foot := geom.NewMask(rw, rh)
+	obst := geom.NewMask(rw, rh)
+	for _, c := range comp.cells {
+		foot.Set(geom.Cell{X: c.X - comp.rect.X0, Y: c.Y - comp.rect.Y0}, true)
+	}
+	for _, c := range comp.cells {
+		if tile.At(c)-planeAt(c) > opts.ObstacleReliefM {
+			obst.Set(geom.Cell{X: c.X - comp.rect.X0, Y: c.Y - comp.rect.Y0}, true)
+		}
+	}
+	suit := foot.Clone()
+	suit.AndNot(obst)
+	for i := 0; i < opts.SuitableMarginCells; i++ {
+		suit.Erode()
+	}
+
+	return Roof{
+		Rect:           comp.rect,
+		Footprint:      foot,
+		Obstacles:      obst,
+		Suitable:       suit,
+		Cells:          len(comp.cells),
+		Rectangularity: n / float64(comp.rect.Area()),
+		Plane:          plane,
+		FitRMSM:        rms,
+		MeanHeightM:    heightSum / n,
+	}, true
+}

@@ -1,0 +1,260 @@
+package district
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dsm"
+	"repro/internal/geom"
+)
+
+// newTile builds a flat-ground tile for hand-assembled cases.
+func newTile(t *testing.T, w, h int) *dsm.Raster {
+	t.Helper()
+	tile, err := dsm.NewRaster(w, h, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tile
+}
+
+func TestExtractNeighborhood(t *testing.T) {
+	tile := SyntheticNeighborhood()
+	ex, err := Extract(tile, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Roofs) != 4 {
+		for _, d := range ex.Dropped {
+			t.Logf("dropped %v (%d cells): %s", d.Rect, d.Cells, d.Reason)
+		}
+		t.Fatalf("extracted %d roofs, want 4", len(ex.Roofs))
+	}
+	if ex.GroundZ != 0 {
+		t.Errorf("ground level %g, want 0 (flat synthetic ground)", ex.GroundZ)
+	}
+
+	// The stamped buildings, in row-major discovery order, with their
+	// stamped plane parameters.
+	want := []struct {
+		rect      geom.Rect
+		slopeDeg  float64
+		aspectDeg float64
+	}{
+		{geom.Rect{X0: 14, Y0: 12, X1: 58, Y1: 36}, 25, 180},
+		{geom.Rect{X0: 76, Y0: 16, X1: 116, Y1: 38}, 22, 205},
+		{geom.Rect{X0: 26, Y0: 64, X1: 62, Y1: 88}, 28, 160},
+		{geom.Rect{X0: 112, Y0: 66, X1: 140, Y1: 86}, 3.2, 0}, // flat garage: slope ~0
+	}
+	for i, r := range ex.Roofs {
+		if r.ID != i+1 {
+			t.Errorf("roof %d: ID %d, want %d", i, r.ID, i+1)
+		}
+		if r.Rect != want[i].rect {
+			t.Errorf("roof %d: rect %v, want %v", i, r.Rect, want[i].rect)
+		}
+		if i < 3 {
+			if math.Abs(r.Plane.SlopeDeg-want[i].slopeDeg) > 1.0 {
+				t.Errorf("roof %d: slope %.2f°, want %.0f°", i, r.Plane.SlopeDeg, want[i].slopeDeg)
+			}
+			if math.Abs(r.Plane.AspectDeg-want[i].aspectDeg) > 2.0 {
+				t.Errorf("roof %d: aspect %.2f°, want %.0f°", i, r.Plane.AspectDeg, want[i].aspectDeg)
+			}
+		} else if r.Plane.SlopeDeg > 0.5 {
+			t.Errorf("garage: slope %.2f°, want ~0", r.Plane.SlopeDeg)
+		}
+		if r.FitRMSM > 0.35 {
+			t.Errorf("roof %d: fit RMS %.3f m above threshold", i, r.FitRMSM)
+		}
+		if r.Suitable.Count() >= r.Cells && i < 3 {
+			t.Errorf("roof %d: no encumbrance or opening loss detected (suitable %d >= footprint %d)",
+				i, r.Suitable.Count(), r.Cells)
+		}
+		if r.Suitable.Count() == 0 {
+			t.Errorf("roof %d: empty suitable area", i)
+		}
+	}
+
+	// The chimney on house 1 must be classified as an obstacle.
+	r0 := ex.Roofs[0]
+	chim := geom.Cell{X: 18 - r0.Rect.X0, Y: 15 - r0.Rect.Y0}
+	if !r0.Obstacles.Get(chim) {
+		t.Error("chimney cell not classified as obstacle")
+	}
+	if r0.Suitable.Get(chim) {
+		t.Error("chimney cell still marked suitable")
+	}
+
+	// Both trees fail planarity; the garden wall never crosses the
+	// height threshold.
+	nonPlanar := 0
+	for _, d := range ex.Dropped {
+		if d.Reason == DropNonPlanar {
+			nonPlanar++
+		}
+	}
+	if nonPlanar != 2 {
+		t.Errorf("%d non-planar drops, want 2 (the trees); drops: %+v", nonPlanar, ex.Dropped)
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	tile := SyntheticNeighborhood()
+	a, err := Extract(tile, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Extract(tile, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two extractions of the same tile differ")
+	}
+}
+
+func TestPlaneFitRecoversStampedPlane(t *testing.T) {
+	// A single clean building: the least-squares fit must recover the
+	// stamped plane almost exactly (the only discretisation is the
+	// cell-center sampling, which the fit sees exactly).
+	for _, tc := range []struct {
+		name             string
+		slopeDeg, aspect float64
+	}{
+		{"south", 30, 180},
+		{"southwest", 20, 225},
+		{"east", 15, 90},
+		{"steep-ssw", 35, 205},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tile := newTile(t, 80, 60)
+			rect := geom.Rect{X0: 20, Y0: 15, X1: 56, Y1: 39}
+			stampBuilding(tile, rect, 8, tc.slopeDeg, tc.aspect)
+			ex, err := Extract(tile, nil, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ex.Roofs) != 1 {
+				t.Fatalf("extracted %d roofs, want 1", len(ex.Roofs))
+			}
+			r := ex.Roofs[0]
+			if math.Abs(r.Plane.SlopeDeg-tc.slopeDeg) > 0.01 {
+				t.Errorf("slope %.4f°, want %g°", r.Plane.SlopeDeg, tc.slopeDeg)
+			}
+			if math.Abs(r.Plane.AspectDeg-tc.aspect) > 0.01 {
+				t.Errorf("aspect %.4f°, want %g°", r.Plane.AspectDeg, tc.aspect)
+			}
+			if r.FitRMSM > 1e-9 {
+				t.Errorf("fit RMS %.2e m on an exact plane", r.FitRMSM)
+			}
+			if math.Abs(r.Plane.RidgeZ-8) > 1e-9 {
+				t.Errorf("ridge z %.4f, want 8", r.Plane.RidgeZ)
+			}
+		})
+	}
+}
+
+func TestExtractInputValidation(t *testing.T) {
+	tile := newTile(t, 10, 10)
+	if _, err := Extract(nil, nil, Options{}); err == nil {
+		t.Error("nil tile accepted")
+	}
+	if _, err := Extract(tile, geom.NewMask(3, 3), Options{}); err == nil {
+		t.Error("mismatched nodata mask accepted")
+	}
+	if _, err := Extract(tile, nil, Options{GroundPercentile: 150}); err == nil {
+		t.Error("out-of-range percentile accepted")
+	}
+	all := geom.NewMask(10, 10)
+	all.Fill(true)
+	if _, err := Extract(tile, all, Options{}); err == nil {
+		t.Error("all-nodata tile accepted")
+	}
+}
+
+func TestRoofScenarioConversion(t *testing.T) {
+	tile := SyntheticNeighborhood()
+	ex, err := Extract(tile, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ex.Roofs[0]
+	sc, err := r.Scenario(tile, SiteConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Scene.Raster != tile {
+		t.Error("scenario must share the tile raster (neighbour shadows)")
+	}
+	if sc.Scene.RoofRect != r.Rect {
+		t.Errorf("roof rect %v, want %v", sc.Scene.RoofRect, r.Rect)
+	}
+	if sc.Suitable.W() != r.Rect.W() || sc.Suitable.H() != r.Rect.H() {
+		t.Errorf("suitable mask %dx%d does not match roof rect %v",
+			sc.Suitable.W(), sc.Suitable.H(), r.Rect)
+	}
+	if sc.Shape.W != 8 || sc.Shape.H != 4 {
+		t.Errorf("module shape %dx%d, want 8x4 at 0.2 m pitch", sc.Shape.W, sc.Shape.H)
+	}
+	if sc.Ng() != r.Suitable.Count() {
+		t.Errorf("scenario Ng %d != roof suitable %d", sc.Ng(), r.Suitable.Count())
+	}
+	// Obstacle bookkeeping: a non-suitable in-rect cell is an obstacle
+	// in scene coordinates.
+	var hole geom.Cell
+	found := false
+	for y := 0; y < r.Rect.H() && !found; y++ {
+		for x := 0; x < r.Rect.W() && !found; x++ {
+			c := geom.Cell{X: x, Y: y}
+			if !r.Suitable.Get(c) {
+				hole, found = c, true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("roof has no unsuitable cell to check")
+	}
+	sceneCell := geom.Cell{X: hole.X + r.Rect.X0, Y: hole.Y + r.Rect.Y0}
+	if !sc.Scene.Obstacles.Get(sceneCell) {
+		t.Error("unsuitable cell not recorded in scene obstacle mask")
+	}
+
+	// A tile whose pitch does not divide the module must be rejected.
+	odd, err := dsm.NewRaster(30, 30, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Scenario(odd, SiteConfig{}); err == nil {
+		t.Error("0.3 m pitch accepted for a 1.6x0.8 m module")
+	}
+}
+
+func TestMaxRoofsCapKeepsLargest(t *testing.T) {
+	tile := SyntheticNeighborhood()
+	ex, err := Extract(tile, nil, Options{MaxRoofs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Roofs) != 2 {
+		t.Fatalf("extracted %d roofs, want 2", len(ex.Roofs))
+	}
+	// The two largest stamped footprints are house 1 (44x24) and
+	// house 2 (40x22); IDs are re-numbered densely.
+	if ex.Roofs[0].Rect.W() != 44 || ex.Roofs[1].Rect.W() != 40 {
+		t.Errorf("cap kept %v and %v, want the two largest houses",
+			ex.Roofs[0].Rect, ex.Roofs[1].Rect)
+	}
+	if ex.Roofs[0].ID != 1 || ex.Roofs[1].ID != 2 {
+		t.Errorf("IDs %d,%d not re-numbered densely", ex.Roofs[0].ID, ex.Roofs[1].ID)
+	}
+	overCap := 0
+	for _, d := range ex.Dropped {
+		if d.Reason == DropOverCap {
+			overCap++
+		}
+	}
+	if overCap != 2 {
+		t.Errorf("%d over-cap drops, want 2", overCap)
+	}
+}

@@ -1,0 +1,171 @@
+package district
+
+import (
+	"testing"
+
+	"repro/internal/dsm"
+	"repro/internal/geom"
+)
+
+// TestExtractEdgeCases table-drives the extraction corner cases that
+// district-scale input actually produces: empty and featureless
+// tiles, roofs clipped by the tile border, adjacent roofs fused by
+// thin artifacts, and NODATA holes punched through a roof.
+func TestExtractEdgeCases(t *testing.T) {
+	flatRoof := func(tile *dsm.Raster, rect geom.Rect, z float64) {
+		stampBuilding(tile, rect, z, 0, 0)
+	}
+
+	cases := []struct {
+		name  string
+		build func(t *testing.T) (*dsm.Raster, *geom.Mask, Options)
+		check func(t *testing.T, ex *Extraction)
+	}{
+		{
+			name: "empty tile",
+			build: func(t *testing.T) (*dsm.Raster, *geom.Mask, Options) {
+				return newTile(t, 40, 40), nil, Options{}
+			},
+			check: func(t *testing.T, ex *Extraction) {
+				if len(ex.Roofs) != 0 || ex.ElevatedCells != 0 {
+					t.Fatalf("empty tile produced %d roofs, %d elevated cells",
+						len(ex.Roofs), ex.ElevatedCells)
+				}
+			},
+		},
+		{
+			name: "all-ground tile",
+			build: func(t *testing.T) (*dsm.Raster, *geom.Mask, Options) {
+				// Uniform non-zero terrain: everything IS the ground,
+				// nothing is above it.
+				tile := newTile(t, 40, 40)
+				tile.SetRectTo(tile.Bounds(), 312.5)
+				return tile, nil, Options{}
+			},
+			check: func(t *testing.T, ex *Extraction) {
+				if ex.GroundZ != 312.5 {
+					t.Errorf("ground %g, want 312.5", ex.GroundZ)
+				}
+				if len(ex.Roofs) != 0 || ex.ElevatedCells != 0 {
+					t.Fatalf("uniform tile produced %d roofs, %d elevated cells",
+						len(ex.Roofs), ex.ElevatedCells)
+				}
+			},
+		},
+		{
+			name: "roof touching the tile border is dropped",
+			build: func(t *testing.T) (*dsm.Raster, *geom.Mask, Options) {
+				tile := newTile(t, 60, 60)
+				flatRoof(tile, geom.Rect{X0: 0, Y0: 20, X1: 24, Y1: 40}, 5)
+				return tile, nil, Options{}
+			},
+			check: func(t *testing.T, ex *Extraction) {
+				if len(ex.Roofs) != 0 {
+					t.Fatalf("border roof extracted: %+v", ex.Roofs)
+				}
+				if len(ex.Dropped) != 1 || ex.Dropped[0].Reason != DropBorder {
+					t.Fatalf("drops %+v, want one %s", ex.Dropped, DropBorder)
+				}
+			},
+		},
+		{
+			name: "roof touching the tile border kept with KeepBorder",
+			build: func(t *testing.T) (*dsm.Raster, *geom.Mask, Options) {
+				tile := newTile(t, 60, 60)
+				flatRoof(tile, geom.Rect{X0: 0, Y0: 20, X1: 24, Y1: 40}, 5)
+				return tile, nil, Options{KeepBorder: true}
+			},
+			check: func(t *testing.T, ex *Extraction) {
+				if len(ex.Roofs) != 1 {
+					t.Fatalf("extracted %d roofs, want 1", len(ex.Roofs))
+				}
+				// Opening erodes the border column too; the footprint
+				// must still reach the tile edge after dilation.
+				if ex.Roofs[0].Rect.X0 != 0 {
+					t.Errorf("kept roof rect %v does not reach the border", ex.Roofs[0].Rect)
+				}
+			},
+		},
+		{
+			name: "two roofs merged by a 1-cell bridge are split",
+			build: func(t *testing.T) (*dsm.Raster, *geom.Mask, Options) {
+				tile := newTile(t, 80, 60)
+				flatRoof(tile, geom.Rect{X0: 10, Y0: 20, X1: 34, Y1: 40}, 5)
+				flatRoof(tile, geom.Rect{X0: 37, Y0: 20, X1: 61, Y1: 40}, 5)
+				// A 1-cell-wide catwalk fusing the two into one
+				// 4-connected component.
+				tile.MaxAbove(geom.Rect{X0: 34, Y0: 30, X1: 37, Y1: 31}, 5)
+				return tile, nil, Options{}
+			},
+			check: func(t *testing.T, ex *Extraction) {
+				if len(ex.Roofs) != 2 {
+					t.Fatalf("extracted %d roofs, want 2 (opening must cut the bridge); drops: %+v",
+						len(ex.Roofs), ex.Dropped)
+				}
+				if ex.Roofs[0].Rect.Overlaps(ex.Roofs[1].Rect) {
+					t.Errorf("split roofs overlap: %v and %v", ex.Roofs[0].Rect, ex.Roofs[1].Rect)
+				}
+			},
+		},
+		{
+			name: "bridged roofs stay merged with opening disabled",
+			build: func(t *testing.T) (*dsm.Raster, *geom.Mask, Options) {
+				tile := newTile(t, 80, 60)
+				flatRoof(tile, geom.Rect{X0: 10, Y0: 20, X1: 34, Y1: 40}, 5)
+				flatRoof(tile, geom.Rect{X0: 37, Y0: 20, X1: 61, Y1: 40}, 5)
+				tile.MaxAbove(geom.Rect{X0: 34, Y0: 30, X1: 37, Y1: 31}, 5)
+				return tile, nil, Options{OpeningCells: -1}
+			},
+			check: func(t *testing.T, ex *Extraction) {
+				// One fused component spanning both rects; whether it
+				// survives the rectangularity filter is a parameter
+				// question, but it must not come out as two roofs.
+				if len(ex.Roofs)+len(ex.Dropped) != 1 {
+					t.Fatalf("got %d roofs + %d drops, want exactly 1 fused region",
+						len(ex.Roofs), len(ex.Dropped))
+				}
+			},
+		},
+		{
+			name: "NODATA holes inside a roof",
+			build: func(t *testing.T) (*dsm.Raster, *geom.Mask, Options) {
+				tile := newTile(t, 60, 60)
+				flatRoof(tile, geom.Rect{X0: 15, Y0: 15, X1: 45, Y1: 40}, 5)
+				nodata := geom.NewMask(60, 60)
+				// A 2x2 sensor dropout inside the roof: punches a hole
+				// but leaves the footprint 4-connected.
+				nodata.SetRect(geom.Rect{X0: 25, Y0: 24, X1: 27, Y1: 26}, true)
+				return tile, nodata, Options{}
+			},
+			check: func(t *testing.T, ex *Extraction) {
+				if len(ex.Roofs) != 1 {
+					t.Fatalf("extracted %d roofs, want 1 (hole must not kill the roof); drops: %+v",
+						len(ex.Roofs), ex.Dropped)
+				}
+				r := ex.Roofs[0]
+				hole := geom.Cell{X: 25 - r.Rect.X0, Y: 24 - r.Rect.Y0}
+				if r.Footprint.Get(hole) {
+					t.Error("NODATA cell joined the footprint")
+				}
+				if r.Suitable.Get(hole) {
+					t.Error("NODATA cell marked suitable")
+				}
+				want := geom.Rect{X0: 15, Y0: 15, X1: 45, Y1: 40}
+				if r.Rect != want {
+					t.Errorf("roof rect %v, want %v", r.Rect, want)
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tile, nodata, opts := tc.build(t)
+			ex, err := Extract(tile, nodata, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, ex)
+		})
+	}
+}

@@ -1,0 +1,149 @@
+package district
+
+import (
+	"fmt"
+
+	"repro/internal/dsm"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/scenario"
+	"repro/internal/solar/clearsky"
+	"repro/internal/solar/sunpos"
+	"repro/internal/weather"
+)
+
+// SiteConfig carries the geography and climate shared by every roof
+// of a district run. The zero value selects the paper's Turin site,
+// turbidity climatology and synthetic climate.
+type SiteConfig struct {
+	// Site is the geographic location (zero value = Turin).
+	Site sunpos.Site
+	// MonthlyTL is the Linke turbidity climatology (zero = Turin's).
+	MonthlyTL [12]float64
+	// Climate parameterises the synthetic weather (zero = Turin's).
+	Climate weather.Climate
+	// Seed fixes the weather realisation. All roofs of one district
+	// share it: they sit under the same sky.
+	Seed int64
+	// ModuleWidthM/ModuleHeightM are the module footprint in metres
+	// (zero = the paper's 1.6 x 0.8 m panel). The tile's cell size
+	// must divide both evenly.
+	ModuleWidthM, ModuleHeightM float64
+}
+
+func (sc SiteConfig) withDefaults() SiteConfig {
+	if sc.Site == (sunpos.Site{}) {
+		sc.Site = scenario.Turin
+	}
+	if sc.MonthlyTL == ([12]float64{}) {
+		sc.MonthlyTL = clearsky.TurinMonthlyTL
+	}
+	if sc.Climate == (weather.Climate{}) {
+		sc.Climate = weather.Turin
+	}
+	if sc.ModuleWidthM == 0 {
+		sc.ModuleWidthM = 1.6
+	}
+	if sc.ModuleHeightM == 0 {
+		sc.ModuleHeightM = 0.8
+	}
+	return sc
+}
+
+// Scenario converts one extracted roof into a planning-ready
+// scenario.Scenario over the shared tile: the tile itself is the DSM
+// (so every neighbouring building, tree and parapet the tile contains
+// shades this roof exactly as it would the paper's hand-built scenes),
+// the fitted plane orients the panels, and the roof's suitable mask
+// bounds placement.
+//
+// Each call allocates a tile-sized obstacle mask for the Scene; when
+// converting every roof of an extraction, prefer
+// Extraction.Scenarios, which shares one mask across the fleet.
+func (r *Roof) Scenario(tile *dsm.Raster, site SiteConfig) (*scenario.Scenario, error) {
+	if tile == nil {
+		return nil, fmt.Errorf("district: nil tile")
+	}
+	site = site.withDefaults()
+	shape, err := floorplan.ShapeOnGrid(site.ModuleWidthM, site.ModuleHeightM, tile.CellSize())
+	if err != nil {
+		return nil, fmt.Errorf("district: roof %d: %w", r.ID, err)
+	}
+	obstacles := geom.NewMask(tile.W(), tile.H())
+	r.stampObstacles(obstacles)
+	return r.scenarioWith(tile, site, shape, obstacles), nil
+}
+
+// Scenarios converts every extracted roof, like Roof.Scenario, but
+// with one tile-wide obstacle mask shared across all scenes — at
+// district scale a per-roof tile-sized mask would cost
+// O(roofs × tile) memory for pure bookkeeping. The error cases
+// (missing tile, module/pitch mismatch) are tile-global, so the
+// conversion is all-or-nothing.
+func (ex *Extraction) Scenarios(tile *dsm.Raster, site SiteConfig) ([]*scenario.Scenario, error) {
+	if tile == nil {
+		return nil, fmt.Errorf("district: nil tile")
+	}
+	site = site.withDefaults()
+	shape, err := floorplan.ShapeOnGrid(site.ModuleWidthM, site.ModuleHeightM, tile.CellSize())
+	if err != nil {
+		return nil, fmt.Errorf("district: %w", err)
+	}
+	obstacles := geom.NewMask(tile.W(), tile.H())
+	out := make([]*scenario.Scenario, len(ex.Roofs))
+	for i := range ex.Roofs {
+		ex.Roofs[i].stampObstacles(obstacles)
+	}
+	// Bounding rects of disjoint components can overlap (an L-shaped
+	// roof can enclose a neighbour), so a second pass clears every
+	// roof's suitable cells: where a stamped rect covers another
+	// roof's placeable area, suitability wins.
+	for i := range ex.Roofs {
+		r := &ex.Roofs[i]
+		anchor := r.Rect.Anchor()
+		r.Suitable.ForEachSet(func(c geom.Cell) {
+			obstacles.Set(geom.Cell{X: c.X + anchor.X, Y: c.Y + anchor.Y}, false)
+		})
+	}
+	for i := range ex.Roofs {
+		out[i] = ex.Roofs[i].scenarioWith(tile, site, shape, obstacles)
+	}
+	return out, nil
+}
+
+// stampObstacles records the roof's non-suitable in-rect cells into a
+// tile-coordinate obstacle mask.
+func (r *Roof) stampObstacles(obstacles *geom.Mask) {
+	anchor := r.Rect.Anchor()
+	for y := 0; y < r.Rect.H(); y++ {
+		for x := 0; x < r.Rect.W(); x++ {
+			local := geom.Cell{X: x, Y: y}
+			if !r.Suitable.Get(local) {
+				obstacles.Set(geom.Cell{X: x + anchor.X, Y: y + anchor.Y}, true)
+			}
+		}
+	}
+}
+
+// scenarioWith assembles the Scenario once the shared pieces (module
+// shape, obstacle mask) are prepared. Field evaluation reads only the
+// suitable mask, but Scene consumers expect a coherent obstacle pair.
+func (r *Roof) scenarioWith(tile *dsm.Raster, site SiteConfig, shape floorplan.ModuleShape, obstacles *geom.Mask) *scenario.Scenario {
+	return &scenario.Scenario{
+		Name: fmt.Sprintf("roof%02d", r.ID),
+		Description: fmt.Sprintf("extracted %dx%d-cell roof, slope %.1f° aspect %.0f°, %d suitable cells",
+			r.Rect.W(), r.Rect.H(), r.Plane.SlopeDeg, r.Plane.AspectDeg, r.Suitable.Count()),
+		Site: site.Site,
+		Scene: &dsm.Scene{
+			Raster:    tile,
+			RoofRect:  r.Rect,
+			RoofPlane: r.Plane,
+			Obstacles: obstacles,
+		},
+		Suitable:  r.Suitable,
+		MonthlyTL: site.MonthlyTL,
+		Climate:   site.Climate,
+		Seed:      site.Seed,
+		Shape:     shape,
+	}
+}

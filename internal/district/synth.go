@@ -1,0 +1,88 @@
+package district
+
+import (
+	"math"
+
+	"repro/internal/dsm"
+	"repro/internal/geom"
+)
+
+// SyntheticNeighborhood builds the reference multi-roof DSM tile: a
+// 160×120-cell block at the paper's 0.2 m pitch holding four
+// buildings (three pitched houses at different slopes and aspects
+// plus a flat garage), two trees and a low garden wall on flat ground.
+// It is entirely deterministic — the committed fixture under
+// testdata/district and the golden district corpus are generated from
+// it (see cmd/roofgen -district), and TestNeighborhoodFixtureInSync
+// pins the two together by content hash.
+//
+// The inventory is chosen to exercise every extraction path: the
+// houses pass all filters; the trees pass the size and compactness
+// filters but fail planarity; the wall sits below the height
+// threshold; the chimneys and vents become in-roof encumbrances.
+func SyntheticNeighborhood() *dsm.Raster {
+	tile, err := dsm.NewRaster(160, 120, 0.2)
+	if err != nil {
+		panic("district: SyntheticNeighborhood construction cannot fail: " + err.Error())
+	}
+
+	// Three pitched houses and a flat garage. Aspects follow the
+	// dsm.Plane convention (degrees clockwise from north, 180 = south).
+	stampBuilding(tile, geom.Rect{X0: 14, Y0: 12, X1: 58, Y1: 36}, 6.5, 25, 180)
+	stampBuilding(tile, geom.Rect{X0: 76, Y0: 16, X1: 116, Y1: 38}, 5.8, 22, 205)
+	stampBuilding(tile, geom.Rect{X0: 26, Y0: 64, X1: 62, Y1: 88}, 6.4, 28, 160)
+	stampBuilding(tile, geom.Rect{X0: 112, Y0: 66, X1: 140, Y1: 86}, 3.2, 0, 0)
+
+	// Roof furniture: a chimney and a vent on the first two houses, a
+	// solar-thermal curb on the third. Raised above the local roof
+	// surface so extraction must classify them as encumbrances.
+	raiseAboveSurface(tile, geom.Rect{X0: 18, Y0: 15, X1: 20, Y1: 17}, 1.0) // chimney
+	raiseAboveSurface(tile, geom.Rect{X0: 96, Y0: 26, X1: 98, Y1: 28}, 0.7) // vent
+	raiseAboveSurface(tile, geom.Rect{X0: 34, Y0: 72, X1: 39, Y1: 75}, 0.5) // thermal curb
+
+	// Garden trees between the buildings: compact but non-planar, so
+	// the planarity filter must reject them.
+	dsm.StampTreeCrown(tile, geom.Cell{X: 92, Y: 100}, 1.6, 7.5)
+	dsm.StampTreeCrown(tile, geom.Cell{X: 138, Y: 34}, 1.4, 6.5)
+
+	// A low garden wall: long, thin and below the height threshold.
+	tile.MaxAbove(geom.Rect{X0: 10, Y0: 52, X1: 130, Y1: 53}, 1.5)
+
+	return tile
+}
+
+// stampBuilding writes a prism with a tilted top surface: the roof
+// plane has its highest fitted elevation ridgeZ, the given slope, and
+// the given downslope azimuth. A zero slope stamps a flat roof at
+// ridgeZ.
+func stampBuilding(tile *dsm.Raster, rect geom.Rect, ridgeZ, slopeDeg, aspectDeg float64) {
+	cs := tile.CellSize()
+	tanS := math.Tan(slopeDeg * math.Pi / 180)
+	sinA := math.Sin(aspectDeg * math.Pi / 180)
+	cosA := math.Cos(aspectDeg * math.Pi / 180)
+	// Downslope distance of a cell center from the rect anchor, in
+	// metres: projection onto the downslope azimuth in the east/north
+	// frame (y grows south, hence the sign on cosA).
+	down := func(x, y int) float64 {
+		xm := (float64(x-rect.X0) + 0.5) * cs
+		ym := (float64(y-rect.Y0) + 0.5) * cs
+		return xm*sinA - ym*cosA
+	}
+	minDown := math.Inf(1)
+	for _, c := range [4][2]int{{rect.X0, rect.Y0}, {rect.X1 - 1, rect.Y0}, {rect.X0, rect.Y1 - 1}, {rect.X1 - 1, rect.Y1 - 1}} {
+		if d := down(c[0], c[1]); d < minDown {
+			minDown = d
+		}
+	}
+	for y := rect.Y0; y < rect.Y1; y++ {
+		for x := rect.X0; x < rect.X1; x++ {
+			tile.Set(geom.Cell{X: x, Y: y}, ridgeZ-tanS*(down(x, y)-minDown))
+		}
+	}
+}
+
+// raiseAboveSurface lifts every cell of rect by dz above its current
+// elevation (obstacles ride on the roof plane under them).
+func raiseAboveSurface(tile *dsm.Raster, rect geom.Rect, dz float64) {
+	tile.Raise(rect, dz)
+}

@@ -184,20 +184,32 @@ func (b *SceneBuilder) AddTree(at geom.Cell, crownRadiusM, topZ float64) error {
 	if footprint.Overlaps(b.scene.RoofRect) {
 		return fmt.Errorf("dsm: tree at %v overlaps roof", at)
 	}
-	cx, cy := b.scene.Raster.CellCenterMetres(at)
-	clipped := footprint.Intersect(b.scene.Raster.Bounds())
+	StampTreeCrown(b.scene.Raster, at, crownRadiusM, topZ)
+	return nil
+}
+
+// StampTreeCrown writes an approximately conical tree crown — a cone
+// with a blunt tip — into the raster at the given cell center, with
+// the given crown radius (metres) and top elevation (absolute
+// metres). It is the one crown model shared by the scene builder and
+// the synthetic district tiles.
+func StampTreeCrown(r *Raster, at geom.Cell, crownRadiusM, topZ float64) {
+	cs := r.CellSize()
+	radCells := int(math.Ceil(crownRadiusM / cs))
+	footprint := geom.Rect{X0: at.X - radCells, Y0: at.Y - radCells, X1: at.X + radCells + 1, Y1: at.Y + radCells + 1}
+	cx, cy := r.CellCenterMetres(at)
+	clipped := footprint.Intersect(r.Bounds())
 	for y := clipped.Y0; y < clipped.Y1; y++ {
 		for x := clipped.X0; x < clipped.X1; x++ {
-			px, py := b.scene.Raster.CellCenterMetres(geom.Cell{X: x, Y: y})
+			px, py := r.CellCenterMetres(geom.Cell{X: x, Y: y})
 			d := math.Hypot(px-cx, py-cy)
 			if d > crownRadiusM {
 				continue
 			}
-			z := topZ * (1 - 0.5*d/crownRadiusM) // cone with a blunt tip
-			b.scene.Raster.MaxAbove(geom.Rect{X0: x, Y0: y, X1: x + 1, Y1: y + 1}, z)
+			z := topZ * (1 - 0.5*d/crownRadiusM)
+			r.MaxAbove(geom.Rect{X0: x, Y0: y, X1: x + 1, Y1: y + 1}, z)
 		}
 	}
-	return nil
 }
 
 // Build returns the finished scene.

@@ -114,6 +114,22 @@ func (r Rect) Intersect(o Rect) Rect {
 	return out
 }
 
+// Union returns the smallest rectangle covering both r and o. An
+// Empty operand does not contribute (union with an empty rect returns
+// the other rect unchanged).
+func (r Rect) Union(o Rect) Rect {
+	if r.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return r
+	}
+	return Rect{
+		X0: minInt(r.X0, o.X0), Y0: minInt(r.Y0, o.Y0),
+		X1: maxInt(r.X1, o.X1), Y1: maxInt(r.Y1, o.Y1),
+	}
+}
+
 // Center returns the rectangle's center in continuous cell coordinates
 // (the center of a 1×1 rect at (0,0) is (0.5, 0.5)).
 func (r Rect) Center() (x, y float64) {

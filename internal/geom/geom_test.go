@@ -113,6 +113,24 @@ func TestRectOverlapsIntersect(t *testing.T) {
 	}
 }
 
+func TestRectUnion(t *testing.T) {
+	a := Rect{1, 2, 4, 5}
+	b := Rect{3, 0, 7, 3}
+	want := Rect{1, 0, 7, 5}
+	if got := a.Union(b); got != want {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if got := b.Union(a); got != want {
+		t.Errorf("Union not commutative: %v", got)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("union with empty = %v, want %v", got, a)
+	}
+	if got := (Rect{}).Union(b); got != b {
+		t.Errorf("empty union b = %v, want %v", got, b)
+	}
+}
+
 func TestRectCellsEnumeration(t *testing.T) {
 	r := Rect{1, 1, 3, 4}
 	var got []Cell

@@ -155,6 +155,22 @@ func (g *AscGrid) ToRaster(noDataFill float64) (*dsm.Raster, int, error) {
 	return r, missing, nil
 }
 
+// NoDataMask returns a mask (grid dims) marking the NoData and NaN
+// cells — the coverage holes a LiDAR survey leaves. District roof
+// extraction consumes it so missing cells never join a roof footprint.
+func (g *AscGrid) NoDataMask() *geom.Mask {
+	m := geom.NewMask(g.NCols, g.NRows)
+	for y := 0; y < g.NRows; y++ {
+		for x := 0; x < g.NCols; x++ {
+			v := g.Z[y*g.NCols+x]
+			if v == g.NoData || math.IsNaN(v) {
+				m.Set(geom.Cell{X: x, Y: y}, true)
+			}
+		}
+	}
+	return m
+}
+
 // FromRaster wraps a dsm.Raster for export, with the given lower-left
 // corner coordinates in the target CRS.
 func FromRaster(r *dsm.Raster, xll, yll float64) *AscGrid {
