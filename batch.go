@@ -1,6 +1,7 @@
 package pvfloor
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -27,6 +28,21 @@ type BatchOptions struct {
 	// nondeterministic. 0 = one worker per CPU; results are
 	// identical for every value.
 	FieldWorkers int
+	// Context, when non-nil, bounds the whole batch: once it is
+	// cancelled no further run starts — runs already executing finish
+	// normally (a run is never interrupted mid-physics), every run
+	// not yet started is recorded with Err = Context.Err(), and
+	// RunBatch returns as soon as the in-flight runs drain. The
+	// returned slice still has len(cfgs) entries.
+	Context context.Context
+	// Progress, when non-nil, is invoked once per run as it finishes
+	// (success, failure or cancellation), with the completed
+	// BatchRun. Calls come concurrently from the pool workers, in
+	// completion order — the callback must be safe for concurrent
+	// use and should return quickly (it runs on the pool's critical
+	// path). Runs abandoned wholesale after cancellation are still
+	// reported, from the dispatching goroutine.
+	Progress func(BatchRun)
 }
 
 // BatchRun is the structured outcome of one run in a batch. Exactly
@@ -92,7 +108,10 @@ type groupKey struct {
 // Per-run failures do not abort the batch: they are recorded in the
 // corresponding BatchRun.Err and the remaining runs proceed. The
 // returned slice always has len(cfgs) entries, in input order.
-// RunBatch itself errors only on an empty batch.
+// RunBatch itself errors only on an empty batch — cancellation via
+// BatchOptions.Context is likewise reported per run, so callers that
+// need to distinguish it check their context (or the runs' Errs)
+// after RunBatch returns.
 func RunBatch(cfgs []Config, opts BatchOptions) ([]BatchRun, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("pvfloor: empty batch")
@@ -125,6 +144,11 @@ func RunBatch(cfgs []Config, opts BatchOptions) ([]BatchRun, error) {
 		workers = len(cfgs)
 	}
 
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	runs := make([]BatchRun, len(cfgs))
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
@@ -133,16 +157,49 @@ func RunBatch(cfgs []Config, opts BatchOptions) ([]BatchRun, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				runs[i] = runOne(i, cfgs[i], groups[keys[i]])
+				// A cancelled batch stops launching work, but the
+				// record for every run is still filled in.
+				if err := ctx.Err(); err != nil {
+					runs[i] = cancelledRun(i, cfgs[i], err)
+				} else {
+					runs[i] = runOne(i, cfgs[i], groups[keys[i]])
+				}
+				if opts.Progress != nil {
+					opts.Progress(runs[i])
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := range cfgs {
-		idxCh <- i
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			// The runs never handed to a worker are recorded here;
+			// runs already dispatched drain through the pool above.
+			for j := i; j < len(cfgs); j++ {
+				runs[j] = cancelledRun(j, cfgs[j], ctx.Err())
+				if opts.Progress != nil {
+					opts.Progress(runs[j])
+				}
+			}
+			break dispatch
+		}
 	}
 	close(idxCh)
 	wg.Wait()
 	return runs, nil
+}
+
+// cancelledRun records a batch entry abandoned by context
+// cancellation before it started.
+func cancelledRun(i int, cfg Config, cause error) BatchRun {
+	return BatchRun{
+		Index:  i,
+		Name:   batchName(cfg),
+		Config: cfg,
+		Err:    fmt.Errorf("pvfloor: batch run %d (%s): %w", i, batchName(cfg), cause),
+	}
 }
 
 // runOne executes one batch entry against its (possibly shared) field
@@ -174,6 +231,11 @@ func runOne(i int, cfg Config, g *fieldGroup) BatchRun {
 	br.Elapsed = time.Since(start)
 	return br
 }
+
+// Name returns the display name batch results carry for this config:
+// Label when set, otherwise a derived "Roof 2/N=32"-style name (plus
+// optimizer-strategy and fidelity tags when non-default).
+func (cfg Config) Name() string { return batchName(cfg) }
 
 // batchName derives the display name of a batch entry.
 func batchName(cfg Config) string {

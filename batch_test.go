@@ -1,6 +1,8 @@
 package pvfloor
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"sync"
@@ -234,5 +236,73 @@ func TestRunBatchConcurrentSharedCacheDir(t *testing.T) {
 		if got, want := runs[0].Result.ProposedEval.NetMWh(), results[0][0].Result.ProposedEval.NetMWh(); got != want {
 			t.Errorf("caller %d: proposed %v differs from caller 0's %v", i, got, want)
 		}
+	}
+}
+
+// TestRunBatchCancellation: cancelling the batch context after the
+// first completed run must stop the fan-out — with a serial pool, at
+// most the run already in flight finishes and every later run is
+// recorded (and reported through Progress) with the context error.
+func TestRunBatchCancellation(t *testing.T) {
+	sc, err := Residential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]Config, 6)
+	for i := range cfgs {
+		cfgs[i] = Config{Scenario: sc, Modules: 8, SkipBaseline: true}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var events []BatchRun
+	runs, err := RunBatch(cfgs, BatchOptions{
+		Concurrency: 1,
+		Context:     ctx,
+		Progress: func(br BatchRun) {
+			mu.Lock()
+			defer mu.Unlock()
+			events = append(events, br)
+			if len(events) == 1 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != len(cfgs) {
+		t.Fatalf("got %d runs, want %d", len(runs), len(cfgs))
+	}
+	if len(events) != len(cfgs) {
+		t.Fatalf("Progress reported %d runs, want every one of %d", len(events), len(cfgs))
+	}
+	if runs[0].Err != nil || runs[0].Result == nil {
+		t.Fatalf("first run should have completed: %+v", runs[0].Err)
+	}
+	var completed, cancelled int
+	for i, br := range runs {
+		if br.Index != i {
+			t.Errorf("runs[%d].Index = %d", i, br.Index)
+		}
+		switch {
+		case br.Err == nil && br.Result != nil:
+			completed++
+		case br.Err != nil && errors.Is(br.Err, context.Canceled):
+			if br.Result != nil {
+				t.Errorf("cancelled run %d carries a result", i)
+			}
+			cancelled++
+		default:
+			t.Errorf("run %d in unexpected state: err=%v", i, br.Err)
+		}
+	}
+	// The serial pool had exactly one run in flight when the
+	// cancellation landed, so at most two complete in total.
+	if completed > 2 {
+		t.Errorf("%d runs completed after cancellation, want <= 2", completed)
+	}
+	if cancelled < len(cfgs)-2 {
+		t.Errorf("only %d runs were cancelled, want >= %d", cancelled, len(cfgs)-2)
 	}
 }

@@ -2,11 +2,21 @@
 # Coverage ratchet: fail when total statement coverage drops below the
 # committed floor (ci/coverage_floor.txt). Raise the floor when new
 # tests push coverage up; lowering it requires justification in review.
+#
+# The profile is written to a throwaway temp directory unless
+# COVERPROFILE names an explicit path (CI sets it to the runner's temp
+# dir so the artifact can be uploaded) — the working tree stays clean
+# either way.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 floor="$(tr -d '[:space:]' < ci/coverage_floor.txt)"
-profile="${COVERPROFILE:-coverage.out}"
+profile="${COVERPROFILE:-}"
+if [ -z "$profile" ]; then
+	tmpdir="$(mktemp -d)"
+	trap 'rm -rf "$tmpdir"' EXIT
+	profile="$tmpdir/coverage.out"
+fi
 
 go test -count=1 -coverprofile="$profile" ./...
 total="$(go tool cover -func="$profile" | awk '/^total:/ {gsub(/%/, "", $3); print $3}')"

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// comparison is the outcome of checking one benchmark against the
+// baseline snapshot.
+type comparison struct {
+	Name     string
+	OldNs    float64
+	NewNs    float64
+	DeltaPct float64 // (new-old)/old * 100
+	Gated    bool    // name matches the gate regex
+	Failed   bool    // gated and DeltaPct > tolerance
+}
+
+// compareSnapshots checks every benchmark present in both snapshots:
+// ns/op regressions beyond tolerancePct on benchmarks matching gate
+// fail the comparison; everything else is report-only (benchmark
+// suites grow and shrink across PRs, so one-sided entries are noted,
+// never fatal).
+func compareSnapshots(baseline, fresh *Snapshot, gate *regexp.Regexp, tolerancePct float64) (comps []comparison, onlyOld, onlyNew []string) {
+	oldNs := make(map[string]float64, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		oldNs[b.Name] = b.NsPerOp
+	}
+	seen := make(map[string]bool, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		seen[b.Name] = true
+		old, ok := oldNs[b.Name]
+		if !ok {
+			onlyNew = append(onlyNew, b.Name)
+			continue
+		}
+		c := comparison{Name: b.Name, OldNs: old, NewNs: b.NsPerOp, Gated: gate.MatchString(b.Name)}
+		if old > 0 {
+			c.DeltaPct = (b.NsPerOp - old) / old * 100
+		}
+		c.Failed = c.Gated && c.DeltaPct > tolerancePct
+		comps = append(comps, c)
+	}
+	for _, b := range baseline.Benchmarks {
+		if !seen[b.Name] {
+			onlyOld = append(onlyOld, b.Name)
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].Name < comps[j].Name })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return comps, onlyOld, onlyNew
+}
+
+// formatComparison renders the comparison as an aligned report.
+func formatComparison(comps []comparison, onlyOld, onlyNew []string, tolerancePct float64) string {
+	var sb strings.Builder
+	for _, c := range comps {
+		status := "ok"
+		switch {
+		case c.Failed:
+			status = "FAIL"
+		case !c.Gated:
+			status = "info"
+		}
+		fmt.Fprintf(&sb, "%-4s %-55s %14.1f -> %12.1f ns/op  %+7.1f%%\n",
+			status, c.Name, c.OldNs, c.NewNs, c.DeltaPct)
+	}
+	for _, n := range onlyOld {
+		fmt.Fprintf(&sb, "note %-55s only in baseline (removed?)\n", n)
+	}
+	for _, n := range onlyNew {
+		fmt.Fprintf(&sb, "note %-55s only in fresh snapshot (new)\n", n)
+	}
+	var failed int
+	for _, c := range comps {
+		if c.Failed {
+			failed++
+		}
+	}
+	fmt.Fprintf(&sb, "compared %d benchmarks, tolerance %+.0f%% on gated names: %d regression(s)\n",
+		len(comps), tolerancePct, failed)
+	return sb.String()
+}
+
+// failedNames lists the benchmarks that breached the gate.
+func failedNames(comps []comparison) []string {
+	var out []string
+	for _, c := range comps {
+		if c.Failed {
+			out = append(out, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%%)",
+				c.Name, c.OldNs, c.NewNs, c.DeltaPct))
+		}
+	}
+	return out
+}

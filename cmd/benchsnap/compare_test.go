@@ -1,0 +1,103 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func snapOf(pairs map[string]float64) *Snapshot {
+	s := &Snapshot{}
+	// Deterministic input order is irrelevant: compareSnapshots sorts.
+	for name, ns := range pairs {
+		s.Benchmarks = append(s.Benchmarks, Benchmark{Name: name, NsPerOp: ns})
+	}
+	return s
+}
+
+func TestCompareSnapshotsGating(t *testing.T) {
+	gate := regexp.MustCompile("Fig6|TableI")
+	baseline := snapOf(map[string]float64{
+		"BenchmarkFig6IrradianceMaps/Roof1": 1000,
+		"BenchmarkTableI/Roof1/N=16":        2000,
+		"BenchmarkObjectiveDelta":           100,
+		"BenchmarkRetired":                  50,
+	})
+	fresh := snapOf(map[string]float64{
+		"BenchmarkFig6IrradianceMaps/Roof1": 1300, // +30% gated, inside tolerance
+		"BenchmarkTableI/Roof1/N=16":        3000, // +50% gated, regression
+		"BenchmarkObjectiveDelta":           500,  // +400% but not gated
+		"BenchmarkBrandNew":                 10,
+	})
+	comps, onlyOld, onlyNew := compareSnapshots(baseline, fresh, gate, 40)
+
+	if len(comps) != 3 {
+		t.Fatalf("compared %d benchmarks, want 3", len(comps))
+	}
+	byName := map[string]comparison{}
+	for _, c := range comps {
+		byName[c.Name] = c
+	}
+	if c := byName["BenchmarkFig6IrradianceMaps/Roof1"]; !c.Gated || c.Failed {
+		t.Errorf("Fig6 +30%% should pass the 40%% gate: %+v", c)
+	}
+	if c := byName["BenchmarkTableI/Roof1/N=16"]; !c.Gated || !c.Failed {
+		t.Errorf("TableI +50%% should fail the 40%% gate: %+v", c)
+	}
+	if c := byName["BenchmarkObjectiveDelta"]; c.Gated || c.Failed {
+		t.Errorf("ObjectiveDelta is outside the gate and must never fail: %+v", c)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkRetired" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkBrandNew" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+	if failed := failedNames(comps); len(failed) != 1 || !strings.Contains(failed[0], "BenchmarkTableI") {
+		t.Errorf("failedNames = %v", failed)
+	}
+}
+
+func TestCompareSnapshotsImprovementsAndBoundary(t *testing.T) {
+	gate := regexp.MustCompile("Fig6")
+	baseline := snapOf(map[string]float64{
+		"BenchmarkFig6/faster":   1000,
+		"BenchmarkFig6/boundary": 1000,
+	})
+	fresh := snapOf(map[string]float64{
+		"BenchmarkFig6/faster":   500,  // -50%: improvement, never fails
+		"BenchmarkFig6/boundary": 1400, // exactly +40%: not beyond tolerance
+	})
+	comps, _, _ := compareSnapshots(baseline, fresh, gate, 40)
+	for _, c := range comps {
+		if c.Failed {
+			t.Errorf("%s failed (%+.1f%%), want pass at tolerance boundary/improvement", c.Name, c.DeltaPct)
+		}
+	}
+}
+
+func TestCompareSnapshotsZeroBaseline(t *testing.T) {
+	// A zero ns/op baseline (malformed or synthetic) must not divide
+	// by zero or fail spuriously.
+	gate := regexp.MustCompile(".")
+	baseline := snapOf(map[string]float64{"BenchmarkX": 0})
+	fresh := snapOf(map[string]float64{"BenchmarkX": 123})
+	comps, _, _ := compareSnapshots(baseline, fresh, gate, 40)
+	if len(comps) != 1 || comps[0].Failed || comps[0].DeltaPct != 0 {
+		t.Errorf("zero-baseline comparison = %+v", comps)
+	}
+}
+
+func TestFormatComparison(t *testing.T) {
+	gate := regexp.MustCompile("TableI")
+	baseline := snapOf(map[string]float64{"BenchmarkTableI/x": 100, "BenchmarkOther": 10})
+	fresh := snapOf(map[string]float64{"BenchmarkTableI/x": 200, "BenchmarkOther": 10})
+	comps, onlyOld, onlyNew := compareSnapshots(baseline, fresh, gate, 40)
+	out := formatComparison(comps, onlyOld, onlyNew, 40)
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "BenchmarkTableI/x") {
+		t.Errorf("report missing FAIL line:\n%s", out)
+	}
+	if !strings.Contains(out, "1 regression(s)") {
+		t.Errorf("report missing summary:\n%s", out)
+	}
+}

@@ -13,6 +13,14 @@
 //	benchsnap -bench 'Fig6|TableI' -pkg .      # narrower selection
 //	go test -run '^$' -bench . -benchmem . | benchsnap -in - -out snap.json
 //
+// With -compare, benchsnap additionally gates the fresh numbers
+// against a committed baseline snapshot: any benchmark matching -gate
+// whose ns/op regressed by more than -tolerance percent fails the run
+// (exit 1) — the CI regression gate. Benchmarks outside the gate
+// regex, and benchmarks present on only one side, are report-only.
+//
+//	benchsnap -in bench.txt -out fresh.json -compare BENCH_pr3.json -tolerance 40
+//
 // The JSON format is documented in README.md ("Benchmark snapshots").
 package main
 
@@ -24,6 +32,7 @@ import (
 	"log"
 	"os"
 	"os/exec"
+	"regexp"
 	"runtime"
 	"time"
 )
@@ -42,6 +51,9 @@ func main() {
 	pkg := flag.String("pkg", ".", "package pattern to benchmark")
 	out := flag.String("out", "BENCH.json", "output JSON path")
 	in := flag.String("in", "", "parse existing go test -bench output from this file ('-' = stdin) instead of running benchmarks")
+	compare := flag.String("compare", "", "baseline snapshot JSON to gate against (exit 1 on regressions)")
+	tolerance := flag.Float64("tolerance", 40, "max allowed ns/op regression in percent for gated benchmarks")
+	gate := flag.String("gate", "Fig6|TableI", "regex selecting the benchmarks whose regressions fail the gate")
 	flag.Parse()
 
 	var (
@@ -86,6 +98,38 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("benchsnap: %d benchmarks -> %s\n", len(snap.Benchmarks), *out)
+
+	if *compare != "" {
+		if err := runCompare(*compare, snap, *gate, *tolerance); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// runCompare gates the fresh snapshot against a committed baseline.
+func runCompare(baselinePath string, fresh *Snapshot, gate string, tolerance float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var baseline Snapshot
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	gateRe, err := regexp.Compile(gate)
+	if err != nil {
+		return fmt.Errorf("bad -gate regex: %w", err)
+	}
+	comps, onlyOld, onlyNew := compareSnapshots(&baseline, fresh, gateRe, tolerance)
+	fmt.Printf("benchsnap: comparing against %s (gate %q, tolerance %.0f%%)\n", baselinePath, gate, tolerance)
+	fmt.Print(formatComparison(comps, onlyOld, onlyNew, tolerance))
+	if failed := failedNames(comps); len(failed) > 0 {
+		for _, f := range failed {
+			fmt.Fprintf(os.Stderr, "benchsnap: REGRESSION %s\n", f)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(failed), tolerance)
+	}
+	return nil
 }
 
 // runBenchmarks executes the benchmark selection with -benchmem so

@@ -129,17 +129,9 @@ func loadTile(path string, demo bool) (*dsm.Raster, *geom.Mask, error) {
 		return nil, nil, err
 	}
 	defer f.Close()
-	g, err := gis.ReadAsc(f)
+	tile, nodata, err := gis.LoadRaster(f)
 	if err != nil {
 		return nil, nil, fmt.Errorf("reading %s: %w", path, err)
-	}
-	tile, missing, err := g.ToRaster(0)
-	if err != nil {
-		return nil, nil, err
-	}
-	var nodata *geom.Mask
-	if missing > 0 {
-		nodata = g.NoDataMask()
 	}
 	return tile, nodata, nil
 }
@@ -156,107 +148,11 @@ func emitText(res *pvfloor.DistrictResult, elapsed time.Duration) {
 	fmt.Printf("%d roofs in %v\n", len(res.Plans), elapsed.Round(time.Millisecond))
 }
 
-// districtJSON is the machine-readable district report.
-type districtJSON struct {
-	GroundZ   float64       `json:"ground_z"`
-	CellSizeM float64       `json:"cell_size_m"`
-	Roofs     []roofJSON    `json:"roofs"`
-	Dropped   []droppedJSON `json:"dropped,omitempty"`
-	Totals    totalsJSON    `json:"totals"`
-}
-
-type rectJSON struct {
-	X0 int `json:"x0"`
-	Y0 int `json:"y0"`
-	X1 int `json:"x1"`
-	Y1 int `json:"y1"`
-}
-
-type roofJSON struct {
-	ID             int      `json:"id"`
-	Rect           rectJSON `json:"rect"`
-	Cells          int      `json:"cells"`
-	SuitableCells  int      `json:"suitable_cells"`
-	SlopeDeg       float64  `json:"slope_deg"`
-	AspectDeg      float64  `json:"aspect_deg"`
-	FitRMSM        float64  `json:"fit_rms_m"`
-	MeanHeightM    float64  `json:"mean_height_m"`
-	Rank           int      `json:"rank,omitempty"`
-	Modules        int      `json:"modules,omitempty"`
-	ProposedMWh    float64  `json:"proposed_mwh,omitempty"`
-	TraditionalMWh float64  `json:"traditional_mwh,omitempty"`
-	GainPct        float64  `json:"gain_pct,omitempty"`
-	WiringExtraM   float64  `json:"wiring_extra_m,omitempty"`
-	Skipped        string   `json:"skipped,omitempty"`
-	Error          string   `json:"error,omitempty"`
-}
-
-type droppedJSON struct {
-	Rect   rectJSON `json:"rect"`
-	Cells  int      `json:"cells"`
-	Reason string   `json:"reason"`
-}
-
-type totalsJSON struct {
-	RoofsExtracted  int     `json:"roofs_extracted"`
-	RoofsPlanned    int     `json:"roofs_planned"`
-	ProposedMWh     float64 `json:"proposed_mwh"`
-	TraditionalMWh  float64 `json:"traditional_mwh"`
-	DistrictGainPct float64 `json:"district_gain_pct"`
-	WiringExtraM    float64 `json:"wiring_extra_m"`
-}
-
-func toRectJSON(r geom.Rect) rectJSON { return rectJSON{X0: r.X0, Y0: r.Y0, X1: r.X1, Y1: r.Y1} }
-
+// emitJSON prints the shared machine-readable district report — the
+// same pvfloor.DistrictReport struct the pvserve streaming endpoint
+// emits, so the two surfaces stay byte-equivalent.
 func emitJSON(res *pvfloor.DistrictResult) error {
-	out := districtJSON{
-		GroundZ:   res.Extraction.GroundZ,
-		CellSizeM: res.Extraction.CellSizeM,
-		Totals: totalsJSON{
-			RoofsExtracted:  len(res.Plans),
-			RoofsPlanned:    len(res.Ranked),
-			ProposedMWh:     res.TotalProposedMWh,
-			TraditionalMWh:  res.TotalTraditionalMWh,
-			DistrictGainPct: res.DistrictGainPct(),
-			WiringExtraM:    res.TotalWiringExtraM,
-		},
-	}
-	rank := make(map[int]int, len(res.Ranked))
-	for i, pi := range res.Ranked {
-		rank[pi] = i + 1
-	}
-	for i := range res.Plans {
-		rp := &res.Plans[i]
-		rj := roofJSON{
-			ID:            rp.Roof.ID,
-			Rect:          toRectJSON(rp.Roof.Rect),
-			Cells:         rp.Roof.Cells,
-			SuitableCells: rp.Roof.Suitable.Count(),
-			SlopeDeg:      rp.Roof.Plane.SlopeDeg,
-			AspectDeg:     rp.Roof.Plane.AspectDeg,
-			FitRMSM:       rp.Roof.FitRMSM,
-			MeanHeightM:   rp.Roof.MeanHeightM,
-			Rank:          rank[i],
-			Skipped:       rp.Skipped,
-		}
-		if rp.Planned() {
-			r := rp.Run.Result
-			rj.Modules = rp.Modules
-			rj.ProposedMWh = r.ProposedEval.NetMWh()
-			rj.TraditionalMWh = r.TraditionalEval.NetMWh()
-			rj.GainPct = r.ImprovementPct()
-			rj.WiringExtraM = r.ProposedEval.WiringExtraM
-		} else if rp.Run.Err != nil {
-			rj.Error = rp.Run.Err.Error()
-		}
-		out.Roofs = append(out.Roofs, rj)
-	}
-	for _, d := range res.Extraction.Dropped {
-		out.Dropped = append(out.Dropped, droppedJSON{
-			Rect: toRectJSON(d.Rect), Cells: d.Cells, Reason: string(d.Reason),
-		})
-	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(pvfloor.NewDistrictReport(res))
 }

@@ -1,0 +1,80 @@
+// Command pvserve is the streaming service front-end of the pvfloor
+// engine: a long-lived HTTP process exposing the single-run, batch
+// and district pipelines as JSON endpoints, with batch and district
+// runs streamed as NDJSON progress events. Repeated tiles and roofs
+// are served warm through the shared field-artifact cache, and a
+// bounded job pool keeps one large tile from starving the process.
+//
+// Usage:
+//
+//	pvserve                                  # listen on :8037
+//	pvserve -addr :9000 -cache ~/.pvcache    # warm re-runs skip the physics
+//	pvserve -max-runs 4 -queue 16            # job-pool sizing
+//	pvserve -concurrency 4 -field-workers 2  # per-request worker caps
+//
+// Endpoints (see internal/serve and the README quickstart):
+//
+//	GET  /healthz      liveness + pool gauges
+//	POST /v1/run       one run, synchronous JSON
+//	POST /v1/batch     fleet of runs, NDJSON stream
+//	POST /v1/district  DSM tile sweep, NDJSON stream
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pvserve: ")
+	addr := flag.String("addr", ":8037", "listen address")
+	cacheDir := flag.String("cache", "", "persistent field-artifact cache directory shared by all requests")
+	maxRuns := flag.Int("max-runs", 2, "max concurrently executing requests (the job pool)")
+	queue := flag.Int("queue", 8, "max requests waiting for a run slot before 503")
+	concurrency := flag.Int("concurrency", 0, "per-request run fan-out (0 = one per CPU)")
+	fieldWorkers := flag.Int("field-workers", 0, "solar-field workers per roof (0 = one per CPU)")
+	maxBody := flag.Int64("max-body", 16<<20, "request body cap in bytes (district tiles ship in the body)")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: serve.New(serve.Options{
+			MaxConcurrentRuns: *maxRuns,
+			QueueDepth:        *queue,
+			Concurrency:       *concurrency,
+			FieldWorkers:      *fieldWorkers,
+			CacheDir:          *cacheDir,
+			MaxBodyBytes:      *maxBody,
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (max-runs %d, queue %d, cache %q)", *addr, *maxRuns, *queue, *cacheDir)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package pvfloor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -54,6 +55,53 @@ type DistrictConfig struct {
 	// FieldWorkers bounds each roof's solar-field worker pool
 	// (0 = one per CPU). Results are identical for every value.
 	FieldWorkers int
+	// Context, when non-nil, bounds the run: once cancelled, no
+	// further roof starts (in-flight roofs finish — a run is never
+	// interrupted mid-physics) and RunDistrict returns Context.Err().
+	Context context.Context
+	// Progress, when non-nil, receives a DistrictEvent per pipeline
+	// milestone: one DistrictRoofExtracted per roof right after
+	// extraction, then one DistrictRoofPlanned per roof as its batch
+	// run completes (after any shrink retries). Planned events come
+	// concurrently from the batch pool, in completion order — the
+	// callback must be safe for concurrent use. Events never change
+	// the result: a run with a nil Progress is bit-identical.
+	Progress func(DistrictEvent)
+}
+
+// DistrictEventKind names a district progress milestone.
+type DistrictEventKind string
+
+const (
+	// DistrictRoofExtracted fires once per extracted roof, in roof-ID
+	// order, before any simulation starts. Run is zero-valued.
+	DistrictRoofExtracted DistrictEventKind = "roof-extracted"
+	// DistrictRoofPlanned fires once per roof whose batch run
+	// finished (successfully or not), carrying the final BatchRun —
+	// for roofs that ran out of space, the post-shrink-retry outcome.
+	// Roofs skipped before simulation (see RoofPlan.Skipped) never
+	// fire it.
+	DistrictRoofPlanned DistrictEventKind = "roof-planned"
+)
+
+// DistrictEvent is one progress milestone of RunDistrict, delivered
+// through DistrictConfig.Progress while the run executes.
+type DistrictEvent struct {
+	// Kind says which milestone this is.
+	Kind DistrictEventKind
+	// Index locates the roof in DistrictResult.Plans (and
+	// Extraction.Roofs — they share order).
+	Index int
+	// Roof is the extraction outcome for that roof.
+	Roof district.Roof
+	// Modules is the module count attempted (planned events; the
+	// final count after shrink retries).
+	Modules int
+	// Skipped mirrors RoofPlan.Skipped for extracted events whose
+	// roof will never run ("" otherwise).
+	Skipped string
+	// Run is the completed batch outcome (planned events only).
+	Run BatchRun
 }
 
 // RoofPlan is the per-roof outcome of a district run.
@@ -127,6 +175,13 @@ func RunDistrict(cfg DistrictConfig) (*DistrictResult, error) {
 		return nil, fmt.Errorf("pvfloor: district Modules %d not a positive multiple of 8 (use 0 to auto-size)",
 			cfg.Modules)
 	}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ex, err := district.Extract(cfg.Tile, cfg.NoData, cfg.Extract)
 	if err != nil {
 		return nil, err
@@ -156,15 +211,45 @@ func RunDistrict(cfg DistrictConfig) (*DistrictResult, error) {
 		cfgs = append(cfgs, cfg.roofConfig(rp.Scenario, n))
 		cfgPlan = append(cfgPlan, i)
 	}
+	if cfg.Progress != nil {
+		for i := range res.Plans {
+			rp := &res.Plans[i]
+			cfg.Progress(DistrictEvent{
+				Kind: DistrictRoofExtracted, Index: i,
+				Roof: rp.Roof, Modules: rp.Modules, Skipped: rp.Skipped,
+			})
+		}
+	}
 
 	// One concurrent sweep, then shrink-and-retry the no-space
 	// failures. A retry builds the roof's solar field once (the field
 	// is independent of the module count) and replans against it with
 	// 8 fewer modules per step.
 	if len(cfgs) > 0 {
+		// A roof whose placement ran out of space gets retried below;
+		// its planned event waits for the retry's final outcome.
+		willRetry := func(ri int, err error) bool {
+			var noSpace *floorplan.ErrNoSpace
+			return err != nil && errors.As(err, &noSpace) && res.Plans[cfgPlan[ri]].Modules > 8
+		}
+		var progress func(BatchRun)
+		if cfg.Progress != nil {
+			progress = func(br BatchRun) {
+				if willRetry(br.Index, br.Err) {
+					return
+				}
+				pi := cfgPlan[br.Index]
+				cfg.Progress(DistrictEvent{
+					Kind: DistrictRoofPlanned, Index: pi,
+					Roof: res.Plans[pi].Roof, Modules: res.Plans[pi].Modules, Run: br,
+				})
+			}
+		}
 		runs, err := RunBatch(cfgs, BatchOptions{
 			Concurrency:  cfg.Concurrency,
 			FieldWorkers: cfg.FieldWorkers,
+			Context:      cfg.Context,
+			Progress:     progress,
 		})
 		if err != nil {
 			return nil, err
@@ -172,10 +257,23 @@ func RunDistrict(cfg DistrictConfig) (*DistrictResult, error) {
 		for ri, br := range runs {
 			rp := &res.Plans[cfgPlan[ri]]
 			rp.Run = br
-			var noSpace *floorplan.ErrNoSpace
-			if br.Err != nil && errors.As(br.Err, &noSpace) && rp.Modules > 8 {
-				cfg.retryShrinking(rp)
+			if willRetry(ri, br.Err) {
+				// Cancellation skips the retry but the roof still gets
+				// its terminal event (with the no-space outcome), so a
+				// streaming client can account for every roof.
+				if ctx.Err() == nil {
+					cfg.retryShrinking(rp)
+				}
+				if cfg.Progress != nil {
+					cfg.Progress(DistrictEvent{
+						Kind: DistrictRoofPlanned, Index: cfgPlan[ri],
+						Roof: rp.Roof, Modules: rp.Modules, Run: rp.Run,
+					})
+				}
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 	}
 

@@ -1,0 +1,148 @@
+package pvfloor
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/solar/field"
+)
+
+// This file is the machine-readable district report: one JSON-ready
+// struct tree shared by every surface that emits district results —
+// cmd/pvdistrict -json and the pvserve streaming endpoints marshal
+// the same types, so their outputs are byte-equivalent by
+// construction and both stay pinned by the golden corpus.
+
+// RectReport is a bounding rectangle in tile cells.
+type RectReport struct {
+	X0 int `json:"x0"`
+	Y0 int `json:"y0"`
+	X1 int `json:"x1"`
+	Y1 int `json:"y1"`
+}
+
+// NewRectReport converts a geometry rect.
+func NewRectReport(r geom.Rect) RectReport {
+	return RectReport{X0: r.X0, Y0: r.Y0, X1: r.X1, Y1: r.Y1}
+}
+
+// RoofReport is the per-roof row of a district report.
+type RoofReport struct {
+	ID             int        `json:"id"`
+	Rect           RectReport `json:"rect"`
+	Cells          int        `json:"cells"`
+	SuitableCells  int        `json:"suitable_cells"`
+	SlopeDeg       float64    `json:"slope_deg"`
+	AspectDeg      float64    `json:"aspect_deg"`
+	FitRMSM        float64    `json:"fit_rms_m"`
+	MeanHeightM    float64    `json:"mean_height_m"`
+	Rank           int        `json:"rank,omitempty"`
+	Modules        int        `json:"modules,omitempty"`
+	ProposedMWh    float64    `json:"proposed_mwh,omitempty"`
+	TraditionalMWh float64    `json:"traditional_mwh,omitempty"`
+	GainPct        float64    `json:"gain_pct,omitempty"`
+	WiringExtraM   float64    `json:"wiring_extra_m,omitempty"`
+	Skipped        string     `json:"skipped,omitempty"`
+	Error          string     `json:"error,omitempty"`
+}
+
+// DroppedReport records one rejected candidate region.
+type DroppedReport struct {
+	Rect   RectReport `json:"rect"`
+	Cells  int        `json:"cells"`
+	Reason string     `json:"reason"`
+}
+
+// TotalsReport aggregates a district run.
+type TotalsReport struct {
+	RoofsExtracted  int     `json:"roofs_extracted"`
+	RoofsPlanned    int     `json:"roofs_planned"`
+	ProposedMWh     float64 `json:"proposed_mwh"`
+	TraditionalMWh  float64 `json:"traditional_mwh"`
+	DistrictGainPct float64 `json:"district_gain_pct"`
+	WiringExtraM    float64 `json:"wiring_extra_m"`
+}
+
+// DistrictReport is the machine-readable district report, ranked
+// per-roof outcomes plus aggregate totals.
+type DistrictReport struct {
+	GroundZ   float64         `json:"ground_z"`
+	CellSizeM float64         `json:"cell_size_m"`
+	Roofs     []RoofReport    `json:"roofs"`
+	Dropped   []DroppedReport `json:"dropped,omitempty"`
+	Totals    TotalsReport    `json:"totals"`
+}
+
+// NewDistrictReport flattens a DistrictResult into its report form.
+// Roofs appear in extraction (ID) order; Rank carries the best-first
+// ranking (1 = best, 0 = unplanned).
+func NewDistrictReport(res *DistrictResult) DistrictReport {
+	out := DistrictReport{
+		GroundZ:   res.Extraction.GroundZ,
+		CellSizeM: res.Extraction.CellSizeM,
+		Totals: TotalsReport{
+			RoofsExtracted:  len(res.Plans),
+			RoofsPlanned:    len(res.Ranked),
+			ProposedMWh:     res.TotalProposedMWh,
+			TraditionalMWh:  res.TotalTraditionalMWh,
+			DistrictGainPct: res.DistrictGainPct(),
+			WiringExtraM:    res.TotalWiringExtraM,
+		},
+	}
+	rank := make(map[int]int, len(res.Ranked))
+	for i, pi := range res.Ranked {
+		rank[pi] = i + 1
+	}
+	for i := range res.Plans {
+		rp := &res.Plans[i]
+		rj := RoofReport{
+			ID:            rp.Roof.ID,
+			Rect:          NewRectReport(rp.Roof.Rect),
+			Cells:         rp.Roof.Cells,
+			SuitableCells: rp.Roof.Suitable.Count(),
+			SlopeDeg:      rp.Roof.Plane.SlopeDeg,
+			AspectDeg:     rp.Roof.Plane.AspectDeg,
+			FitRMSM:       rp.Roof.FitRMSM,
+			MeanHeightM:   rp.Roof.MeanHeightM,
+			Rank:          rank[i],
+			Skipped:       rp.Skipped,
+		}
+		if rp.Planned() {
+			r := rp.Run.Result
+			rj.Modules = rp.Modules
+			rj.ProposedMWh = r.ProposedEval.NetMWh()
+			rj.TraditionalMWh = r.TraditionalEval.NetMWh()
+			rj.GainPct = r.ImprovementPct()
+			rj.WiringExtraM = r.ProposedEval.WiringExtraM
+		} else if rp.Run.Err != nil {
+			rj.Error = rp.Run.Err.Error()
+		}
+		out.Roofs = append(out.Roofs, rj)
+	}
+	for _, d := range res.Extraction.Dropped {
+		out.Dropped = append(out.Dropped, DroppedReport{
+			Rect: NewRectReport(d.Rect), Cells: d.Cells, Reason: string(d.Reason),
+		})
+	}
+	return out
+}
+
+// GPctDigest reduces per-cell irradiance statistics to a short hex
+// digest of the exact float bit patterns (NaN cells included, so
+// suitability-mask drift is caught too). The golden corpus and the
+// pvserve progress events use it to pin the statistics pass without
+// shipping the full matrix.
+func GPctDigest(cs *field.CellStats) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(cs.Pct))
+	h.Write(buf[:])
+	for _, v := range cs.GPct {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

@@ -2,12 +2,8 @@ package pvfloor
 
 import (
 	"bytes"
-	"crypto/sha256"
-	"encoding/binary"
 	"encoding/json"
 	"flag"
-	"fmt"
-	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -30,20 +26,9 @@ import (
 // in the last bit.
 var updateGolden = flag.Bool("update", false, "rewrite the golden corpus instead of comparing")
 
-// gpctDigest reduces the per-cell statistics to a short hex digest of
-// the exact bit patterns (NaN cells included, so suitability-mask
-// drift is caught too).
-func gpctDigest(cs *field.CellStats) string {
-	h := sha256.New()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(cs.Pct))
-	h.Write(buf[:])
-	for _, v := range cs.GPct {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		h.Write(buf[:])
-	}
-	return fmt.Sprintf("%x", h.Sum(nil)[:12])
-}
+// gpctDigest is the shared statistics digest (see district_report.go);
+// the alias keeps the golden helpers terse.
+func gpctDigest(cs *field.CellStats) string { return GPctDigest(cs) }
 
 // goldenEval is the exact energy outcome of one placement.
 type goldenEval struct {

@@ -171,6 +171,28 @@ func (g *AscGrid) NoDataMask() *geom.Mask {
 	return m
 }
 
+// LoadRaster reads an ESRI ASCII grid into a district-ready raster:
+// NoData cells are filled with the ground datum 0, and when any exist
+// the returned mask marks them (nil mask = full coverage). This is
+// the one tile-ingestion path shared by cmd/pvdistrict and the
+// pvserve district endpoint, so NODATA policy cannot diverge between
+// the two surfaces.
+func LoadRaster(r io.Reader) (*dsm.Raster, *geom.Mask, error) {
+	g, err := ReadAsc(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	tile, missing, err := g.ToRaster(0)
+	if err != nil {
+		return nil, nil, err
+	}
+	var nodata *geom.Mask
+	if missing > 0 {
+		nodata = g.NoDataMask()
+	}
+	return tile, nodata, nil
+}
+
 // FromRaster wraps a dsm.Raster for export, with the given lower-left
 // corner coordinates in the target CRS.
 func FromRaster(r *dsm.Raster, xll, yll float64) *AscGrid {

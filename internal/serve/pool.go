@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// errBusy rejects work beyond the pool's queue: the caller maps it to
+// 503 + Retry-After.
+var errBusy = errors.New("server busy: run queue full")
+
+// pool is the server-side job pool: at most `slots` requests run
+// their pipeline at once, at most `queue` more wait for a slot, and
+// everything beyond that is rejected immediately — admission control
+// so one burst of large tiles cannot pile unbounded work (and memory)
+// onto the process.
+type pool struct {
+	sem      chan struct{}
+	queue    int
+	inflight atomic.Int64 // admitted: waiting + running
+}
+
+func newPool(slots, queue int) *pool {
+	return &pool{sem: make(chan struct{}, slots), queue: queue}
+}
+
+// acquire admits the caller and blocks until a run slot frees up or
+// ctx is cancelled. On success the returned release func must be
+// called exactly once.
+func (p *pool) acquire(ctx context.Context) (release func(), err error) {
+	if p.inflight.Add(1) > int64(cap(p.sem)+p.queue) {
+		p.inflight.Add(-1)
+		return nil, fmt.Errorf("%w (capacity %d, queue %d)", errBusy, cap(p.sem), p.queue)
+	}
+	select {
+	case p.sem <- struct{}{}:
+		return func() {
+			<-p.sem
+			p.inflight.Add(-1)
+		}, nil
+	case <-ctx.Done():
+		p.inflight.Add(-1)
+		return nil, ctx.Err()
+	}
+}
+
+// gauges reports how many admitted jobs are running and waiting.
+func (p *pool) gauges() (running, queued int) {
+	running = len(p.sem)
+	queued = int(p.inflight.Load()) - running
+	if queued < 0 {
+		queued = 0
+	}
+	return running, queued
+}

@@ -1,0 +1,302 @@
+// Package serve is the HTTP front-end of the pvfloor engine: a
+// long-lived, cache-warm process boundary that exposes Run, RunBatch
+// and RunDistrict as JSON endpoints, streaming the batch and district
+// pipelines as NDJSON progress events.
+//
+// Endpoints:
+//
+//	GET  /healthz      — liveness plus job-pool gauges
+//	POST /v1/run       — one pipeline run, synchronous JSON response
+//	POST /v1/batch     — a fleet of runs, NDJSON progress stream
+//	POST /v1/district  — a DSM tile sweep, NDJSON progress stream
+//
+// The streaming endpoints emit one JSON object per line: progress
+// events ("run" for batch completions; "roof-extracted" and
+// "roof-planned" for the district pipeline) in completion order —
+// concurrent workers finish nondeterministically — followed by a
+// final "result" line whose payload is deterministic for a given
+// request. The district result embeds the same pvfloor.DistrictReport
+// struct that cmd/pvdistrict -json prints, so the two surfaces are
+// byte-equivalent after ordering and both stay pinned by the golden
+// corpus.
+//
+// Every request runs under a bounded job pool (Options.
+// MaxConcurrentRuns running, Options.QueueDepth waiting; excess
+// requests get 503 + Retry-After), each run's internal fan-out is
+// capped by Options.Concurrency and Options.FieldWorkers so one large
+// tile cannot starve the process, and the request context is threaded
+// down into the batch fan-out: a client that disconnects mid-stream
+// cancels the remaining roof runs. With Options.CacheDir set, every
+// request shares one persistent field-artifact cache, so repeated
+// tiles and roofs are warm across requests and across processes.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	pvfloor "repro"
+	"repro/internal/district"
+	"repro/internal/dsm"
+	"repro/internal/geom"
+	"repro/internal/gis"
+)
+
+// Options tunes a Server. The zero value serves with conservative
+// defaults: 2 concurrent runs, a queue of 8, per-CPU worker pools, no
+// artifact cache.
+type Options struct {
+	// MaxConcurrentRuns bounds how many requests execute their
+	// pipeline simultaneously (default 2). Requests beyond it wait in
+	// the queue.
+	MaxConcurrentRuns int
+	// QueueDepth bounds how many requests may wait for a run slot
+	// (default 8). Requests beyond it are rejected with 503.
+	QueueDepth int
+	// Concurrency bounds each request's internal run fan-out (the
+	// RunBatch pool; 0 = one per CPU). Together with
+	// MaxConcurrentRuns it caps the process's total planning
+	// parallelism.
+	Concurrency int
+	// FieldWorkers bounds each roof's solar-field worker pool
+	// (0 = one per CPU). Results are identical for every value.
+	FieldWorkers int
+	// CacheDir, when non-empty, is the shared persistent
+	// field-artifact cache: repeated tiles and roofs are served warm
+	// across requests and processes.
+	CacheDir string
+	// MaxBodyBytes caps request bodies (default 16 MiB — a district
+	// tile ships as ASCII-grid text inside the JSON body).
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConcurrentRuns <= 0 {
+		o.MaxConcurrentRuns = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 16 << 20
+	}
+	return o
+}
+
+// Server is the HTTP front-end. Create with New; it implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	opts Options
+	pool *pool
+	mux  *http.ServeMux
+}
+
+// New builds a Server with its routes and job pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts: opts,
+		pool: newPool(opts.MaxConcurrentRuns, opts.QueueDepth),
+		mux:  http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/district", s.handleDistrict)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	Status   string `json:"status"`
+	Running  int    `json:"running"`
+	Queued   int    `json:"queued"`
+	Capacity int    `json:"capacity"`
+	Queue    int    `json:"queue_depth"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	running, queued := s.pool.gauges()
+	writeJSON(w, http.StatusOK, Health{
+		Status: "ok", Running: running, Queued: queued,
+		Capacity: s.opts.MaxConcurrentRuns, Queue: s.opts.QueueDepth,
+	})
+}
+
+// handleRun executes one pipeline run synchronously.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	cfg, err := s.runConfig(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	release, err := s.pool.acquire(r.Context())
+	if err != nil {
+		writeBusy(w, err)
+		return
+	}
+	defer release()
+	start := time.Now()
+	res, err := pvfloor.Run(cfg)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runReport(cfg.Name(), cfg, res, time.Since(start)))
+}
+
+// handleBatch streams a fleet of runs as NDJSON: one "run" event per
+// completion (in completion order), then a final "result" event with
+// every report in input order.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Runs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch: provide runs"))
+		return
+	}
+	cfgs := make([]pvfloor.Config, len(req.Runs))
+	for i, rr := range req.Runs {
+		cfg, err := s.runConfig(rr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("runs[%d]: %w", i, err))
+			return
+		}
+		cfgs[i] = cfg
+	}
+	release, err := s.pool.acquire(r.Context())
+	if err != nil {
+		writeBusy(w, err)
+		return
+	}
+	defer release()
+
+	stream := newStream(w)
+	runs, err := pvfloor.RunBatch(cfgs, pvfloor.BatchOptions{
+		Concurrency:  s.opts.Concurrency,
+		FieldWorkers: s.opts.FieldWorkers,
+		Context:      r.Context(),
+		Progress: func(br pvfloor.BatchRun) {
+			stream.send(batchEvent(br))
+		},
+	})
+	if err != nil {
+		stream.send(errorEvent(err))
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		stream.send(errorEvent(err))
+		return
+	}
+	reports := make([]RunReport, len(runs))
+	for i, br := range runs {
+		reports[i] = batchEvent(br).RunReport
+	}
+	stream.send(BatchResultEvent{Event: "result", Runs: reports})
+}
+
+// handleDistrict streams a tile sweep as NDJSON: "roof-extracted"
+// events in roof order, "roof-planned" events in completion order,
+// then a final deterministic "result" event embedding the shared
+// pvfloor.DistrictReport.
+func (s *Server) handleDistrict(w http.ResponseWriter, r *http.Request) {
+	var req DistrictRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	// Cheap field validation runs before admission; materialising the
+	// tile (the expensive, memory-heavy part) waits for a run slot so
+	// a burst of large tiles bounces at the pool instead of decoding
+	// rasters it will never run.
+	if err := req.validateTileChoice(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := s.districtConfig(req, nil, nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	release, err := s.pool.acquire(r.Context())
+	if err != nil {
+		writeBusy(w, err)
+		return
+	}
+	defer release()
+	cfg.Tile, cfg.NoData, err = req.tile()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	stream := newStream(w)
+	start := time.Now()
+	cfg.Context = r.Context()
+	cfg.Progress = func(ev pvfloor.DistrictEvent) {
+		stream.send(districtEvent(ev))
+	}
+	res, err := pvfloor.RunDistrict(cfg)
+	if err != nil {
+		stream.send(errorEvent(err))
+		return
+	}
+	stream.send(DistrictResultEvent{
+		Event:     "result",
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		District:  pvfloor.NewDistrictReport(res),
+	})
+}
+
+// decode parses a JSON request body strictly (unknown fields are
+// rejected) under the body-size cap, answering 400 itself on failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// validateTileChoice checks the tile selection without materialising
+// anything — it runs before pool admission.
+func (dr DistrictRequest) validateTileChoice() error {
+	switch {
+	case dr.Demo && dr.TileASC != "":
+		return errors.New("tile_asc and demo are mutually exclusive")
+	case !dr.Demo && dr.TileASC == "":
+		return errors.New("either tile_asc or demo is required")
+	}
+	return nil
+}
+
+// tile materialises the request's DSM: the embedded ASCII grid, or
+// the built-in synthetic neighborhood with Demo. Call only after
+// validateTileChoice (and after pool admission — parsing a 16 MiB
+// grid is the expensive part of request setup).
+func (dr DistrictRequest) tile() (*dsm.Raster, *geom.Mask, error) {
+	if dr.Demo {
+		return district.SyntheticNeighborhood(), nil, nil
+	}
+	tile, nodata, err := gis.LoadRaster(strings.NewReader(dr.TileASC))
+	if err != nil {
+		return nil, nil, fmt.Errorf("parsing tile_asc: %w", err)
+	}
+	return tile, nodata, nil
+}

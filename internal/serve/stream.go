@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// stream writes NDJSON progress events: one JSON object per line,
+// flushed per line so clients observe progress as it happens. Batch
+// and district events arrive concurrently from the run pool, so every
+// send is serialised by a mutex — a line is never interleaved with
+// another.
+type stream struct {
+	mu   sync.Mutex
+	enc  *json.Encoder
+	ctl  *http.ResponseController
+	fail bool
+}
+
+func newStream(w http.ResponseWriter) *stream {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	return &stream{enc: json.NewEncoder(w), ctl: http.NewResponseController(w)}
+}
+
+// send marshals one event line. Write errors (a disconnected client)
+// latch: later sends become no-ops, and the run itself is stopped by
+// the request context, not by write failures.
+func (s *stream) send(ev any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail {
+		return
+	}
+	if err := s.enc.Encode(ev); err != nil {
+		s.fail = true
+		return
+	}
+	if err := s.ctl.Flush(); err != nil {
+		s.fail = true
+	}
+}

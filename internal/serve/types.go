@@ -1,0 +1,383 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	pvfloor "repro"
+	"repro/internal/district"
+	"repro/internal/dsm"
+	"repro/internal/geom"
+	"repro/internal/scenario"
+)
+
+// ---- requests ----
+
+// OptimizerRequest selects and tunes the placement strategy of a run
+// (all fields optional; the zero value is the paper's greedy
+// heuristic).
+type OptimizerRequest struct {
+	Strategy        string  `json:"strategy,omitempty"`
+	Seed            int64   `json:"seed,omitempty"`
+	Iterations      int     `json:"iterations,omitempty"`
+	Restarts        int     `json:"restarts,omitempty"`
+	SearchWorkers   int     `json:"search_workers,omitempty"`
+	WiringWeight    float64 `json:"wiring_weight,omitempty"`
+	NoWiringPenalty bool    `json:"no_wiring_penalty,omitempty"`
+}
+
+// RunRequest is one pipeline run: a named built-in scenario plus a
+// module count.
+type RunRequest struct {
+	// Scenario names a built-in roof: roof1, roof2, roof3 or
+	// residential.
+	Scenario string `json:"scenario"`
+	// Modules is the PV module count N (a positive multiple of 8).
+	Modules int `json:"modules"`
+	// Label optionally names the run in reports.
+	Label string `json:"label,omitempty"`
+	// Fidelity is "fast" (default) or "full".
+	Fidelity     string           `json:"fidelity,omitempty"`
+	Optimizer    OptimizerRequest `json:"optimizer,omitempty"`
+	SkipBaseline bool             `json:"skip_baseline,omitempty"`
+}
+
+// BatchRequest is a fleet of runs streamed as NDJSON.
+type BatchRequest struct {
+	Runs []RunRequest `json:"runs"`
+}
+
+// ExtractRequest tunes the district roof extraction (all optional;
+// zero values select the district package defaults).
+type ExtractRequest struct {
+	MinHeightM          float64 `json:"min_height_m,omitempty"`
+	GroundPercentile    float64 `json:"ground_percentile,omitempty"`
+	MinAreaCells        int     `json:"min_area_cells,omitempty"`
+	MinRectangularity   float64 `json:"min_rectangularity,omitempty"`
+	MaxFitRMSM          float64 `json:"max_fit_rms_m,omitempty"`
+	ObstacleReliefM     float64 `json:"obstacle_relief_m,omitempty"`
+	OpeningCells        int     `json:"opening_cells,omitempty"`
+	KeepBorder          bool    `json:"keep_border,omitempty"`
+	SuitableMarginCells int     `json:"suitable_margin_cells,omitempty"`
+	MaxRoofs            int     `json:"max_roofs,omitempty"`
+}
+
+// DistrictRequest is one whole-tile district sweep streamed as
+// NDJSON. Exactly one of TileASC (an ESRI ASCII grid, the cmd/roofgen
+// and gis package interchange format, embedded as text) or Demo (the
+// built-in synthetic neighborhood) selects the tile.
+type DistrictRequest struct {
+	TileASC      string           `json:"tile_asc,omitempty"`
+	Demo         bool             `json:"demo,omitempty"`
+	Modules      int              `json:"modules,omitempty"`
+	MaxModules   int              `json:"max_modules,omitempty"`
+	Fidelity     string           `json:"fidelity,omitempty"`
+	Optimizer    OptimizerRequest `json:"optimizer,omitempty"`
+	SkipBaseline bool             `json:"skip_baseline,omitempty"`
+	Extract      ExtractRequest   `json:"extract,omitempty"`
+}
+
+// ---- request → pvfloor config ----
+
+// scenarios memoises the built-in scenario constructors per name:
+// within one process every request that names the same roof shares
+// one *Scenario instance, so batch runs group onto one solar field
+// and the artifact-cache keys stay stable across requests.
+var scenarios = struct {
+	sync.Mutex
+	byName map[string]*scenario.Scenario
+}{byName: map[string]*scenario.Scenario{}}
+
+var scenarioCtors = map[string]func() (*scenario.Scenario, error){
+	"roof1":       pvfloor.Roof1,
+	"roof2":       pvfloor.Roof2,
+	"roof3":       pvfloor.Roof3,
+	"residential": pvfloor.Residential,
+}
+
+// ScenarioNames lists the accepted RunRequest.Scenario values.
+func ScenarioNames() []string {
+	names := make([]string, 0, len(scenarioCtors))
+	for n := range scenarioCtors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func lookupScenario(name string) (*scenario.Scenario, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	ctor, ok := scenarioCtors[key]
+	if !ok {
+		return nil, fmt.Errorf("unknown scenario %q (want one of %s)",
+			name, strings.Join(ScenarioNames(), ", "))
+	}
+	scenarios.Lock()
+	defer scenarios.Unlock()
+	if sc := scenarios.byName[key]; sc != nil {
+		return sc, nil
+	}
+	sc, err := ctor()
+	if err != nil {
+		return nil, err
+	}
+	scenarios.byName[key] = sc
+	return sc, nil
+}
+
+func parseFidelity(s string) (pvfloor.Fidelity, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "fast":
+		return pvfloor.Fast, nil
+	case "full":
+		return pvfloor.Full, nil
+	default:
+		return 0, fmt.Errorf("unknown fidelity %q (want fast or full)", s)
+	}
+}
+
+func (or OptimizerRequest) config() (pvfloor.OptimizerConfig, error) {
+	strat, err := pvfloor.ParseStrategy(or.Strategy)
+	if err != nil {
+		return pvfloor.OptimizerConfig{}, err
+	}
+	return pvfloor.OptimizerConfig{
+		Strategy:        strat,
+		Seed:            or.Seed,
+		Iterations:      or.Iterations,
+		Restarts:        or.Restarts,
+		SearchWorkers:   or.SearchWorkers,
+		WiringWeight:    or.WiringWeight,
+		NoWiringPenalty: or.NoWiringPenalty,
+	}, nil
+}
+
+// runConfig validates one RunRequest into a pipeline config bound to
+// the server's worker caps and artifact cache.
+func (s *Server) runConfig(req RunRequest) (pvfloor.Config, error) {
+	sc, err := lookupScenario(req.Scenario)
+	if err != nil {
+		return pvfloor.Config{}, err
+	}
+	if req.Modules < 8 || req.Modules%8 != 0 {
+		return pvfloor.Config{}, fmt.Errorf("modules %d must be a positive multiple of 8", req.Modules)
+	}
+	fid, err := parseFidelity(req.Fidelity)
+	if err != nil {
+		return pvfloor.Config{}, err
+	}
+	opt, err := req.Optimizer.config()
+	if err != nil {
+		return pvfloor.Config{}, err
+	}
+	return pvfloor.Config{
+		Scenario:     sc,
+		Label:        req.Label,
+		Modules:      req.Modules,
+		Fidelity:     fid,
+		Optimizer:    opt,
+		SkipBaseline: req.SkipBaseline,
+		Workers:      s.opts.FieldWorkers,
+		CacheDir:     s.opts.CacheDir,
+	}, nil
+}
+
+// districtConfig validates a DistrictRequest into a district config
+// bound to the server's pools and artifact cache (Context and
+// Progress are attached by the handler).
+func (s *Server) districtConfig(req DistrictRequest, tile *dsm.Raster, nodata *geom.Mask) (pvfloor.DistrictConfig, error) {
+	if req.Modules != 0 && (req.Modules < 8 || req.Modules%8 != 0) {
+		return pvfloor.DistrictConfig{}, fmt.Errorf("modules %d must be a multiple of 8 (or 0 to auto-size)", req.Modules)
+	}
+	fid, err := parseFidelity(req.Fidelity)
+	if err != nil {
+		return pvfloor.DistrictConfig{}, err
+	}
+	opt, err := req.Optimizer.config()
+	if err != nil {
+		return pvfloor.DistrictConfig{}, err
+	}
+	return pvfloor.DistrictConfig{
+		Tile:   tile,
+		NoData: nodata,
+		Extract: district.Options{
+			MinHeightM:          req.Extract.MinHeightM,
+			GroundPercentile:    req.Extract.GroundPercentile,
+			MinAreaCells:        req.Extract.MinAreaCells,
+			MinRectangularity:   req.Extract.MinRectangularity,
+			MaxFitRMSM:          req.Extract.MaxFitRMSM,
+			ObstacleReliefM:     req.Extract.ObstacleReliefM,
+			OpeningCells:        req.Extract.OpeningCells,
+			KeepBorder:          req.Extract.KeepBorder,
+			SuitableMarginCells: req.Extract.SuitableMarginCells,
+			MaxRoofs:            req.Extract.MaxRoofs,
+		},
+		Modules:      req.Modules,
+		MaxModules:   req.MaxModules,
+		Fidelity:     fid,
+		Optimizer:    opt,
+		SkipBaseline: req.SkipBaseline,
+		CacheDir:     s.opts.CacheDir,
+		Concurrency:  s.opts.Concurrency,
+		FieldWorkers: s.opts.FieldWorkers,
+	}, nil
+}
+
+// ---- responses and events ----
+
+// RunReport is the outcome of one pipeline run: the energy digest of
+// the proposed (and baseline) placement plus the statistics-pass
+// fingerprint.
+type RunReport struct {
+	Name           string  `json:"name"`
+	Scenario       string  `json:"scenario,omitempty"`
+	Modules        int     `json:"modules"`
+	GPctDigest     string  `json:"gpct_digest,omitempty"`
+	ProposedMWh    float64 `json:"proposed_mwh,omitempty"`
+	TraditionalMWh float64 `json:"traditional_mwh,omitempty"`
+	GainPct        float64 `json:"gain_pct,omitempty"`
+	WiringExtraM   float64 `json:"wiring_extra_m,omitempty"`
+	ElapsedMS      float64 `json:"elapsed_ms,omitempty"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// runReport flattens a successful result.
+func runReport(name string, cfg pvfloor.Config, res *pvfloor.Result, elapsed time.Duration) RunReport {
+	rep := RunReport{
+		Name:       name,
+		Modules:    res.Proposed.Topology.Modules(),
+		GPctDigest: pvfloor.GPctDigest(res.Stats),
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+	}
+	if cfg.Scenario != nil {
+		rep.Scenario = cfg.Scenario.Name
+	}
+	rep.ProposedMWh = res.ProposedEval.NetMWh()
+	rep.WiringExtraM = res.ProposedEval.WiringExtraM
+	if res.Traditional != nil {
+		rep.TraditionalMWh = res.TraditionalEval.NetMWh()
+		rep.GainPct = res.ImprovementPct()
+	}
+	return rep
+}
+
+// RunEvent is one NDJSON line of a batch stream.
+type RunEvent struct {
+	Event string `json:"event"` // "run"
+	Index int    `json:"index"`
+	RunReport
+}
+
+// batchEvent flattens one batch completion (success or failure).
+func batchEvent(br pvfloor.BatchRun) RunEvent {
+	ev := RunEvent{Event: "run", Index: br.Index}
+	if br.Err != nil {
+		ev.RunReport = RunReport{Name: br.Name, Modules: br.Config.Modules, Error: br.Err.Error()}
+		return ev
+	}
+	ev.RunReport = runReport(br.Name, br.Config, br.Result, br.Elapsed)
+	return ev
+}
+
+// BatchResultEvent is the final line of a batch stream: every report
+// in input order (deterministic for a given request).
+type BatchResultEvent struct {
+	Event string      `json:"event"` // "result"
+	Runs  []RunReport `json:"runs"`
+}
+
+// DistrictRoofEvent is one NDJSON line of a district stream: a roof
+// leaving extraction ("roof-extracted") or finishing its run
+// ("roof-planned", carrying the energy digest).
+type DistrictRoofEvent struct {
+	Event string `json:"event"`
+	Index int    `json:"index"`
+	// Roof carries the extraction geometry (energies stay zero until
+	// the roof is planned).
+	Roof pvfloor.RoofReport `json:"roof"`
+	// Run carries the planning outcome (roof-planned only).
+	Run *RunReport `json:"run,omitempty"`
+}
+
+// districtEvent flattens a pvfloor district progress event.
+func districtEvent(ev pvfloor.DistrictEvent) DistrictRoofEvent {
+	out := DistrictRoofEvent{
+		Event: string(ev.Kind),
+		Index: ev.Index,
+		Roof: pvfloor.RoofReport{
+			ID:            ev.Roof.ID,
+			Rect:          pvfloor.NewRectReport(ev.Roof.Rect),
+			Cells:         ev.Roof.Cells,
+			SuitableCells: ev.Roof.Suitable.Count(),
+			SlopeDeg:      ev.Roof.Plane.SlopeDeg,
+			AspectDeg:     ev.Roof.Plane.AspectDeg,
+			FitRMSM:       ev.Roof.FitRMSM,
+			MeanHeightM:   ev.Roof.MeanHeightM,
+			Modules:       ev.Modules,
+			Skipped:       ev.Skipped,
+		},
+	}
+	if ev.Kind == pvfloor.DistrictRoofPlanned {
+		rep := batchEvent(ev.Run).RunReport
+		rep.Modules = ev.Modules
+		out.Run = &rep
+	}
+	return out
+}
+
+// DistrictResultEvent is the final line of a district stream. The
+// District payload is the same pvfloor.DistrictReport struct that
+// cmd/pvdistrict -json prints — byte-equivalent by construction.
+type DistrictResultEvent struct {
+	Event     string                 `json:"event"` // "result"
+	ElapsedMS float64                `json:"elapsed_ms"`
+	District  pvfloor.DistrictReport `json:"district"`
+}
+
+// ErrorEvent terminates a stream that cannot complete (cancellation,
+// pipeline failure). Clients treat a stream without a "result" line
+// as failed even if they miss this event.
+type ErrorEvent struct {
+	Event string `json:"event"` // "error"
+	Error string `json:"error"`
+}
+
+func errorEvent(err error) ErrorEvent {
+	return ErrorEvent{Event: "error", Error: err.Error()}
+}
+
+// ---- plain JSON helpers ----
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// writeBusy maps pool admission failures: queue overflow becomes 503
+// + Retry-After, a context cancelled while queued becomes 499-style
+// client-closed (408 is the closest standard code).
+func writeBusy(w http.ResponseWriter, err error) {
+	if errors.Is(err, errBusy) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeError(w, http.StatusRequestTimeout, err)
+}

@@ -62,6 +62,14 @@
 // BatchOptions.FieldWorkers rather than per-run Workers — a shared
 // field cannot honour conflicting per-run settings).
 //
+// For long-lived callers — services, pipelines, TUIs — RunBatch and
+// RunDistrict accept a context (cancellation stops the fan-out
+// between runs; the physics is never interrupted mid-run) and a
+// progress callback delivering per-run completions and per-roof
+// district milestones as they happen. Both hooks are observational:
+// results are bit-identical with or without them. The cmd/pvserve
+// tool builds the streaming HTTP front-end on exactly these hooks.
+//
 // Lower-level building blocks live in internal/ packages; everything
 // needed to reproduce the paper's tables and figures is reachable
 // from this package, the examples/ programs and the cmd/ tools.
