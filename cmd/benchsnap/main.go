@@ -37,11 +37,11 @@ import (
 	"time"
 )
 
-// defaultBench selects the headline benchmarks of the four pipeline
+// defaultBench selects the headline benchmarks of the five pipeline
 // stages: Table I regeneration (planning + evaluation), the Fig. 6
-// statistics pass, solar-field construction and the incremental
-// objective.
-const defaultBench = "BenchmarkTableI|BenchmarkFig6IrradianceMaps|BenchmarkFieldConstruction|BenchmarkObjectiveDelta"
+// statistics pass, solar-field construction, the incremental
+// objective, and the district sweep (shared vs per-roof horizon).
+const defaultBench = "BenchmarkTableI|BenchmarkFig6IrradianceMaps|BenchmarkFieldConstruction|BenchmarkObjectiveDelta|BenchmarkDistrictSharedHorizon"
 
 func main() {
 	log.SetFlags(0)

@@ -45,6 +45,7 @@ func main() {
 	runs := flag.Int("runs", 0, "concurrent roof runs (0 = one per CPU)")
 	workers := flag.Int("workers", 0, "solar-field workers per roof (0 = one per CPU)")
 	cacheDir := flag.String("cache", "", "persistent field-artifact cache directory")
+	perRoofHorizon := flag.Bool("per-roof-horizon", false, "disable the shared tile horizon and ray-march one map per roof (debug/compare)")
 	noBaseline := flag.Bool("nobaseline", false, "skip the compact baseline placements")
 	minHeight := flag.Float64("minheight", 0, "extraction: min height above ground in metres (0 = default 2.5)")
 	minArea := flag.Int("minarea", 0, "extraction: min roof footprint in cells (0 = default 60)")
@@ -80,13 +81,14 @@ func main() {
 			MaxRoofs:            *maxRoofs,
 			SuitableMarginCells: *margin,
 		},
-		Modules:      *modules,
-		MaxModules:   *maxModules,
-		Fidelity:     fid,
-		SkipBaseline: *noBaseline,
-		CacheDir:     *cacheDir,
-		Concurrency:  *runs,
-		FieldWorkers: *workers,
+		Modules:        *modules,
+		MaxModules:     *maxModules,
+		Fidelity:       fid,
+		SkipBaseline:   *noBaseline,
+		CacheDir:       *cacheDir,
+		PerRoofHorizon: *perRoofHorizon,
+		Concurrency:    *runs,
+		FieldWorkers:   *workers,
 		Optimizer: pvfloor.OptimizerConfig{
 			Strategy: strat,
 			Seed:     *seed,

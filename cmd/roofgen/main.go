@@ -40,13 +40,20 @@ func main() {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
-		tile := district.SyntheticNeighborhood()
-		path := filepath.Join(*outDir, "neighborhood.asc")
-		if err := writeRaster(path, tile); err != nil {
-			log.Fatal(err)
+		for _, d := range []struct {
+			name string
+			tile *dsm.Raster
+		}{
+			{"neighborhood", district.SyntheticNeighborhood()},
+			{"gabled", district.SyntheticGabledBlock()},
+		} {
+			path := filepath.Join(*outDir, d.name+".asc")
+			if err := writeRaster(path, d.tile); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s: %s (%dx%d cells at %g m)\n",
+				d.name, path, d.tile.W(), d.tile.H(), d.tile.CellSize())
 		}
-		fmt.Printf("neighborhood: %s (%dx%d cells at %g m)\n",
-			path, tile.W(), tile.H(), tile.CellSize())
 		return
 	}
 

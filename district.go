@@ -9,10 +9,13 @@ import (
 
 	"repro/internal/district"
 	"repro/internal/dsm"
+	"repro/internal/fieldcache"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
 	"repro/internal/report"
 	"repro/internal/scenario"
+	"repro/internal/solar/field"
+	"repro/internal/solar/horizon"
 	"repro/internal/timegrid"
 )
 
@@ -49,6 +52,12 @@ type DistrictConfig struct {
 	// whole neighborhood and re-reading it: roofs are keyed by tile
 	// content + roof rect, so an unchanged tile re-runs warm.
 	CacheDir string
+	// PerRoofHorizon disables the tile-level shared horizon and
+	// ray-marches one horizon map per roof, as earlier releases did.
+	// The shared path is bit-identical and strictly cheaper (the tile
+	// is marched once and every roof slices its view), so this is an
+	// escape hatch for comparison and debugging, not a tuning knob.
+	PerRoofHorizon bool
 	// Concurrency bounds how many roof runs execute simultaneously
 	// (0 = one per CPU; the RunBatch pool).
 	Concurrency int
@@ -189,6 +198,35 @@ func RunDistrict(cfg DistrictConfig) (*DistrictResult, error) {
 	scs, err := ex.Scenarios(cfg.Tile, cfg.Site)
 	if err != nil {
 		return nil, err
+	}
+	// Tile-level shared horizon: march the union of the roof rects once
+	// and let every roof's evaluator slice its view from the result —
+	// bit-identical to the per-roof builds it replaces (the per-cell
+	// march depends only on the raster and the cell) and cached as one
+	// tile artifact when CacheDir is set, so a warm district run
+	// restores a single entry instead of one map per roof.
+	if !cfg.PerRoofHorizon && len(ex.Roofs) > 0 {
+		var hopts horizon.Options
+		if cfg.Fidelity != Full {
+			hopts = scenario.FastHorizonOptions()
+		}
+		var cache *fieldcache.Cache
+		if cfg.CacheDir != "" {
+			if cache, err = fieldcache.Open(cfg.CacheDir); err != nil {
+				return nil, err
+			}
+		}
+		rects := make([]geom.Rect, len(ex.Roofs))
+		for i := range ex.Roofs {
+			rects[i] = ex.Roofs[i].Rect
+		}
+		tileH, _, err := field.TileHorizon(cfg.Tile, rects, hopts, cfg.FieldWorkers, cache)
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range scs {
+			sc.SharedHorizon = tileH
+		}
 	}
 	res := &DistrictResult{Extraction: ex, Plans: make([]RoofPlan, len(ex.Roofs))}
 
@@ -377,16 +415,22 @@ func autoModules(sc *scenario.Scenario, maxModules int) int {
 // plus aggregate totals — the district-scale analogue of the paper's
 // Table I.
 func DistrictTable(res *DistrictResult) string {
-	tbl := report.NewTable("Rank", "Roof", "WxL", "Suit", "Slope", "Aspect", "N",
+	tbl := report.NewTable("Rank", "Roof", "Bldg", "WxL", "Suit", "Slope", "Aspect", "N",
 		"Trad MWh", "Prop MWh", "Gain%", "Wire m")
 	addRow := func(rank string, rp *RoofPlan) {
 		name := fmt.Sprintf("roof%02d", rp.Roof.ID)
+		// Segmented buildings read "1.2" (building 1, plane 2) so the
+		// two halves of a gable are recognisably one house.
+		bldg := fmt.Sprint(rp.Roof.Building)
+		if rp.Roof.Segment > 0 {
+			bldg = fmt.Sprintf("%d.%d", rp.Roof.Building, rp.Roof.Segment)
+		}
 		dims := fmt.Sprintf("%dx%d", rp.Roof.Rect.W(), rp.Roof.Rect.H())
 		slope := fmt.Sprintf("%.1f", rp.Roof.Plane.SlopeDeg)
 		aspect := fmt.Sprintf("%.0f", rp.Roof.Plane.AspectDeg)
 		if rp.Planned() {
 			r := rp.Run.Result
-			tbl.AddRow(rank, name, dims, fmt.Sprint(rp.Roof.Suitable.Count()), slope, aspect,
+			tbl.AddRow(rank, name, bldg, dims, fmt.Sprint(rp.Roof.Suitable.Count()), slope, aspect,
 				fmt.Sprint(rp.Modules),
 				fmt.Sprintf("%.3f", r.TraditionalEval.NetMWh()),
 				fmt.Sprintf("%.3f", r.ProposedEval.NetMWh()),
@@ -398,7 +442,7 @@ func DistrictTable(res *DistrictResult) string {
 		if why == "" && rp.Run.Err != nil {
 			why = "failed: " + rp.Run.Err.Error()
 		}
-		tbl.AddRow(rank, name, dims, fmt.Sprint(rp.Roof.Suitable.Count()), slope, aspect,
+		tbl.AddRow(rank, name, bldg, dims, fmt.Sprint(rp.Roof.Suitable.Count()), slope, aspect,
 			"-", why)
 	}
 	for rank, pi := range res.Ranked {

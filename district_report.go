@@ -31,7 +31,11 @@ func NewRectReport(r geom.Rect) RectReport {
 
 // RoofReport is the per-roof row of a district report.
 type RoofReport struct {
-	ID             int        `json:"id"`
+	ID int `json:"id"`
+	// Building groups segments extracted from one building component;
+	// Segment numbers the plane within it (0 = single-plane building).
+	Building       int        `json:"building,omitempty"`
+	Segment        int        `json:"segment,omitempty"`
 	Rect           RectReport `json:"rect"`
 	Cells          int        `json:"cells"`
 	SuitableCells  int        `json:"suitable_cells"`
@@ -100,6 +104,8 @@ func NewDistrictReport(res *DistrictResult) DistrictReport {
 		rp := &res.Plans[i]
 		rj := RoofReport{
 			ID:            rp.Roof.ID,
+			Building:      rp.Roof.Building,
+			Segment:       rp.Roof.Segment,
 			Rect:          NewRectReport(rp.Roof.Rect),
 			Cells:         rp.Roof.Cells,
 			SuitableCells: rp.Roof.Suitable.Count(),

@@ -5,11 +5,13 @@ import (
 	"math"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/district"
 	"repro/internal/dsm"
 	"repro/internal/gis"
+	"repro/internal/solar/horizon"
 )
 
 // loadNeighborhoodTile reads the committed district fixture through
@@ -17,7 +19,18 @@ import (
 // parse).
 func loadNeighborhoodTile(t *testing.T) *dsm.Raster {
 	t.Helper()
-	f, err := os.Open("testdata/district/neighborhood.asc")
+	return loadTileFixture(t, "testdata/district/neighborhood.asc")
+}
+
+// loadGabledTile reads the committed gabled-block fixture.
+func loadGabledTile(t *testing.T) *dsm.Raster {
+	t.Helper()
+	return loadTileFixture(t, "testdata/district/gabled.asc")
+}
+
+func loadTileFixture(t *testing.T, path string) *dsm.Raster {
+	t.Helper()
+	f, err := os.Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +44,7 @@ func loadNeighborhoodTile(t *testing.T) *dsm.Raster {
 		t.Fatal(err)
 	}
 	if missing != 0 {
-		t.Fatalf("fixture has %d NODATA cells, want 0", missing)
+		t.Fatalf("fixture %s has %d NODATA cells, want 0", path, missing)
 	}
 	return tile
 }
@@ -51,6 +64,17 @@ func TestNeighborhoodFixtureInSync(t *testing.T) {
 	}
 }
 
+// TestGabledFixtureInSync pins the gabled fixture to its generator the
+// same way.
+func TestGabledFixtureInSync(t *testing.T) {
+	committed := loadGabledTile(t)
+	generated := district.SyntheticGabledBlock()
+	if committed.ContentHash() != generated.ContentHash() {
+		t.Fatal("testdata/district/gabled.asc is out of sync with district.SyntheticGabledBlock();\n" +
+			"regenerate: go run ./cmd/roofgen -district -out testdata/district && go test . -run Golden -update")
+	}
+}
+
 // districtFingerprint reduces a district result to an exact string:
 // every placement anchor and every energy figure down to the float
 // bit pattern. Two runs agree iff their fingerprints match.
@@ -60,8 +84,8 @@ func districtFingerprint(res *DistrictResult) string {
 		math.Float64bits(res.Extraction.GroundZ), len(res.Plans), res.Ranked)
 	for i := range res.Plans {
 		rp := &res.Plans[i]
-		fmt.Fprintf(&sb, "roof%d rect=%v cells=%d slope=%x aspect=%x n=%d skipped=%q err=%v",
-			rp.Roof.ID, rp.Roof.Rect, rp.Roof.Cells,
+		fmt.Fprintf(&sb, "roof%d bldg=%d.%d rect=%v cells=%d slope=%x aspect=%x n=%d skipped=%q err=%v",
+			rp.Roof.ID, rp.Roof.Building, rp.Roof.Segment, rp.Roof.Rect, rp.Roof.Cells,
 			math.Float64bits(rp.Roof.Plane.SlopeDeg), math.Float64bits(rp.Roof.Plane.AspectDeg),
 			rp.Modules, rp.Skipped, rp.Run.Err != nil)
 		if rp.Planned() {
@@ -189,6 +213,60 @@ func TestDistrictTableFormat(t *testing.T) {
 		cur := res.Plans[res.Ranked[i]].Run.Result.ProposedEval.NetMWh()
 		if cur > prev {
 			t.Errorf("ranking not descending: %g before %g", prev, cur)
+		}
+	}
+}
+
+// TestRunDistrictSharedCacheConcurrentReuse is the shared-dir stress
+// gate for the tile-level horizon artifact: one warm-up district run
+// populates the cache, then several district runs execute concurrently
+// against the same directory. Every run must restore the one tile
+// horizon instead of ray-marching (a zero global BuildCount delta
+// proves no run rebuilt anything) and produce a result bit-identical
+// to the warm-up. Run under -race this also pins the cache's
+// concurrent-reader safety.
+func TestRunDistrictSharedCacheConcurrentReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four district sweeps")
+	}
+	tile := loadNeighborhoodTile(t)
+	dir := t.TempDir()
+	warm, err := RunDistrict(DistrictConfig{Tile: tile, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := districtFingerprint(warm)
+
+	const runs = 3
+	before := horizon.BuildCount()
+	fps := make([]string, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := RunDistrict(DistrictConfig{Tile: tile, CacheDir: dir, Concurrency: 2})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			fps[i] = districtFingerprint(res)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent run %d: %v", i, err)
+		}
+	}
+	if d := horizon.BuildCount() - before; d != 0 {
+		t.Errorf("concurrent warm runs ray-marched %d horizon maps, want 0 (tile artifact reuse)", d)
+	}
+	for i, fp := range fps {
+		if fp != ref {
+			t.Errorf("concurrent run %d differs from the warm-up run:\n--- warm ---\n%s--- got ---\n%s",
+				i, ref, fp)
 		}
 	}
 }

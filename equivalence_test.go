@@ -10,6 +10,7 @@ import (
 	"repro/internal/objective"
 	"repro/internal/scenario"
 	"repro/internal/solar/field"
+	"repro/internal/solar/horizon"
 	"repro/internal/wiring"
 )
 
@@ -316,6 +317,110 @@ func TestMultiStartWorkerEquivalenceThroughConfig(t *testing.T) {
 			if res.Proposed.Rects[i] != ref.Proposed.Rects[i] {
 				t.Errorf("SearchWorkers=%d module %d at %v, serial at %v",
 					workers, i, res.Proposed.Rects[i], ref.Proposed.Rects[i])
+			}
+		}
+	}
+}
+
+// TestSharedHorizonEquivalenceOnRoofs is the tile-sharing contract on
+// the paper roofs: a horizon map built region-wise over the scene and
+// sliced to the roof (the district fast path) must yield per-cell
+// statistics bit-identical to the per-roof horizon build, for every
+// worker count — same NaN mask, same percentiles, same means.
+func TestSharedHorizonEquivalenceOnRoofs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds several solar fields")
+	}
+	scs, err := scenario.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := scenario.FastGrid()
+	for _, sc := range scs {
+		t.Run(sc.Name, func(t *testing.T) {
+			plain, err := sc.FieldWith(scenario.FieldConfig{Grid: grid, Fast: true, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := plain.StatsPercentile(75)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tile, err := horizon.BuildRegions(sc.Scene.Raster, []geom.Rect{sc.Scene.RoofRect},
+				scenario.FastHorizonOptions(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				shared := *sc
+				shared.SharedHorizon = tile
+				before := horizon.BuildCount()
+				ev, err := shared.FieldWith(scenario.FieldConfig{Grid: grid, Fast: true, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := horizon.BuildCount() - before; d != 0 {
+					t.Fatalf("workers %d: shared-horizon evaluator ray-marched %d maps, want 0", workers, d)
+				}
+				cs, err := ev.StatsPercentile(75)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cs.Samples != ref.Samples || cs.W != ref.W || cs.H != ref.H {
+					t.Fatalf("workers %d: frame mismatch", workers)
+				}
+				for i := range ref.GPct {
+					if math.Float64bits(cs.GPct[i]) != math.Float64bits(ref.GPct[i]) ||
+						math.Float64bits(cs.GMean[i]) != math.Float64bits(ref.GMean[i]) ||
+						math.Float64bits(cs.TactPct[i]) != math.Float64bits(ref.TactPct[i]) {
+						t.Fatalf("workers %d: shared-horizon stats differ from per-roof build at cell %d",
+							workers, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDistrictSharedHorizonEquivalence is the district-level contract:
+// on the neighborhood tile, the shared-tile horizon path (the default)
+// and the per-roof escape hatch must produce bit-identical district
+// results — placements, energies, ranking — for Concurrency and
+// FieldWorkers 1, 2 and 8, while building the horizon exactly once per
+// tile instead of once per roof.
+func TestDistrictSharedHorizonEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six district sweeps")
+	}
+	tile := loadNeighborhoodTile(t)
+	var ref string
+	for _, w := range []int{1, 2, 8} {
+		for _, perRoof := range []bool{false, true} {
+			before := horizon.BuildCount()
+			res, err := RunDistrict(DistrictConfig{
+				Tile:           tile,
+				PerRoofHorizon: perRoof,
+				Concurrency:    w,
+				FieldWorkers:   w,
+			})
+			if err != nil {
+				t.Fatalf("workers %d perRoof %v: %v", w, perRoof, err)
+			}
+			builds := horizon.BuildCount() - before
+			if perRoof {
+				if want := uint64(len(res.Plans)); builds != want {
+					t.Errorf("workers %d per-roof: %d horizon builds, want %d (one per roof)",
+						w, builds, want)
+				}
+			} else if builds != 1 {
+				t.Errorf("workers %d shared: %d horizon builds, want exactly 1 per tile", w, builds)
+			}
+			fp := districtFingerprint(res)
+			if ref == "" {
+				ref = fp
+			} else if fp != ref {
+				t.Fatalf("workers %d perRoof %v: district result differs:\n--- ref ---\n%s--- got ---\n%s",
+					w, perRoof, ref, fp)
 			}
 		}
 	}

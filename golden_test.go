@@ -167,6 +167,8 @@ type goldenDistrict struct {
 
 type goldenDistrictRun struct {
 	ID        int     `json:"id"`
+	Building  int     `json:"building"`
+	Segment   int     `json:"segment"`
 	Rect      [4]int  `json:"rect"`
 	Cells     int     `json:"cells"`
 	SlopeDeg  float64 `json:"slope_deg"`
@@ -189,11 +191,46 @@ func TestGoldenRunDistrict(t *testing.T) {
 			t.Fatalf("roof%d unplanned: skipped=%q err=%v", rp.Roof.ID, rp.Skipped, rp.Run.Err)
 		}
 		golden.Roofs = append(golden.Roofs, goldenDistrictRun{
-			ID:    rp.Roof.ID,
+			ID: rp.Roof.ID, Building: rp.Roof.Building, Segment: rp.Roof.Segment,
 			Rect:  [4]int{rp.Roof.Rect.X0, rp.Roof.Rect.Y0, rp.Roof.Rect.X1, rp.Roof.Rect.Y1},
 			Cells: rp.Roof.Cells, SlopeDeg: rp.Roof.Plane.SlopeDeg, AspectDeg: rp.Roof.Plane.AspectDeg,
 			Golden: goldenFromResult(rp.Run.Name, rp.Modules, rp.Run.Result),
 		})
 	}
 	checkGolden(t, "rundistrict_neighborhood.json", golden)
+}
+
+// TestGoldenRunDistrictGabled pins the multi-plane pipeline on the
+// committed gabled tile: both gabled houses must appear as two ranked
+// segments with opposite aspects, sharing a Building number, each
+// planned as its own scenario.
+func TestGoldenRunDistrictGabled(t *testing.T) {
+	tile := loadGabledTile(t)
+	res, err := RunDistrict(DistrictConfig{Tile: tile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segmented := 0
+	for i := range res.Plans {
+		if res.Plans[i].Roof.Segment > 0 {
+			segmented++
+		}
+	}
+	if segmented < 4 {
+		t.Fatalf("gabled tile planned %d segment roofs, want >= 4 (two per gabled house)", segmented)
+	}
+	golden := goldenDistrict{GroundZ: res.Extraction.GroundZ, Ranked: res.Ranked}
+	for i := range res.Plans {
+		rp := &res.Plans[i]
+		if !rp.Planned() {
+			t.Fatalf("roof%d unplanned: skipped=%q err=%v", rp.Roof.ID, rp.Skipped, rp.Run.Err)
+		}
+		golden.Roofs = append(golden.Roofs, goldenDistrictRun{
+			ID: rp.Roof.ID, Building: rp.Roof.Building, Segment: rp.Roof.Segment,
+			Rect:  [4]int{rp.Roof.Rect.X0, rp.Roof.Rect.Y0, rp.Roof.Rect.X1, rp.Roof.Rect.Y1},
+			Cells: rp.Roof.Cells, SlopeDeg: rp.Roof.Plane.SlopeDeg, AspectDeg: rp.Roof.Plane.AspectDeg,
+			Golden: goldenFromResult(rp.Run.Name, rp.Modules, rp.Run.Result),
+		})
+	}
+	checkGolden(t, "rundistrict_gabled.json", golden)
 }

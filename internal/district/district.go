@@ -82,6 +82,25 @@ type Options struct {
 	// MaxRoofs caps how many roofs are returned, largest footprint
 	// first (0 = no cap).
 	MaxRoofs int
+	// SegmentRMSM triggers multi-plane segmentation: when a component's
+	// single best-fit plane leaves an RMS residual above this, the
+	// region is re-examined by region-growing on local surface normals
+	// and may split into several planar segments — a gabled house
+	// becomes two correctly tilted roofs instead of one averaged (or
+	// rejected) plane. Default 0.12 m: comfortably above the residual a
+	// monopitch roof with furniture measures (≈0.04–0.07 m) and far
+	// below a gable's (≈0.47 m at 30°). Negative disables segmentation.
+	SegmentRMSM float64
+	// SegmentAngleDeg is the region-growing tolerance: a cell joins a
+	// segment while its 3×3-window surface normal is within this angle
+	// of the segment seed's (default 15° — wide enough that the mixed
+	// windows straddling a gable ridge, ≈14° off the pitch normal,
+	// still land on the correct side).
+	SegmentAngleDeg float64
+	// MinSegmentCells dissolves grown segments smaller than this into
+	// their best-matching neighbouring segment (default: MinAreaCells)
+	// — chimneys and dormers must not become standalone roofs.
+	MinSegmentCells int
 }
 
 func (o Options) withDefaults() Options {
@@ -108,6 +127,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.OpeningCells < 0 {
 		o.OpeningCells = 0
+	}
+	if o.SegmentRMSM == 0 {
+		o.SegmentRMSM = 0.12
+	}
+	if o.SegmentAngleDeg == 0 {
+		o.SegmentAngleDeg = 15
+	}
+	if o.MinSegmentCells == 0 {
+		o.MinSegmentCells = o.MinAreaCells
 	}
 	return o
 }
@@ -141,6 +169,14 @@ type Roof struct {
 	FitRMSM float64
 	// MeanHeightM is the mean footprint height above estimated ground.
 	MeanHeightM float64
+	// Building groups the roofs extracted from one connected building
+	// component (1-based, in extraction order): a gabled house yields
+	// two roofs sharing a Building number.
+	Building int
+	// Segment numbers this roof's plane within its building: 0 when
+	// the whole component fit as a single plane, 1..k when multi-plane
+	// segmentation split it (deterministic seeding order).
+	Segment int
 }
 
 // DropReason classifies why a candidate region was rejected.
@@ -226,6 +262,7 @@ func Extract(tile *dsm.Raster, nodata *geom.Mask, opts Options) (*Extraction, er
 	}
 	opened.And(elevated)
 
+	building := 0
 	for _, comp := range components(opened) {
 		cand := Dropped{Rect: comp.rect, Cells: len(comp.cells)}
 		switch {
@@ -240,19 +277,37 @@ func Extract(tile *dsm.Raster, nodata *geom.Mask, opts Options) (*Extraction, er
 			ex.Dropped = append(ex.Dropped, cand)
 			continue
 		}
-		roof, ok := fitRoof(tile, comp, ground, opts)
-		if !ok {
+		// Single-plane fit first; a residual above SegmentRMSM (a gable,
+		// a hip — or a tree crown) sends the component through
+		// multi-plane segmentation. Segmentation either yields ≥ 2
+		// planar segments or the component falls back to the
+		// single-plane outcome: accepted as one roof when that fit
+		// passed, dropped as non-planar when it did not.
+		roof, rms, ok := fitRoof(tile, comp, ground, opts)
+		var fleet []Roof
+		if segs := segmentRoofs(tile, comp, ground, opts, rms); len(segs) >= 2 {
+			fleet = segs
+		} else if ok {
+			fleet = []Roof{roof}
+		} else {
 			cand.Reason = DropNonPlanar
 			ex.Dropped = append(ex.Dropped, cand)
 			continue
 		}
-		if roof.Suitable.Count() == 0 {
-			cand.Reason = DropUnsuitable
-			ex.Dropped = append(ex.Dropped, cand)
-			continue
+		grew := false
+		for _, r := range fleet {
+			if r.Suitable.Count() == 0 {
+				ex.Dropped = append(ex.Dropped, Dropped{Rect: r.Rect, Cells: r.Cells, Reason: DropUnsuitable})
+				continue
+			}
+			if !grew {
+				building++
+				grew = true
+			}
+			r.Building = building
+			r.ID = len(ex.Roofs) + 1 // provisional; re-numbered after the cap
+			ex.Roofs = append(ex.Roofs, r)
 		}
-		roof.ID = len(ex.Roofs) + 1 // provisional; re-numbered after the cap
-		ex.Roofs = append(ex.Roofs, roof)
 	}
 
 	if opts.MaxRoofs > 0 && len(ex.Roofs) > opts.MaxRoofs {
@@ -350,8 +405,9 @@ func touchesBorder(r geom.Rect, w, h int) bool {
 
 // fitRoof least-squares fits a plane over the component, derives slope
 // and aspect, classifies encumbrances, and assembles the Roof. It
-// reports false when the fit residual exceeds Options.MaxFitRMSM.
-func fitRoof(tile *dsm.Raster, comp component, ground float64, opts Options) (Roof, bool) {
+// returns the fit's RMS residual either way and reports false when
+// that residual exceeds Options.MaxFitRMSM.
+func fitRoof(tile *dsm.Raster, comp component, ground float64, opts Options) (Roof, float64, bool) {
 	cs := tile.CellSize()
 	// Normal equations for z = a·xm + b·ym + c over the footprint,
 	// with (xm, ym) in metres relative to the rect anchor (keeps the
@@ -408,7 +464,7 @@ func fitRoof(tile *dsm.Raster, comp component, ground float64, opts Options) (Ro
 	}
 	rms := math.Sqrt(sqSum / n)
 	if rms > opts.MaxFitRMSM {
-		return Roof{}, false
+		return Roof{}, rms, false
 	}
 
 	// Slope/aspect from the fitted gradient (a = dz/dx east, b = dz/dy
@@ -460,5 +516,5 @@ func fitRoof(tile *dsm.Raster, comp component, ground float64, opts Options) (Ro
 		Plane:          plane,
 		FitRMSM:        rms,
 		MeanHeightM:    heightSum / n,
-	}, true
+	}, rms, true
 }

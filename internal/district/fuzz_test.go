@@ -1,0 +1,144 @@
+package district
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dsm"
+	"repro/internal/geom"
+)
+
+// FuzzSegmentExtract hammers Extract — and through it the multi-plane
+// segmentation pass — with procedurally generated tiles: random block
+// layouts (flat, mono-pitch and gabled shapes), fuzzed noise and
+// fuzzed segmentation thresholds. Whatever the input, extraction must
+// never panic or error, every accepted roof must carry finite,
+// in-range plane angles and internally consistent masks, and no two
+// roofs may ever claim the same tile cell (segments partition a
+// building, they never overlap).
+func FuzzSegmentExtract(f *testing.F) {
+	f.Add(40, 30, uint64(1), uint8(2), 12, 15, 10)
+	f.Add(56, 56, uint64(42), uint8(3), -1, 15, 60) // segmentation disabled
+	f.Add(24, 48, uint64(7), uint8(1), 1, 5, 1)     // hair-trigger thresholds
+	f.Add(63, 9, uint64(99), uint8(4), 50, 60, 200) // thresholds too lax to ever fire
+	f.Add(8, 8, uint64(0), uint8(0), 12, 15, 10)    // empty ground-only tile
+
+	f.Fuzz(func(t *testing.T, w, h int, seed uint64, blocks uint8, segRMSCenti, segAngleDeg, minSegCells int) {
+		w, h = 8+abs(w)%56, 8+abs(h)%56
+		tile, err := dsm.NewRaster(w, h, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Deterministic splitmix64 stream drives the whole layout.
+		s := seed
+		next := func() uint64 {
+			s += 0x9e3779b97f4a7c15
+			z := s
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			return z ^ (z >> 31)
+		}
+		unit := func() float64 { return float64(next()%1_000_000) / 1_000_000 }
+
+		// Stamp 0..7 blocks: flat slabs, mono-pitch ramps and gabled
+		// shapes, freely overlapping (max-composited like real clutter).
+		for b := 0; b < int(blocks%8); b++ {
+			bw, bh := 4+int(next()%uint64(w-4)), 4+int(next()%uint64(h-4))
+			x0, y0 := int(next()%uint64(w-bw+1)), int(next()%uint64(h-bh+1))
+			ridge := 3 + 7*unit()
+			tanS := math.Tan((5 + 40*unit()) * math.Pi / 180)
+			kind := next() % 3
+			for y := y0; y < y0+bh; y++ {
+				for x := x0; x < x0+bw; x++ {
+					c := geom.Cell{X: x, Y: y}
+					var z float64
+					switch kind {
+					case 0: // flat
+						z = ridge
+					case 1: // mono-pitch along x
+						z = ridge - tanS*0.2*float64(x-x0)
+					default: // gabled, ridge mid-rect along x
+						z = ridge - tanS*0.2*math.Abs(float64(x-x0)+0.5-float64(bw)/2)
+					}
+					if z > tile.At(c) {
+						tile.Set(c, z)
+					}
+				}
+			}
+		}
+		// Fuzzed surface noise, up to ±0.25 m: enough to push a fit
+		// over any RMS trigger, never enough to overflow anything.
+		amp := 0.25 * unit()
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				c := geom.Cell{X: x, Y: y}
+				tile.Set(c, tile.At(c)+amp*(2*unit()-1))
+			}
+		}
+
+		opts := Options{
+			MinAreaCells:    12,
+			SegmentRMSM:     float64(segRMSCenti%100) / 100,
+			SegmentAngleDeg: float64(1 + abs(segAngleDeg)%60),
+			MinSegmentCells: 1 + abs(minSegCells)%200,
+			KeepBorder:      next()%2 == 0,
+		}
+		if segRMSCenti < 0 {
+			opts.SegmentRMSM = -1 // disabled path must hold the same invariants
+		}
+		ex, err := Extract(tile, nil, opts)
+		if err != nil {
+			t.Fatalf("extract rejected a finite tile: %v", err)
+		}
+
+		claimed := geom.NewMask(w, h)
+		for i := range ex.Roofs {
+			r := &ex.Roofs[i]
+			if r.ID != i+1 || r.Building < 1 || r.Segment < 0 {
+				t.Fatalf("roof numbering broke: id=%d building=%d segment=%d", r.ID, r.Building, r.Segment)
+			}
+			sl, as := r.Plane.SlopeDeg, r.Plane.AspectDeg
+			if math.IsNaN(sl) || sl < 0 || sl >= 90 {
+				t.Fatalf("roof %d slope out of range: %v", r.ID, sl)
+			}
+			if math.IsNaN(as) || as < 0 || as >= 360 {
+				t.Fatalf("roof %d aspect out of range: %v", r.ID, as)
+			}
+			if !(r.FitRMSM >= 0) || math.IsInf(r.FitRMSM, 0) {
+				t.Fatalf("roof %d fit RMS not finite: %v", r.ID, r.FitRMSM)
+			}
+			if r.Rect.Empty() || r.Rect.X0 < 0 || r.Rect.Y0 < 0 || r.Rect.X1 > w || r.Rect.Y1 > h {
+				t.Fatalf("roof %d rect %v escapes the %dx%d tile", r.ID, r.Rect, w, h)
+			}
+			if r.Footprint.W() != r.Rect.W() || r.Footprint.H() != r.Rect.H() {
+				t.Fatalf("roof %d footprint %dx%d does not match rect %v",
+					r.ID, r.Footprint.W(), r.Footprint.H(), r.Rect)
+			}
+			if got := r.Footprint.Count(); got != r.Cells || got == 0 {
+				t.Fatalf("roof %d Cells=%d but footprint has %d set", r.ID, r.Cells, got)
+			}
+			r.Footprint.ForEachSet(func(lc geom.Cell) {
+				gc := geom.Cell{X: r.Rect.X0 + lc.X, Y: r.Rect.Y0 + lc.Y}
+				if claimed.Get(gc) {
+					t.Fatalf("cell %v claimed by two roofs (second: roof %d)", gc, r.ID)
+				}
+				claimed.Set(gc, true)
+			})
+			for _, sub := range []*geom.Mask{r.Obstacles, r.Suitable} {
+				sub.ForEachSet(func(lc geom.Cell) {
+					if !r.Footprint.Get(lc) {
+						t.Fatalf("roof %d mask cell %v outside its footprint", r.ID, lc)
+					}
+				})
+			}
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,277 @@
+package district
+
+import (
+	"math"
+
+	"repro/internal/dsm"
+	"repro/internal/geom"
+)
+
+// segmentRoofs attempts to split a non-planar component into several
+// planar roof segments — the multi-pitch step that turns a gabled
+// house into two correctly tilted roofs instead of one averaged (or
+// rejected) plane. It returns nil when segmentation is disabled
+// (Options.SegmentRMSM < 0), not triggered (the single-plane residual
+// singleRMS is within SegmentRMSM), or unable to produce at least two
+// planar segments — the caller then falls back to the single-plane
+// outcome, so genuinely non-planar clutter (tree crowns) is still
+// dropped exactly as before.
+//
+// The algorithm is the standard region-growing recipe on local surface
+// normals:
+//
+//  1. Every footprint cell gets a local normal from a least-squares
+//     plane over its 3×3 in-footprint window.
+//  2. Regions grow from deterministic row-major seeds: a cell joins
+//     while its normal is within SegmentAngleDeg of the seed's.
+//  3. Regions smaller than MinSegmentCells (chimneys, dormers, ridge
+//     slivers) dissolve into a leftover pool, which is re-attached by
+//     adjacency-constrained relaxation: row-major passes attach each
+//     leftover cell to the 4-neighbouring segment whose fitted core
+//     plane passes closest to the cell's elevation (ties to the lowest
+//     segment index). Adjacency matters: a chimney on the south pitch
+//     must not jump to the north plane just because that plane's
+//     extrapolation happens to pass nearby.
+//  4. Each segment is refit through the ordinary fitRoof pipeline
+//     (plane, slope/aspect, encumbrances, suitable mask); segments
+//     failing MaxFitRMSM are discarded.
+//
+// Segments keep the component's deterministic ordering, so extraction
+// output is reproducible cell-for-cell.
+func segmentRoofs(tile *dsm.Raster, comp component, ground float64, opts Options, singleRMS float64) []Roof {
+	if opts.SegmentRMSM <= 0 || singleRMS <= opts.SegmentRMSM {
+		return nil
+	}
+	cs := tile.CellSize()
+	rect := comp.rect
+	w, h := rect.W(), rect.H()
+	in := geom.NewMask(w, h)
+	for _, c := range comp.cells {
+		in.Set(geom.Cell{X: c.X - rect.X0, Y: c.Y - rect.Y0}, true)
+	}
+
+	// Local surface normals, indexed rect-locally.
+	nx := make([]float64, w*h)
+	ny := make([]float64, w*h)
+	nz := make([]float64, w*h)
+	for _, c := range comp.cells {
+		lc := geom.Cell{X: c.X - rect.X0, Y: c.Y - rect.Y0}
+		i := lc.Y*w + lc.X
+		nx[i], ny[i], nz[i] = localNormal(tile, rect, in, lc, cs)
+	}
+
+	// Region growing: row-major seeds, LIFO flood fill (the same
+	// deterministic order as components), membership by angle to the
+	// seed normal.
+	cosTol := math.Cos(opts.SegmentAngleDeg * math.Pi / 180)
+	part := make([]int, w*h) // 0 = unassigned, >0 = segment id
+	var cores [][]geom.Cell  // local cells per segment, growth order
+	var stack []geom.Cell
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			seed := geom.Cell{X: x, Y: y}
+			si := y*w + x
+			if !in.Get(seed) || part[si] != 0 {
+				continue
+			}
+			pid := len(cores) + 1
+			snx, sny, snz := nx[si], ny[si], nz[si]
+			part[si] = pid
+			stack = append(stack[:0], seed)
+			var cells []geom.Cell
+			for len(stack) > 0 {
+				c := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				cells = append(cells, c)
+				for _, n := range [4]geom.Cell{c.Add(1, 0), c.Add(-1, 0), c.Add(0, 1), c.Add(0, -1)} {
+					if !in.Get(n) {
+						continue
+					}
+					ni := n.Y*w + n.X
+					if part[ni] != 0 {
+						continue
+					}
+					if nx[ni]*snx+ny[ni]*sny+nz[ni]*snz < cosTol {
+						continue
+					}
+					part[ni] = pid
+					stack = append(stack, n)
+				}
+			}
+			cores = append(cores, cells)
+		}
+	}
+
+	// Dissolve undersized regions into the leftover pool and renumber
+	// the survivors densely (seeding order preserved).
+	segs := cores[:0]
+	renumber := make([]int, len(cores)+1)
+	for pid, cells := range cores {
+		if len(cells) < opts.MinSegmentCells {
+			for _, c := range cells {
+				part[c.Y*w+c.X] = -1
+			}
+			continue
+		}
+		segs = append(segs, cells)
+		renumber[pid+1] = len(segs)
+	}
+	if len(segs) < 2 {
+		return nil
+	}
+	for i, p := range part {
+		if p > 0 {
+			part[i] = renumber[p]
+		}
+	}
+
+	// Core planes for leftover attachment, fit once over the grown
+	// cores (stable targets — refitting as cells attach would make the
+	// outcome depend on attachment order in a subtler way).
+	planes := make([]planeCoef, len(segs))
+	for i, cells := range segs {
+		planes[i] = fitPlaneCells(tile, rect, cells, cs)
+	}
+
+	// Adjacency-constrained relaxation: row-major passes over the
+	// leftovers; each cell attaches to the best-matching segment among
+	// its already-assigned 4-neighbours, so attachment flows inward
+	// from the segment boundaries. The pass bound is a safety net —
+	// a connected component drains its leftovers long before it.
+	var leftover []geom.Cell
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if part[y*w+x] == -1 {
+				leftover = append(leftover, geom.Cell{X: x, Y: y})
+			}
+		}
+	}
+	for pass := 0; len(leftover) > 0 && pass < w*h; pass++ {
+		changed := false
+		remaining := leftover[:0]
+		for _, lc := range leftover {
+			best, bestRes := 0, math.Inf(1)
+			z := tile.At(geom.Cell{X: lc.X + rect.X0, Y: lc.Y + rect.Y0})
+			for _, n := range [4]geom.Cell{lc.Add(1, 0), lc.Add(-1, 0), lc.Add(0, 1), lc.Add(0, -1)} {
+				if !in.Get(n) {
+					continue
+				}
+				pid := part[n.Y*w+n.X]
+				if pid <= 0 || pid == best {
+					continue
+				}
+				if res := math.Abs(z - planes[pid-1].at(lc, cs)); res < bestRes ||
+					(res == bestRes && pid < best) {
+					best, bestRes = pid, res
+				}
+			}
+			if best == 0 {
+				remaining = append(remaining, lc)
+				continue
+			}
+			part[lc.Y*w+lc.X] = best
+			segs[best-1] = append(segs[best-1], lc)
+			changed = true
+		}
+		leftover = remaining
+		if !changed {
+			break
+		}
+	}
+
+	// Refit each segment through the ordinary pipeline. The size,
+	// border and rectangularity gates of Extract already passed for the
+	// whole component and deliberately do not re-apply per segment —
+	// half a gable is narrower and less rectangular than the house.
+	var out []Roof
+	for _, cells := range segs {
+		sub := component{rect: geom.RectAt(geom.Cell{X: cells[0].X + rect.X0, Y: cells[0].Y + rect.Y0}, 1, 1)}
+		for _, c := range cells {
+			tc := geom.Cell{X: c.X + rect.X0, Y: c.Y + rect.Y0}
+			sub.cells = append(sub.cells, tc)
+			sub.rect = sub.rect.Union(geom.RectAt(tc, 1, 1))
+		}
+		if r, _, ok := fitRoof(tile, sub, ground, opts); ok {
+			out = append(out, r)
+		}
+	}
+	if len(out) < 2 {
+		return nil
+	}
+	for i := range out {
+		out[i].Segment = i + 1
+	}
+	return out
+}
+
+// localNormal least-squares fits a plane over the 3×3 in-footprint
+// window around the rect-local cell and returns its unit surface
+// normal. Windows clipped by the footprint boundary use whatever cells
+// remain; a degenerate (collinear) window reads as flat.
+func localNormal(tile *dsm.Raster, rect geom.Rect, in *geom.Mask, lc geom.Cell, cs float64) (ux, uy, uz float64) {
+	var sx, sy, sxx, syy, sxy, sz, sxz, syz, n float64
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			l := geom.Cell{X: lc.X + dx, Y: lc.Y + dy}
+			if !in.Get(l) {
+				continue
+			}
+			xm, ym := float64(dx)*cs, float64(dy)*cs
+			z := tile.At(geom.Cell{X: l.X + rect.X0, Y: l.Y + rect.Y0})
+			sx += xm
+			sy += ym
+			sxx += xm * xm
+			syy += ym * ym
+			sxy += xm * ym
+			sz += z
+			sxz += xm * z
+			syz += ym * z
+			n++
+		}
+	}
+	var a, b float64
+	det := sxx*(syy*n-sy*sy) - sxy*(sxy*n-sy*sx) + sx*(sxy*sy-syy*sx)
+	if math.Abs(det) >= 1e-12 {
+		a = (sxz*(syy*n-sy*sy) - sxy*(syz*n-sy*sz) + sx*(syz*sy-syy*sz)) / det
+		b = (sxx*(syz*n-sy*sz) - sxz*(sxy*n-sx*sy) + sx*(sxy*sz-sx*syz)) / det
+	}
+	inv := 1 / math.Sqrt(a*a+b*b+1)
+	return -a * inv, -b * inv, inv
+}
+
+// planeCoef is a fitted plane z = a·xm + b·ym + c0 with (xm, ym) in
+// metres from the owning rect's anchor — the same frame fitRoof uses.
+type planeCoef struct{ a, b, c0 float64 }
+
+// fitPlaneCells least-squares fits a plane over rect-local cells.
+func fitPlaneCells(tile *dsm.Raster, rect geom.Rect, cells []geom.Cell, cs float64) planeCoef {
+	var sx, sy, sxx, syy, sxy, sz, sxz, syz float64
+	n := float64(len(cells))
+	for _, c := range cells {
+		xm := (float64(c.X) + 0.5) * cs
+		ym := (float64(c.Y) + 0.5) * cs
+		z := tile.At(geom.Cell{X: c.X + rect.X0, Y: c.Y + rect.Y0})
+		sx += xm
+		sy += ym
+		sxx += xm * xm
+		syy += ym * ym
+		sxy += xm * ym
+		sz += z
+		sxz += xm * z
+		syz += ym * z
+	}
+	det := sxx*(syy*n-sy*sy) - sxy*(sxy*n-sy*sx) + sx*(sxy*sy-syy*sx)
+	if math.Abs(det) < 1e-12 {
+		return planeCoef{c0: sz / n}
+	}
+	return planeCoef{
+		a:  (sxz*(syy*n-sy*sy) - sxy*(syz*n-sy*sz) + sx*(syz*sy-syy*sz)) / det,
+		b:  (sxx*(syz*n-sy*sz) - sxz*(sxy*n-sx*sy) + sx*(sxy*sz-sx*syz)) / det,
+		c0: (sxx*(syy*sz-syz*sy) - sxy*(sxy*sz-syz*sx) + sxz*(sxy*sy-syy*sx)) / det,
+	}
+}
+
+// at evaluates the plane at a rect-local cell centre.
+func (p planeCoef) at(c geom.Cell, cs float64) float64 {
+	return p.a*(float64(c.X)+0.5)*cs + p.b*(float64(c.Y)+0.5)*cs + p.c0
+}

@@ -1,0 +1,139 @@
+package district
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestExtractGabledBlock pins the multi-plane segmentation behaviour
+// end to end on the gabled reference tile: each gabled house must
+// extract as two correctly tilted segments with opposite aspects and a
+// shared Building number, the monopitch house and the garage must keep
+// extracting as single planes, and the tree must still be rejected as
+// non-planar — segmentation must not manufacture segments out of a
+// dome.
+func TestExtractGabledBlock(t *testing.T) {
+	tile := SyntheticGabledBlock()
+	ex, err := Extract(tile, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Roofs) != 6 {
+		for _, r := range ex.Roofs {
+			t.Logf("roof %d: %v building %d segment %d slope %.1f aspect %.0f",
+				r.ID, r.Rect, r.Building, r.Segment, r.Plane.SlopeDeg, r.Plane.AspectDeg)
+		}
+		t.Fatalf("extracted %d roofs, want 6 (2+2 gable segments, monopitch, garage)", len(ex.Roofs))
+	}
+
+	want := []struct {
+		rect              geom.Rect
+		building, segment int
+		slope, aspect     float64
+	}{
+		{geom.Rect{X0: 16, Y0: 14, X1: 60, Y1: 28}, 1, 1, 30, 0},   // gable A north pane
+		{geom.Rect{X0: 16, Y0: 28, X1: 60, Y1: 42}, 1, 2, 30, 180}, // gable A south pane
+		{geom.Rect{X0: 78, Y0: 18, X1: 92, Y1: 62}, 2, 1, 28, 270}, // gable B west pane
+		{geom.Rect{X0: 92, Y0: 18, X1: 106, Y1: 62}, 2, 2, 28, 90}, // gable B east pane
+		{geom.Rect{X0: 20, Y0: 64, X1: 60, Y1: 88}, 3, 0, 20, 200}, // monopitch
+		{geom.Rect{X0: 112, Y0: 72, X1: 138, Y1: 92}, 4, 0, 0, 0},  // flat garage
+	}
+	for i, w := range want {
+		r := &ex.Roofs[i]
+		if r.ID != i+1 {
+			t.Errorf("roof[%d] ID %d, want %d", i, r.ID, i+1)
+		}
+		if r.Rect != w.rect {
+			t.Errorf("roof %d rect %v, want %v", r.ID, r.Rect, w.rect)
+		}
+		if r.Building != w.building || r.Segment != w.segment {
+			t.Errorf("roof %d building/segment %d/%d, want %d/%d",
+				r.ID, r.Building, r.Segment, w.building, w.segment)
+		}
+		if math.Abs(r.Plane.SlopeDeg-w.slope) > 1.5 {
+			t.Errorf("roof %d slope %.2f°, want %.0f°", r.ID, r.Plane.SlopeDeg, w.slope)
+		}
+		if w.slope > 0 && math.Abs(r.Plane.AspectDeg-w.aspect) > 2 {
+			t.Errorf("roof %d aspect %.2f°, want %.0f°", r.ID, r.Plane.AspectDeg, w.aspect)
+		}
+		if r.FitRMSM > 0.35 {
+			t.Errorf("roof %d fit RMS %.3f m above the planarity gate", r.ID, r.FitRMSM)
+		}
+	}
+
+	// The two panes of one building must face opposite ways — the whole
+	// point of splitting the gable.
+	if d := math.Abs(ex.Roofs[0].Plane.AspectDeg - ex.Roofs[1].Plane.AspectDeg); math.Abs(d-180) > 4 {
+		t.Errorf("gable A pane aspects %.1f° apart, want ≈180°", d)
+	}
+
+	// The chimney stands on the south pane; adjacency-constrained
+	// attachment must keep it there and the refit must flag it.
+	south := &ex.Roofs[1]
+	chimney := geom.Cell{X: 22 - south.Rect.X0, Y: 34 - south.Rect.Y0}
+	if !south.Obstacles.Get(chimney) {
+		t.Errorf("chimney at local %v not classified as an obstacle on the south pane", chimney)
+	}
+	north := &ex.Roofs[0]
+	if got := north.Obstacles.Count(); got != 0 {
+		t.Errorf("north pane has %d obstacle cells, want 0", got)
+	}
+
+	// The tree is the only non-planar drop; segmentation must not have
+	// rescued it.
+	nonPlanar := 0
+	for _, d := range ex.Dropped {
+		if d.Reason == DropNonPlanar {
+			nonPlanar++
+		}
+	}
+	if nonPlanar != 1 {
+		t.Errorf("%d non-planar drops, want 1 (the tree): %+v", nonPlanar, ex.Dropped)
+	}
+}
+
+// TestExtractGabledBlockSegmentationDisabled: a negative SegmentRMSM
+// restores the legacy single-plane pipeline — both gables then fail
+// the planarity gate and only the monopitch and the garage survive.
+func TestExtractGabledBlockSegmentationDisabled(t *testing.T) {
+	ex, err := Extract(SyntheticGabledBlock(), nil, Options{SegmentRMSM: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Roofs) != 2 {
+		t.Fatalf("extracted %d roofs with segmentation disabled, want 2", len(ex.Roofs))
+	}
+	for _, r := range ex.Roofs {
+		if r.Segment != 0 {
+			t.Errorf("roof %d has segment %d with segmentation disabled", r.ID, r.Segment)
+		}
+	}
+	nonPlanar := 0
+	for _, d := range ex.Dropped {
+		if d.Reason == DropNonPlanar {
+			nonPlanar++
+		}
+	}
+	if nonPlanar != 3 {
+		t.Errorf("%d non-planar drops, want 3 (two gables + tree)", nonPlanar)
+	}
+}
+
+// TestExtractGabledDeterministic: segmentation keeps extraction fully
+// reproducible.
+func TestExtractGabledDeterministic(t *testing.T) {
+	a, err := Extract(SyntheticGabledBlock(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Extract(SyntheticGabledBlock(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("gabled extraction is not deterministic")
+	}
+}

@@ -51,6 +51,69 @@ func SyntheticNeighborhood() *dsm.Raster {
 	return tile
 }
 
+// SyntheticGabledBlock builds the multi-pitch reference tile: a
+// 150×110-cell block at the paper's 0.2 m pitch holding two gabled
+// houses (one east–west ridge, one north–south ridge), a monopitch
+// house, a flat garage and a garden tree. The gables are what the
+// multi-plane segmentation exists for: each fails the single-plane
+// planarity gate (a 30° gable leaves ≈0.47 m RMS against one averaged
+// plane) and must instead extract as two correctly tilted segments
+// with opposite aspects, while the monopitch, the garage and the tree
+// exercise the unchanged single-plane and rejection paths. Like
+// SyntheticNeighborhood it is fully deterministic and pinned to its
+// committed fixture by content hash.
+func SyntheticGabledBlock() *dsm.Raster {
+	tile, err := dsm.NewRaster(150, 110, 0.2)
+	if err != nil {
+		panic("district: SyntheticGabledBlock construction cannot fail: " + err.Error())
+	}
+
+	// Gabled house A: ridge along X (east–west), panes facing north
+	// (aspect 0) and south (aspect 180) at 30°.
+	stampGabled(tile, geom.Rect{X0: 16, Y0: 14, X1: 60, Y1: 42}, 7, 30, true)
+	// Gabled house B: ridge along Y (north–south), panes facing west
+	// (aspect 270) and east (aspect 90) at 28°.
+	stampGabled(tile, geom.Rect{X0: 78, Y0: 18, X1: 106, Y1: 62}, 6.8, 28, false)
+	// A monopitch house and a flat garage: single-plane extraction must
+	// keep working untouched next to the gables.
+	stampBuilding(tile, geom.Rect{X0: 20, Y0: 64, X1: 60, Y1: 88}, 5.8, 20, 200)
+	stampBuilding(tile, geom.Rect{X0: 112, Y0: 72, X1: 138, Y1: 92}, 3.2, 0, 0)
+
+	// A chimney on gable A's south pane: segmentation must keep it on
+	// the pane it stands on (adjacency-constrained attachment) and the
+	// refit must classify it as an encumbrance.
+	raiseAboveSurface(tile, geom.Rect{X0: 22, Y0: 34, X1: 24, Y1: 36}, 0.9)
+
+	// A garden tree: non-planar, and its dome must not survive
+	// segmentation as fake "segments".
+	dsm.StampTreeCrown(tile, geom.Cell{X: 128, Y: 34}, 1.5, 7.0)
+
+	return tile
+}
+
+// stampGabled writes a prism with a gabled (two-pane) top surface:
+// the ridge runs through the rect centre — along X when axisX is true,
+// along Y otherwise — at elevation ridgeZ, and both panes fall away
+// from it at slopeDeg. With an even cell count across the ridge no
+// cell sits exactly on it, so each pane is an exact plane.
+func stampGabled(tile *dsm.Raster, rect geom.Rect, ridgeZ, slopeDeg float64, axisX bool) {
+	cs := tile.CellSize()
+	tanS := math.Tan(slopeDeg * math.Pi / 180)
+	for y := rect.Y0; y < rect.Y1; y++ {
+		for x := rect.X0; x < rect.X1; x++ {
+			var u, mid float64
+			if axisX {
+				u = (float64(y-rect.Y0) + 0.5) * cs
+				mid = float64(rect.H()) * cs / 2
+			} else {
+				u = (float64(x-rect.X0) + 0.5) * cs
+				mid = float64(rect.W()) * cs / 2
+			}
+			tile.Set(geom.Cell{X: x, Y: y}, ridgeZ-tanS*math.Abs(u-mid))
+		}
+	}
+}
+
 // stampBuilding writes a prism with a tilted top surface: the roof
 // plane has its highest fitted elevation ridgeZ, the given slope, and
 // the given downslope azimuth. A zero slope stamps a flat roof at

@@ -64,6 +64,14 @@ type Scenario struct {
 	// PaperNg is the paper's valid-cell count for calibration tests
 	// (0 when the scenario is not from Table I).
 	PaperNg int
+	// SharedHorizon, when non-nil, is a prebuilt horizon map covering
+	// at least the scene's roof region — typically the tile-level map a
+	// district run builds once and shares across every roof scenario.
+	// FieldWith hands it to the field engine, which slices the roof's
+	// view out of it instead of ray-marching (bit-identically) when the
+	// map's recorded build options match; otherwise the per-roof build
+	// runs as before.
+	SharedHorizon *horizon.Map
 }
 
 // Ng returns the scenario's valid grid element count.
@@ -91,6 +99,15 @@ func FastGrid() *timegrid.Grid {
 		panic("scenario: FastGrid construction cannot fail: " + err.Error())
 	}
 	return g
+}
+
+// FastHorizonOptions returns the reduced-fidelity horizon options
+// selected by FieldConfig.Fast (32 sectors, 40 m rays). District runs
+// that prebuild a tile-level horizon use this to march the tile with
+// exactly the options the per-roof evaluators will ask for, so the
+// shared map's provenance check passes.
+func FastHorizonOptions() horizon.Options {
+	return horizon.Options{Sectors: 32, MaxDistanceM: 40}
 }
 
 // FieldConfig tunes solar-field construction for a scenario beyond
@@ -134,7 +151,7 @@ func (s *Scenario) FieldWith(cfg FieldConfig) (*field.Evaluator, error) {
 	}
 	var hopts horizon.Options
 	if cfg.Fast {
-		hopts = horizon.Options{Sectors: 32, MaxDistanceM: 40}
+		hopts = FastHorizonOptions()
 	}
 	var cache *fieldcache.Cache
 	if cfg.CacheDir != "" {
@@ -143,15 +160,16 @@ func (s *Scenario) FieldWith(cfg FieldConfig) (*field.Evaluator, error) {
 		}
 	}
 	return field.New(field.Config{
-		Site:      s.Site,
-		Scene:     s.Scene,
-		Suitable:  s.Suitable,
-		Weather:   wx,
-		Grid:      cfg.Grid,
-		MonthlyTL: s.MonthlyTL,
-		Horizon:   hopts,
-		Workers:   cfg.Workers,
-		Cache:     cache,
+		Site:          s.Site,
+		Scene:         s.Scene,
+		Suitable:      s.Suitable,
+		Weather:       wx,
+		Grid:          cfg.Grid,
+		MonthlyTL:     s.MonthlyTL,
+		Horizon:       hopts,
+		Workers:       cfg.Workers,
+		Cache:         cache,
+		SharedHorizon: s.SharedHorizon,
 	})
 }
 

@@ -15,6 +15,7 @@ import (
 	pvfloor "repro"
 	"repro/internal/dsm"
 	"repro/internal/gis"
+	"repro/internal/solar/horizon"
 )
 
 // ndjsonLines splits a streamed body into decoded event lines,
@@ -301,6 +302,24 @@ func TestDistrictStreamMatchesGolden(t *testing.T) {
 	if !bytes.Equal(compacted.Bytes(), want) {
 		t.Errorf("streamed district payload is not byte-equivalent to the library report\nstream:  %s\nlibrary: %s",
 			compacted.Bytes(), want)
+	}
+}
+
+// TestDistrictStreamWarmCacheSkipsHorizonBuild pins the serve-side
+// payoff of the tile-level horizon artifact: once a first streamed
+// district request has populated the shared cache directory, a second
+// request over the same tile must restore the one tile horizon from
+// disk instead of ray-marching anything — a zero global BuildCount
+// delta — while still producing the golden-exact result.
+func TestDistrictStreamWarmCacheSkipsHorizonBuild(t *testing.T) {
+	s := newTestServer(t, Options{CacheDir: t.TempDir()})
+	asc := loadTileASC(t)
+	checkDistrictResult(t, districtStream(t, s, asc)) // warm the cache
+
+	before := horizon.BuildCount()
+	checkDistrictResult(t, districtStream(t, s, asc))
+	if d := horizon.BuildCount() - before; d != 0 {
+		t.Errorf("warm district request ray-marched %d horizon maps, want 0 (tile artifact reuse)", d)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"fmt"
 
+	"repro/internal/dsm"
+	"repro/internal/fieldcache"
 	"repro/internal/geom"
 	"repro/internal/solar/horizon"
 	"repro/internal/weather"
@@ -11,8 +13,9 @@ import (
 
 // Artifact kinds in the persistent cache.
 const (
-	kindHorizon = "horizon"
-	kindStats   = "stats"
+	kindHorizon     = "horizon"
+	kindStats       = "stats"
+	kindTileHorizon = "tilehorizon"
 )
 
 // statsVersion is baked into every statistics fingerprint; bump it
@@ -21,20 +24,33 @@ const (
 // never served.
 const statsVersion = "stats-v2-sector"
 
-// horizonMap returns the evaluator's horizon map: from the artifact
-// cache when Config.Cache is set and holds a verified entry, otherwise
+// horizonMap returns the evaluator's horizon map: sliced out of
+// Config.SharedHorizon when the shared map covers the roof and was
+// built with the same resolved options, else from the artifact cache
+// when Config.Cache is set and holds a verified entry, otherwise
 // ray-marched via horizon.Build (and stored for the next process).
 // The fingerprint covers the DSM raster content, the roof region and
 // the horizon options, so any surface or parameter change recomputes.
+// The fingerprint is computed whenever a cache is configured — also on
+// the shared path — so the statistics cache key is identical whether
+// the horizon came from a slice, the cache, or a cold build.
 func horizonMap(cfg Config, roof geom.Rect) (m *horizon.Map, fp string, fromCache bool, err error) {
+	if cfg.Cache != nil {
+		o := cfg.Horizon
+		fp = fmt.Sprintf("horizon-v1|%s|%v|%d|%x|%x|%x|%x|%x",
+			cfg.Scene.Raster.ContentHash(), roof,
+			o.Sectors, o.MaxDistanceM, o.NearStepM, o.NearFieldM, o.FarStepM, o.EyeHeightM)
+	}
+	if sh := cfg.SharedHorizon; sh != nil && sh.Covers(roof) &&
+		sh.BuildOptions() == cfg.Horizon.Resolved(cfg.Scene.Raster.CellSize()) {
+		if m, err := sh.Slice(roof); err == nil {
+			return m, fp, true, nil
+		}
+	}
 	if cfg.Cache == nil {
 		m, err = horizon.Build(cfg.Scene.Raster, roof, cfg.Horizon)
 		return m, "", false, err
 	}
-	o := cfg.Horizon
-	fp = fmt.Sprintf("horizon-v1|%s|%v|%d|%x|%x|%x|%x|%x",
-		cfg.Scene.Raster.ContentHash(), roof,
-		o.Sectors, o.MaxDistanceM, o.NearStepM, o.NearFieldM, o.FarStepM, o.EyeHeightM)
 	var snap horizon.Snapshot
 	if cfg.Cache.Load(kindHorizon, fp, &snap) {
 		if m, err := horizon.FromSnapshot(snap); err == nil && m.Region() == roof {
@@ -51,6 +67,51 @@ func horizonMap(cfg Config, roof geom.Rect) (m *horizon.Map, fp string, fromCach
 	// the computation in hand is unaffected.
 	_ = cfg.Cache.Store(kindHorizon, fp, m.Snapshot())
 	return m, fp, false, nil
+}
+
+// TileHorizon builds (or restores) the tile-level shared horizon map
+// covering every given region of the raster: the union of the regions
+// is ray-marched in one pass — each unique cell once, however many
+// regions overlap it — and the roof views district runs need are
+// sliced from the result (see horizon.Map.Slice), bit-identical to
+// per-roof builds. With a non-nil cache the whole tile map is stored
+// as a single artifact keyed by the raster content, the region list
+// and the resolved options, so a warm district run restores one entry
+// instead of ray-marching (or loading) one map per roof. workers
+// bounds the build concurrency (0 = one per CPU); the map is
+// bit-identical for every value. The returned flag reports a cache
+// hit.
+func TileHorizon(r *dsm.Raster, regions []geom.Rect, opts horizon.Options, workers int, cache *fieldcache.Cache) (*horizon.Map, bool, error) {
+	if cache == nil {
+		m, err := horizon.BuildRegions(r, regions, opts, workers)
+		return m, false, err
+	}
+	o := opts.Resolved(r.CellSize())
+	fp := fmt.Sprintf("tilehorizon-v1|%s|%v|%d|%x|%x|%x|%x|%x",
+		r.ContentHash(), regions,
+		o.Sectors, o.MaxDistanceM, o.NearStepM, o.NearFieldM, o.FarStepM, o.EyeHeightM)
+	var bbox geom.Rect
+	for i, reg := range regions {
+		if i == 0 {
+			bbox = reg
+		} else {
+			bbox = bbox.Union(reg)
+		}
+	}
+	var snap horizon.Snapshot
+	if cache.Load(kindTileHorizon, fp, &snap) {
+		// The snapshot format does not carry options, but the
+		// fingerprint proves this entry was built with exactly o.
+		if m, err := horizon.FromSnapshotBuilt(snap, o); err == nil && m.Region() == bbox {
+			return m, true, nil
+		}
+	}
+	m, err := horizon.BuildRegions(r, regions, opts, workers)
+	if err != nil {
+		return nil, false, err
+	}
+	_ = cache.Store(kindTileHorizon, fp, m.Snapshot())
+	return m, false, nil
 }
 
 // statsFingerprint composes the statistics cache key prefix for the

@@ -181,3 +181,168 @@ func TestCachedStatsServedWithoutKernel(t *testing.T) {
 	}
 	sameStats(t, "cached-stats", want, got)
 }
+
+// TestTileHorizonArtifactRoundTrip: the tile-level shared horizon is
+// cached as ONE artifact. A cold call ray-marches once (a single
+// BuildCount increment for the whole region set) and stores; a warm
+// call restores without marching, bit-identically, with the build
+// options recovered via the fingerprint; and a roof view sliced from
+// the restored map equals a direct per-roof build bit-for-bit.
+func TestTileHorizonArtifactRoundTrip(t *testing.T) {
+	scene := testScene(t)
+	cache, err := fieldcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	roof := scene.RoofRect
+	aside := geom.Rect{X0: 0, Y0: 0, X1: roof.X0 + 2, Y1: 6}
+	regions := []geom.Rect{roof, aside}
+	opts := horizon.Options{Sectors: 16, MaxDistanceM: 6}
+
+	before := horizon.BuildCount()
+	cold, hit, err := TileHorizon(scene.Raster, regions, opts, 0, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("cold TileHorizon reported a cache hit")
+	}
+	if got := horizon.BuildCount() - before; got != 1 {
+		t.Fatalf("cold tile build incremented BuildCount by %d, want 1", got)
+	}
+
+	before = horizon.BuildCount()
+	warm, hit, err := TileHorizon(scene.Raster, regions, opts, 0, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("warm TileHorizon missed the cache")
+	}
+	if got := horizon.BuildCount() - before; got != 0 {
+		t.Fatalf("warm tile restore ray-marched %d maps, want 0", got)
+	}
+	if warm.BuildOptions() != opts.Resolved(scene.Raster.CellSize()) {
+		t.Errorf("restored tile map lost its build options: %+v", warm.BuildOptions())
+	}
+	cs, ws := cold.Snapshot(), warm.Snapshot()
+	if cs.Region != ws.Region || cs.Sectors != ws.Sectors {
+		t.Fatalf("restored tile shape %v/%d, want %v/%d", ws.Region, ws.Sectors, cs.Region, cs.Sectors)
+	}
+	for i := range cs.Tan {
+		if cs.Tan[i] != ws.Tan[i] {
+			t.Fatalf("restored tile tan[%d] differs", i)
+		}
+	}
+
+	view, err := warm.Slice(roof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := horizon.Build(scene.Raster, roof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, ds := view.Snapshot(), direct.Snapshot()
+	for i := range ds.Tan {
+		if vs.Tan[i] != ds.Tan[i] {
+			t.Fatalf("restored slice differs from direct build at tan[%d]", i)
+		}
+	}
+	for i := range ds.SVF {
+		if vs.SVF[i] != ds.SVF[i] {
+			t.Fatalf("restored slice differs from direct build at svf[%d]", i)
+		}
+	}
+}
+
+// TestTileHorizonFingerprintSensitivity: the tile artifact key covers
+// the raster content, the region list and the options — editing a
+// single DSM cell, asking for different regions, or changing the
+// march parameters must all miss and rebuild.
+func TestTileHorizonFingerprintSensitivity(t *testing.T) {
+	scene := testScene(t)
+	cache, err := fieldcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := []geom.Rect{scene.RoofRect}
+	opts := horizon.Options{Sectors: 8, MaxDistanceM: 4}
+	if _, hit, err := TileHorizon(scene.Raster, regions, opts, 1, cache); err != nil || hit {
+		t.Fatalf("priming build: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := TileHorizon(scene.Raster, regions, opts, 1, cache); err != nil || !hit {
+		t.Fatalf("unchanged inputs must hit: hit=%v err=%v", hit, err)
+	}
+
+	// One-cell edit: the tile entry is invalidated.
+	edited := scene.Raster.Clone()
+	c := geom.Cell{X: scene.RoofRect.X0, Y: scene.RoofRect.Y0}
+	edited.Set(c, edited.At(c)+0.01)
+	if _, hit, err := TileHorizon(edited, regions, opts, 1, cache); err != nil || hit {
+		t.Fatalf("one-cell DSM edit must miss the tile cache: hit=%v err=%v", hit, err)
+	}
+
+	// Different region list.
+	grown := []geom.Rect{scene.RoofRect, {X0: 0, Y0: 0, X1: 4, Y1: 4}}
+	if _, hit, err := TileHorizon(scene.Raster, grown, opts, 1, cache); err != nil || hit {
+		t.Fatalf("changed region list must miss: hit=%v err=%v", hit, err)
+	}
+
+	// Different march options.
+	if _, hit, err := TileHorizon(scene.Raster, regions, horizon.Options{Sectors: 16, MaxDistanceM: 4}, 1, cache); err != nil || hit {
+		t.Fatalf("changed options must miss: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestSharedHorizonSlicePathInNew: an evaluator handed a covering
+// SharedHorizon with matching options slices its roof view instead of
+// ray-marching (no BuildCount increment, HorizonFromCache reports
+// true) and produces bit-identical statistics; a shared map built with
+// different options is ignored and the per-roof build runs as before.
+func TestSharedHorizonSlicePathInNew(t *testing.T) {
+	plain := testEvaluator(t, nil)
+	csPlain, err := plain.StatsPercentile(75)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scene := testScene(t)
+	tile, err := horizon.BuildRegions(scene.Raster, []geom.Rect{scene.RoofRect}, horizon.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := horizon.BuildCount()
+	shared := testEvaluator(t, func(c *Config) { c.SharedHorizon = tile })
+	if got := horizon.BuildCount() - before; got != 0 {
+		t.Fatalf("shared-horizon evaluator ray-marched %d maps, want 0", got)
+	}
+	if !shared.HorizonFromCache() {
+		t.Error("shared-horizon evaluator must report HorizonFromCache")
+	}
+	csShared, err := shared.StatsPercentile(75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStats(t, "plain-vs-shared", csPlain, csShared)
+
+	// Option mismatch: the shared map must be bypassed, not misused.
+	mismatched, err := horizon.BuildRegions(scene.Raster, []geom.Rect{scene.RoofRect},
+		horizon.Options{Sectors: 8, MaxDistanceM: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = horizon.BuildCount()
+	fallback := testEvaluator(t, func(c *Config) { c.SharedHorizon = mismatched })
+	if got := horizon.BuildCount() - before; got != 1 {
+		t.Fatalf("option-mismatched shared map: %d builds, want 1 (per-roof fallback)", got)
+	}
+	if fallback.HorizonFromCache() {
+		t.Error("fallback evaluator must not report a cached horizon")
+	}
+	csFallback, err := fallback.StatsPercentile(75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStats(t, "plain-vs-fallback", csPlain, csFallback)
+}

@@ -131,6 +131,16 @@ type Config struct {
 	DaylightOnly bool
 	// Horizon tunes horizon-map construction.
 	Horizon horizon.Options
+	// SharedHorizon, when non-nil, is a prebuilt horizon map covering
+	// at least the roof region — typically the tile-level map a
+	// district run builds once and shares across every roof. New slices
+	// the roof's view out of it instead of ray-marching, provided the
+	// map covers Scene.RoofRect and its recorded build options match
+	// the resolved Horizon options; otherwise it silently falls back to
+	// the per-roof build. The sliced view is bit-identical to a direct
+	// build (each cell's horizon depends only on the raster and the
+	// cell), so results are unchanged either way.
+	SharedHorizon *horizon.Map
 	// Workers bounds the concurrency of evaluator construction and
 	// the statistics pass: 0 = runtime.GOMAXPROCS(0), 1 = serial
 	// reference path. Results are bit-identical for every setting;
@@ -170,8 +180,9 @@ type Evaluator struct {
 	// order (the statistics pass iterates it instead of re-scanning
 	// the mask).
 	suitIdx []int32
-	// horizonFromCache records whether hmap was restored from the
-	// artifact cache instead of ray-marched.
+	// horizonFromCache records whether hmap was obtained without
+	// ray-marching: restored from the artifact cache or sliced from a
+	// shared tile-level map.
 	horizonFromCache bool
 	// statsFP is the statistics fingerprint prefix (everything but
 	// the percentile); empty when statistics caching is unavailable.
@@ -249,7 +260,8 @@ func New(cfg Config) (*Evaluator, error) {
 }
 
 // HorizonFromCache reports whether the evaluator's horizon map was
-// restored from the artifact cache rather than ray-marched.
+// obtained without ray-marching: restored from the artifact cache or
+// sliced from Config.SharedHorizon.
 func (e *Evaluator) HorizonFromCache() bool { return e.horizonFromCache }
 
 // statsPassCount tallies cold executions of the per-cell statistics

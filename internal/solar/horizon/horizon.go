@@ -10,6 +10,8 @@ package horizon
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/dsm"
@@ -35,6 +37,14 @@ type Options struct {
 	// (default 0.05 m — the module plane sits just above the roof).
 	EyeHeightM float64
 }
+
+// Resolved returns the options with all defaults applied for the
+// given raster cell size — the exact parameter set Build marches with.
+// Callers that need to compare two option values for build
+// equivalence (e.g. deciding whether a shared tile-level map can
+// stand in for a per-roof build) must compare resolved values, since
+// distinct unresolved values can resolve to the same march.
+func (o Options) Resolved(cellSize float64) Options { return o.withDefaults(cellSize) }
 
 func (o Options) withDefaults(cellSize float64) Options {
 	if o.Sectors == 0 {
@@ -76,6 +86,11 @@ func (o Options) validate() error {
 type Map struct {
 	region  geom.Rect
 	sectors int
+	// opts records the resolved build options the map was ray-marched
+	// with (zero value when unknown, e.g. restored via FromSnapshot).
+	// Kept in memory only: Snapshot stays gob-compatible with artifacts
+	// written by older binaries.
+	opts Options
 	// tan[cell*sectors+s] is the tangent of the horizon elevation in
 	// sector s. float32 halves memory with no meaningful precision
 	// loss (the sun's disc is half a degree wide).
@@ -107,38 +122,175 @@ func Build(r *dsm.Raster, region geom.Rect, opts Options) (*Map, error) {
 	m := &Map{
 		region:  region,
 		sectors: opts.Sectors,
+		opts:    opts,
 		tan:     make([]float32, region.Area()*opts.Sectors),
 		svf:     make([]float32, region.Area()),
 	}
 
-	// Precompute sector plan directions (east, south) — raster y
-	// grows southward.
-	dirX := make([]float64, opts.Sectors)
-	dirY := make([]float64, opts.Sectors)
-	for s := 0; s < opts.Sectors; s++ {
-		az := (float64(s) + 0.5) * 2 * math.Pi / float64(opts.Sectors)
-		dirX[s] = math.Sin(az)  // east component
-		dirY[s] = -math.Cos(az) // south = -north
-	}
-
+	dirX, dirY := sectorDirs(opts.Sectors)
 	idx := 0
 	for y := region.Y0; y < region.Y1; y++ {
 		for x := region.X0; x < region.X1; x++ {
-			cell := geom.Cell{X: x, Y: y}
-			x0, y0 := r.CellCenterMetres(cell)
-			z0 := r.At(cell) + opts.EyeHeightM
-			var svfSum float64
-			for s := 0; s < opts.Sectors; s++ {
-				t := marchSector(r, x0, y0, z0, dirX[s], dirY[s], opts)
-				m.tan[idx*opts.Sectors+s] = float32(t)
-				svfSum += 1 / (1 + t*t) // cos² of the horizon elevation
-			}
-			m.svf[idx] = float32(svfSum / float64(opts.Sectors))
+			m.svf[idx] = marchCell(r, geom.Cell{X: x, Y: y}, dirX, dirY, opts,
+				m.tan[idx*opts.Sectors:(idx+1)*opts.Sectors])
 			idx++
 		}
 	}
 	return m, nil
 }
+
+// sectorDirs precomputes the sector plan directions (east, south) —
+// raster y grows southward.
+func sectorDirs(sectors int) (dirX, dirY []float64) {
+	dirX = make([]float64, sectors)
+	dirY = make([]float64, sectors)
+	for s := 0; s < sectors; s++ {
+		az := (float64(s) + 0.5) * 2 * math.Pi / float64(sectors)
+		dirX[s] = math.Sin(az)  // east component
+		dirY[s] = -math.Cos(az) // south = -north
+	}
+	return dirX, dirY
+}
+
+// marchCell ray-marches every sector of one cell, writing the horizon
+// tangents into tan (len = sectors) and returning the cell's sky view
+// factor. The per-cell result depends only on the raster and the cell
+// — not on which region the map covers — which is what makes a view
+// sliced from a larger map bit-identical to a direct build.
+func marchCell(r *dsm.Raster, cell geom.Cell, dirX, dirY []float64, opts Options, tan []float32) float32 {
+	x0, y0 := r.CellCenterMetres(cell)
+	z0 := r.At(cell) + opts.EyeHeightM
+	var svfSum float64
+	for s := range dirX {
+		t := marchSector(r, x0, y0, z0, dirX[s], dirY[s], opts)
+		tan[s] = float32(t)
+		svfSum += 1 / (1 + t*t) // cos² of the horizon elevation
+	}
+	return float32(svfSum / float64(len(dirX)))
+}
+
+// BuildRegions computes one horizon map whose region is the bounding
+// rectangle of the given regions, ray-marching only the cells covered
+// by at least one region — each unique cell exactly once, however many
+// regions overlap it. Cells of the bounding rectangle outside every
+// region are left at zero (fully open horizon) and must not be read:
+// Slice out one of the requested regions instead. This is the
+// tile-level build district runs share across roofs; it counts as a
+// single Build in BuildCount.
+//
+// workers bounds the construction concurrency (0 = one per CPU,
+// 1 = serial). Cells are marched independently into disjoint storage,
+// so the result is bit-identical for every worker count.
+func BuildRegions(r *dsm.Raster, regions []geom.Rect, opts Options, workers int) (*Map, error) {
+	opts = opts.withDefaults(r.CellSize())
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("horizon: BuildRegions with no regions")
+	}
+	bbox := regions[0]
+	for _, reg := range regions {
+		if reg.Empty() {
+			return nil, fmt.Errorf("horizon: empty region %v", reg)
+		}
+		if reg.Intersect(r.Bounds()) != reg {
+			return nil, fmt.Errorf("horizon: region %v exceeds raster bounds %v", reg, r.Bounds())
+		}
+		bbox = bbox.Union(reg)
+	}
+	buildCount.Add(1)
+	w, h := bbox.W(), bbox.H()
+	covered := geom.NewMask(w, h)
+	for _, reg := range regions {
+		covered.SetRect(geom.Rect{
+			X0: reg.X0 - bbox.X0, Y0: reg.Y0 - bbox.Y0,
+			X1: reg.X1 - bbox.X0, Y1: reg.Y1 - bbox.Y0,
+		}, true)
+	}
+	m := &Map{
+		region:  bbox,
+		sectors: opts.Sectors,
+		opts:    opts,
+		tan:     make([]float32, bbox.Area()*opts.Sectors),
+		svf:     make([]float32, bbox.Area()),
+	}
+	var cells []geom.Cell // covered cells, row-major (tile coordinates)
+	covered.ForEachSet(func(c geom.Cell) {
+		cells = append(cells, geom.Cell{X: c.X + bbox.X0, Y: c.Y + bbox.Y0})
+	})
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	march := func(lo, hi int) {
+		dirX, dirY := sectorDirs(opts.Sectors)
+		for _, c := range cells[lo:hi] {
+			idx := (c.Y-bbox.Y0)*w + (c.X - bbox.X0)
+			m.svf[idx] = marchCell(r, c, dirX, dirY, opts,
+				m.tan[idx*opts.Sectors:(idx+1)*opts.Sectors])
+		}
+	}
+	if workers <= 1 {
+		march(0, len(cells))
+		return m, nil
+	}
+	var wg sync.WaitGroup
+	chunk := (len(cells) + workers - 1) / workers
+	for lo := 0; lo < len(cells); lo += chunk {
+		hi := lo + chunk
+		if hi > len(cells) {
+			hi = len(cells)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			march(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return m, nil
+}
+
+// Covers reports whether sub lies entirely inside the map's region.
+func (m *Map) Covers(sub geom.Rect) bool {
+	return !sub.Empty() && sub.Intersect(m.region) == sub
+}
+
+// Slice copies the sub-rectangle's horizon data out of the map as a
+// standalone Map over sub. Because each cell's horizon depends only on
+// the raster and the cell itself, the slice is bit-identical to a
+// direct Build over sub with the same options — provided every cell of
+// sub was actually marched (for maps from BuildRegions, sub must lie
+// inside one of the requested regions, or a union of them). Slicing
+// never ray-marches and does not count in BuildCount.
+func (m *Map) Slice(sub geom.Rect) (*Map, error) {
+	if !m.Covers(sub) {
+		return nil, fmt.Errorf("horizon: slice %v outside map region %v", sub, m.region)
+	}
+	out := &Map{
+		region:  sub,
+		sectors: m.sectors,
+		opts:    m.opts,
+		tan:     make([]float32, sub.Area()*m.sectors),
+		svf:     make([]float32, sub.Area()),
+	}
+	sw := sub.W()
+	for y := 0; y < sub.H(); y++ {
+		src := (sub.Y0-m.region.Y0+y)*m.region.W() + (sub.X0 - m.region.X0)
+		dst := y * sw
+		copy(out.svf[dst:dst+sw], m.svf[src:src+sw])
+		copy(out.tan[dst*m.sectors:(dst+sw)*m.sectors], m.tan[src*m.sectors:(src+sw)*m.sectors])
+	}
+	return out, nil
+}
+
+// BuildOptions returns the resolved options the map was ray-marched
+// with, or the zero Options when unknown (maps restored with
+// FromSnapshot — the on-disk snapshot format does not carry options).
+func (m *Map) BuildOptions() Options { return m.opts }
 
 // marchSector walks outward from (x0,y0,z0) along the plan direction
 // (dx,dy) and returns the maximum obstruction tangent.
@@ -250,10 +402,27 @@ func (m *Map) Snapshot() Snapshot {
 	return s
 }
 
+// FromSnapshotBuilt is FromSnapshot for callers that know — typically
+// from the cache fingerprint the snapshot was stored under — which
+// resolved options the snapshotted map was built with: the restored
+// map reports them via BuildOptions, so it can serve as a shared
+// horizon source (see Map.Slice). The caller's claim is trusted;
+// passing options the map was not actually built with produces a map
+// that misreports its provenance.
+func FromSnapshotBuilt(s Snapshot, built Options) (*Map, error) {
+	m, err := FromSnapshot(s)
+	if err != nil {
+		return nil, err
+	}
+	m.opts = built
+	return m, nil
+}
+
 // FromSnapshot reconstructs a Map from a Snapshot, validating the
 // shape invariants (a truncated or corrupted snapshot is rejected, not
 // trusted). The restored map is bit-identical to the one Snapshot was
-// taken from.
+// taken from. The build options are unknown (zero — see BuildOptions);
+// use FromSnapshotBuilt when they are.
 func FromSnapshot(s Snapshot) (*Map, error) {
 	area := s.Region.Area()
 	if s.Sectors < 4 || area <= 0 {

@@ -359,6 +359,176 @@ func TestFromSnapshotRejectsMangledShapes(t *testing.T) {
 	}
 }
 
+// TestBuildRegionsSliceMatchesBuild pins the tentpole equivalence at
+// the lowest level: a per-roof view sliced out of a tile-level
+// BuildRegions map must be bit-identical to a direct Build over the
+// same rect — for disjoint regions, overlapping regions, and
+// sub-rects of a region — while ray-marching only once.
+func TestBuildRegionsSliceMatchesBuild(t *testing.T) {
+	r := flatRasterWithWall(t)
+	r.MaxAbove(geom.Rect{X0: 8, Y0: 30, X1: 11, Y1: 33}, 3)
+	opts := Options{Sectors: 16, MaxDistanceM: 6}
+	regions := []geom.Rect{
+		{X0: 2, Y0: 2, X1: 14, Y1: 12},
+		{X0: 18, Y0: 20, X1: 28, Y1: 36},
+		{X0: 10, Y0: 8, X1: 20, Y1: 24}, // overlaps both
+	}
+	before := BuildCount()
+	tile, err := BuildRegions(r, regions, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BuildCount() - before; got != 1 {
+		t.Fatalf("BuildRegions incremented BuildCount by %d, want 1", got)
+	}
+	wantBBox := regions[0].Union(regions[1]).Union(regions[2])
+	if tile.Region() != wantBBox {
+		t.Fatalf("tile region %v, want bbox %v", tile.Region(), wantBBox)
+	}
+	checks := append([]geom.Rect{}, regions...)
+	checks = append(checks, geom.Rect{X0: 4, Y0: 4, X1: 10, Y1: 10}) // sub-rect of regions[0]
+	for _, reg := range checks {
+		view, err := tile.Slice(reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := Build(r, reg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.Region() != reg || view.Sectors() != direct.Sectors() {
+			t.Fatalf("slice %v shape mismatch", reg)
+		}
+		for idx := 0; idx < reg.Area(); idx++ {
+			if view.SVFIdx(idx) != direct.SVFIdx(idx) {
+				t.Fatalf("region %v cell %d: sliced SVF %v != built %v",
+					reg, idx, view.SVFIdx(idx), direct.SVFIdx(idx))
+			}
+			vr, dr := view.TanRow(idx), direct.TanRow(idx)
+			for s := range vr {
+				if vr[s] != dr[s] {
+					t.Fatalf("region %v cell %d sector %d: sliced tan differs from direct build", reg, idx, s)
+				}
+			}
+		}
+	}
+	// Slicing never counts as a build.
+	if got := BuildCount() - before; got != 1+uint64(len(checks)) {
+		t.Fatalf("unexpected BuildCount delta %d (direct builds only)", got)
+	}
+}
+
+// TestBuildRegionsWorkerDeterminism: the parallel tile build writes
+// disjoint per-cell storage, so any worker count is bit-identical.
+func TestBuildRegionsWorkerDeterminism(t *testing.T) {
+	r := flatRasterWithWall(t)
+	regions := []geom.Rect{{X0: 0, Y0: 0, X1: 20, Y1: 20}, {X0: 12, Y0: 24, X1: 30, Y1: 40}}
+	opts := Options{Sectors: 8, MaxDistanceM: 4}
+	ref, err := BuildRegions(r, regions, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		m, err := BuildRegions(r, regions, opts, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, ms := ref.Snapshot(), m.Snapshot()
+		if rs.Region != ms.Region || rs.Sectors != ms.Sectors {
+			t.Fatalf("workers=%d: shape mismatch", workers)
+		}
+		for i := range rs.Tan {
+			if rs.Tan[i] != ms.Tan[i] {
+				t.Fatalf("workers=%d: tan[%d] differs", workers, i)
+			}
+		}
+		for i := range rs.SVF {
+			if rs.SVF[i] != ms.SVF[i] {
+				t.Fatalf("workers=%d: svf[%d] differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestBuildRegionsValidation(t *testing.T) {
+	r := flatRaster(t, 20, 20)
+	if _, err := BuildRegions(r, nil, Options{}, 1); err == nil {
+		t.Error("empty region list accepted")
+	}
+	if _, err := BuildRegions(r, []geom.Rect{{X0: 5, Y0: 5, X1: 5, Y1: 9}}, Options{}, 1); err == nil {
+		t.Error("empty rect accepted")
+	}
+	if _, err := BuildRegions(r, []geom.Rect{{X0: 0, Y0: 0, X1: 30, Y1: 10}}, Options{}, 1); err == nil {
+		t.Error("out-of-bounds region accepted")
+	}
+	if _, err := BuildRegions(r, []geom.Rect{{X0: 0, Y0: 0, X1: 10, Y1: 10}}, Options{Sectors: 2}, 1); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+func TestSliceValidation(t *testing.T) {
+	r := flatRaster(t, 20, 20)
+	m, err := Build(r, geom.Rect{X0: 4, Y0: 4, X1: 16, Y1: 16}, Options{Sectors: 8, MaxDistanceM: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []geom.Rect{
+		{X0: 0, Y0: 0, X1: 8, Y1: 8},     // sticks out north-west
+		{X0: 10, Y0: 10, X1: 18, Y1: 14}, // sticks out east
+		{X0: 6, Y0: 6, X1: 6, Y1: 10},    // empty
+	} {
+		if _, err := m.Slice(sub); err == nil {
+			t.Errorf("slice %v outside region %v accepted", sub, m.Region())
+		}
+		if m.Covers(sub) {
+			t.Errorf("Covers(%v) true for region %v", sub, m.Region())
+		}
+	}
+	if !m.Covers(m.Region()) {
+		t.Error("map must cover its own region")
+	}
+}
+
+// TestBuildOptionsProvenance: maps remember the resolved options they
+// were marched with; snapshot restores lose them unless the caller
+// re-supplies them via FromSnapshotBuilt.
+func TestBuildOptionsProvenance(t *testing.T) {
+	r := flatRaster(t, 20, 20)
+	opts := Options{Sectors: 8, MaxDistanceM: 3}
+	resolved := opts.Resolved(r.CellSize())
+	if resolved.NearStepM != r.CellSize()/2 || resolved.EyeHeightM != 0.05 {
+		t.Fatalf("Resolved did not apply defaults: %+v", resolved)
+	}
+	m, err := Build(r, geom.Rect{X0: 2, Y0: 2, X1: 18, Y1: 18}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BuildOptions() != resolved {
+		t.Fatalf("BuildOptions %+v, want resolved %+v", m.BuildOptions(), resolved)
+	}
+	view, err := m.Slice(geom.Rect{X0: 4, Y0: 4, X1: 10, Y1: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.BuildOptions() != resolved {
+		t.Error("slice must inherit the source map's build options")
+	}
+	plain, err := FromSnapshot(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.BuildOptions() != (Options{}) {
+		t.Error("FromSnapshot must leave build options unknown")
+	}
+	known, err := FromSnapshotBuilt(m.Snapshot(), resolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if known.BuildOptions() != resolved {
+		t.Error("FromSnapshotBuilt must record the supplied options")
+	}
+}
+
 // TestTanRowMatchesHorizonTan: the kernel's row accessor must agree
 // with the per-azimuth lookup.
 func TestTanRowMatchesHorizonTan(t *testing.T) {
