@@ -15,15 +15,21 @@ package pvfloor
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/anneal"
 	"repro/internal/district"
+	"repro/internal/dsm"
 	"repro/internal/econ"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
+	"repro/internal/gis"
 	"repro/internal/objective"
 	"repro/internal/opt"
 	"repro/internal/optimize"
@@ -812,6 +818,117 @@ func BenchmarkBaselineHierarchy(b *testing.B) {
 		}
 		b.ReportMetric(s, "suit_sum")
 	})
+}
+
+// writeCityASC writes an nx×ny-neighborhood-sized city to disk as an
+// ESRI ASCII grid — the out-of-core pipeline's input: the file is
+// indexed, never loaded whole. Only the corner block carries the
+// synthetic neighborhood; the rest is open terrain, so the planned
+// fleet stays constant while the raster area scales and any memory
+// growth is attributable to ingestion, not to the retained plans.
+func writeCityASC(b *testing.B, nx, ny int) string {
+	b.Helper()
+	pattern := district.SyntheticNeighborhood()
+	city, err := dsm.NewRaster(nx*pattern.W(), ny*pattern.H(), pattern.CellSize())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for y := 0; y < pattern.H(); y++ {
+		for x := 0; x < pattern.W(); x++ {
+			city.Set(geom.Cell{X: x, Y: y}, pattern.At(geom.Cell{X: x, Y: y}))
+		}
+	}
+	path := filepath.Join(b.TempDir(), "city.asc")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := gis.FromRaster(city, 0, 0).WriteAsc(f); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// BenchmarkCityPipeline measures the out-of-core city sweep at 1× and
+// 4× the raster area with a FIXED work-tile size, halo, raster-cache
+// budget and planned fleet. The perf claim under test: peak heap is a
+// function of the tile window (plus the constant fleet), not of city
+// size — "peak-MB/op" must stay flat (within noise) as the raster
+// quadruples, while a monolithic load would grow linearly (the
+// "raster-MB" metric). Peak heap is sampled from a sidecar goroutine
+// over the whole timed section and reported relative to the post-GC
+// baseline.
+func BenchmarkCityPipeline(b *testing.B) {
+	for _, scale := range []struct {
+		name   string
+		nx, ny int
+	}{{"1x", 1, 1}, {"4x", 2, 2}, {"16x", 4, 4}} {
+		b.Run(scale.name, func(b *testing.B) {
+			path := writeCityASC(b, scale.nx, scale.ny)
+			const wantRoofs = 4
+			rasterMB := float64(scale.nx*160*scale.ny*120) * 8 / 1e6
+
+			// Peak-MB asserts the LIVE set, not GC scheduling: with the
+			// default GOGC the collector lets transient per-tile garbage
+			// pile up to a multiple of the live heap, which would scale
+			// the sampled peak with tile count. An aggressive target
+			// keeps sampled heap ≈ live set so the metric isolates what
+			// the pipeline actually holds at once.
+			oldGC := debug.SetGCPercent(10)
+			defer debug.SetGCPercent(oldGC)
+			runtime.GC()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			baseline := ms.HeapAlloc
+			peak := baseline
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				var s runtime.MemStats
+				for {
+					select {
+					case <-stop:
+						return
+					case <-time.After(2 * time.Millisecond):
+						runtime.ReadMemStats(&s)
+						if s.HeapAlloc > peak {
+							peak = s.HeapAlloc
+						}
+					}
+				}
+			}()
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				wr, err := gis.OpenWindowed(path, gis.WindowOptions{CacheBytes: 1 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := RunCity(CityConfig{
+					Source:    wr,
+					TileCells: 80,
+					HaloCells: 40, // fixed window: peak memory must not track city size
+					Modules:   8, SkipBaseline: true,
+				})
+				if cerr := wr.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Plans) != wantRoofs {
+					b.Fatalf("planned %d roofs, want %d", len(res.Plans), wantRoofs)
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			<-done
+			b.ReportMetric(float64(peak-baseline)/1e6, "peak-MB/op")
+			b.ReportMetric(rasterMB, "raster-MB")
+		})
+	}
 }
 
 // BenchmarkEconomics prices the Table I headline configuration.

@@ -9,6 +9,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkTableI/Roof1/N=16-8  	       5	  14493151 ns/op	        16.63 gain%	 1673376 B/op	      88 allocs/op
 BenchmarkFig6IrradianceMaps/Roof2-8         	       5	  14824931 ns/op	  368821 B/op	       5 allocs/op
 BenchmarkObjectiveDelta/incremental-8       	20000000	        54.62 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCityPipeline/4x-8                  	       3	 120583091 ns/op	         3.314 peak-MB/op	         0.6144 raster-MB
 PASS
 ok  	repro	3.561s
 `
@@ -24,8 +25,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if snap.CPU == "" {
 		t.Error("cpu line not captured")
 	}
-	if len(snap.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(snap.Benchmarks))
 	}
 
 	b := snap.Benchmarks[0]
@@ -44,6 +45,13 @@ func TestParseBenchOutput(t *testing.T) {
 
 	if b := snap.Benchmarks[2]; b.NsPerOp != 54.62 || len(b.Metrics) != 0 {
 		t.Errorf("fractional ns/op parsed as %g (metrics %v)", b.NsPerOp, b.Metrics)
+	}
+
+	// The city benchmark's memory metrics route through the custom
+	// Metrics map — hyphenated units must survive the round trip.
+	if b := snap.Benchmarks[3]; b.Name != "BenchmarkCityPipeline/4x" ||
+		b.Metrics["peak-MB/op"] != 3.314 || b.Metrics["raster-MB"] != 0.6144 {
+		t.Errorf("city metrics parsed as %+v", b.Metrics)
 	}
 }
 

@@ -13,6 +13,16 @@
 //	pvdistrict -tile t.asc -cache ~/.pvcache # warm re-runs skip the physics
 //	pvdistrict -tile t.asc -opt multistart -n 16
 //	pvdistrict -tile t.asc -minheight 3 -minarea 100 -keepborder
+//
+// City-scale grids (too large to hold in memory) stream through the
+// out-of-core tiled pipeline instead — the DSM file (plain or
+// gzipped .asc) is indexed once, work tiles are materialised through
+// a bounded block cache, and peak memory stays O(tile + halo)
+// regardless of city size:
+//
+//	pvdistrict -city -tile city.asc.gz                # defaults: 512-cell tiles
+//	pvdistrict -city -tile city.asc -tile-size 256 -mem-budget 128
+//	pvdistrict -city -tile city.asc -tile-workers 4   # overlap IO and planning
 package main
 
 import (
@@ -54,12 +64,12 @@ func main() {
 	keepBorder := flag.Bool("keepborder", false, "extraction: keep roofs touching the tile border")
 	maxRoofs := flag.Int("maxroofs", 0, "extraction: cap on extracted roofs, largest first (0 = no cap)")
 	margin := flag.Int("margin", 0, "extraction: suitable-area erosion margin in cells")
+	city := flag.Bool("city", false, "out-of-core tiled sweep: window the DSM instead of loading it whole")
+	tileSize := flag.Int("tile-size", 0, "city: core work-tile edge in cells (0 = default 512)")
+	halo := flag.Int("halo", 0, "city: overlap margin in cells (0 = derive from the horizon's shadow reach, negative = none)")
+	memBudget := flag.Int("mem-budget", 0, "city: windowed-reader block cache budget in MiB (0 = default 64)")
+	tileWorkers := flag.Int("tile-workers", 0, "city: concurrent work tiles (0 = sequential, the bounded-memory default)")
 	flag.Parse()
-
-	tile, nodata, err := loadTile(*tilePath, *demo)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	strat, err := pvfloor.ParseStrategy(*optName)
 	if err != nil {
@@ -68,6 +78,42 @@ func main() {
 	fid := pvfloor.Fast
 	if *full {
 		fid = pvfloor.Full
+	}
+	if *city {
+		runCity(cityFlags{
+			tilePath: *tilePath, demo: *demo, asJSON: *asJSON,
+			tileSize: *tileSize, halo: *halo, memBudgetMiB: *memBudget, tileWorkers: *tileWorkers,
+			cfg: pvfloor.CityConfig{
+				Extract: district.Options{
+					MinHeightM:          *minHeight,
+					MinAreaCells:        *minArea,
+					MinRectangularity:   *minRect,
+					MaxFitRMSM:          *maxRMS,
+					KeepBorder:          *keepBorder,
+					MaxRoofs:            *maxRoofs,
+					SuitableMarginCells: *margin,
+				},
+				Modules:        *modules,
+				MaxModules:     *maxModules,
+				Fidelity:       fid,
+				SkipBaseline:   *noBaseline,
+				CacheDir:       *cacheDir,
+				PerRoofHorizon: *perRoofHorizon,
+				Concurrency:    *runs,
+				FieldWorkers:   *workers,
+				Optimizer: pvfloor.OptimizerConfig{
+					Strategy: strat,
+					Seed:     *seed,
+					Restarts: *restarts,
+				},
+			},
+		})
+		return
+	}
+
+	tile, nodata, err := loadTile(*tilePath, *demo)
+	if err != nil {
+		log.Fatal(err)
 	}
 	cfg := pvfloor.DistrictConfig{
 		Tile:   tile,
@@ -112,6 +158,73 @@ func main() {
 	}
 	for i := range res.Plans {
 		if rp := &res.Plans[i]; rp.Skipped == "" && rp.Run.Err != nil {
+			os.Exit(1)
+		}
+	}
+}
+
+// cityFlags bundles the out-of-core run's command-line surface.
+type cityFlags struct {
+	tilePath     string
+	demo         bool
+	asJSON       bool
+	tileSize     int
+	halo         int
+	memBudgetMiB int
+	tileWorkers  int
+	cfg          pvfloor.CityConfig
+}
+
+// runCity executes the out-of-core tiled sweep: the DSM file is
+// indexed (never loaded whole) and served window by window through a
+// bounded block cache.
+func runCity(cf cityFlags) {
+	var stats func() gis.CacheStats
+	switch {
+	case cf.demo && cf.tilePath != "":
+		log.Fatal("-tile and -demo are mutually exclusive")
+	case cf.demo:
+		cf.cfg.Source = &gis.RasterSource{Raster: district.SyntheticNeighborhood()}
+	case cf.tilePath == "":
+		log.Fatal("either -tile or -demo is required")
+	default:
+		wr, err := gis.OpenWindowed(cf.tilePath, gis.WindowOptions{
+			CacheBytes: int64(cf.memBudgetMiB) << 20,
+		})
+		if err != nil {
+			log.Fatalf("indexing %s: %v", cf.tilePath, err)
+		}
+		defer wr.Close()
+		cf.cfg.Source = wr
+		stats = wr.Stats
+	}
+	cf.cfg.TileCells = cf.tileSize
+	cf.cfg.HaloCells = cf.halo
+	cf.cfg.TileWorkers = cf.tileWorkers
+
+	start := time.Now()
+	res, err := pvfloor.RunCity(cf.cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if cf.asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(pvfloor.NewCityReport(res)); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Print(pvfloor.CityTable(res))
+		if stats != nil {
+			s := stats()
+			fmt.Printf("raster cache: %d hits, %d misses, %d evictions\n", s.Hits, s.Misses, s.Evictions)
+		}
+		fmt.Printf("%d roofs in %v\n", len(res.Plans), elapsed.Round(time.Millisecond))
+	}
+	for i := range res.Plans {
+		if cp := &res.Plans[i]; cp.Skipped == "" && cp.Run.Err != nil {
 			os.Exit(1)
 		}
 	}

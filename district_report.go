@@ -136,6 +136,101 @@ func NewDistrictReport(res *DistrictResult) DistrictReport {
 	return out
 }
 
+// CityTileReport summarises one work tile of a city report.
+type CityTileReport struct {
+	Index   int        `json:"index"`
+	Core    RectReport `json:"core"`
+	Window  RectReport `json:"window"`
+	Skipped string     `json:"skipped,omitempty"`
+	GroundZ float64    `json:"ground_z,omitempty"`
+	Roofs   int        `json:"roofs"`
+}
+
+// CityRoofReport is a district roof row plus the work tile that owned
+// (and planned) it. Rect coordinates are city cells.
+type CityRoofReport struct {
+	RoofReport
+	Tile int `json:"tile"`
+}
+
+// CityReport is the machine-readable city report: the district report
+// shape with tile provenance and the resolved partitioning, shared by
+// cmd/pvdistrict -city -json and the pvserve /v1/city endpoint.
+type CityReport struct {
+	Bounds    RectReport       `json:"bounds"`
+	CellSizeM float64          `json:"cell_size_m"`
+	TileCells int              `json:"tile_cells"`
+	HaloCells int              `json:"halo_cells"`
+	Tiles     []CityTileReport `json:"tiles"`
+	Roofs     []CityRoofReport `json:"roofs"`
+	Dropped   []DroppedReport  `json:"dropped,omitempty"`
+	Totals    TotalsReport     `json:"totals"`
+}
+
+// NewCityReport flattens a CityResult into its report form. Roofs
+// appear in city extraction order; Rank carries the best-first city
+// ranking.
+func NewCityReport(cr *CityResult) CityReport {
+	out := CityReport{
+		Bounds:    NewRectReport(cr.Bounds),
+		CellSizeM: cr.CellSizeM,
+		TileCells: cr.TileCells,
+		HaloCells: cr.HaloCells,
+		Totals: TotalsReport{
+			RoofsExtracted:  len(cr.Plans),
+			RoofsPlanned:    len(cr.Ranked),
+			ProposedMWh:     cr.TotalProposedMWh,
+			TraditionalMWh:  cr.TotalTraditionalMWh,
+			DistrictGainPct: cr.CityGainPct(),
+			WiringExtraM:    cr.TotalWiringExtraM,
+		},
+	}
+	for _, ti := range cr.Tiles {
+		out.Tiles = append(out.Tiles, CityTileReport{
+			Index: ti.Index, Core: NewRectReport(ti.Core), Window: NewRectReport(ti.Window),
+			Skipped: ti.Skipped, GroundZ: ti.GroundZ, Roofs: ti.Roofs,
+		})
+	}
+	rank := make(map[int]int, len(cr.Ranked))
+	for i, pi := range cr.Ranked {
+		rank[pi] = i + 1
+	}
+	for i := range cr.Plans {
+		cp := &cr.Plans[i]
+		rj := RoofReport{
+			ID:            cp.Roof.ID,
+			Building:      cp.Roof.Building,
+			Segment:       cp.Roof.Segment,
+			Rect:          NewRectReport(cp.Roof.Rect),
+			Cells:         cp.Roof.Cells,
+			SuitableCells: cp.Roof.Suitable.Count(),
+			SlopeDeg:      cp.Roof.Plane.SlopeDeg,
+			AspectDeg:     cp.Roof.Plane.AspectDeg,
+			FitRMSM:       cp.Roof.FitRMSM,
+			MeanHeightM:   cp.Roof.MeanHeightM,
+			Rank:          rank[i],
+			Skipped:       cp.Skipped,
+		}
+		if cp.Planned() {
+			r := cp.Run.Result
+			rj.Modules = cp.Modules
+			rj.ProposedMWh = r.ProposedEval.NetMWh()
+			rj.TraditionalMWh = r.TraditionalEval.NetMWh()
+			rj.GainPct = r.ImprovementPct()
+			rj.WiringExtraM = r.ProposedEval.WiringExtraM
+		} else if cp.Run.Err != nil {
+			rj.Error = cp.Run.Err.Error()
+		}
+		out.Roofs = append(out.Roofs, CityRoofReport{RoofReport: rj, Tile: cp.Tile})
+	}
+	for _, d := range cr.Dropped {
+		out.Dropped = append(out.Dropped, DroppedReport{
+			Rect: NewRectReport(d.Rect), Cells: d.Cells, Reason: string(d.Reason),
+		})
+	}
+	return out
+}
+
 // GPctDigest reduces per-cell irradiance statistics to a short hex
 // digest of the exact float bit patterns (NaN cells included, so
 // suitability-mask drift is caught too). The golden corpus and the

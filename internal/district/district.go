@@ -101,6 +101,25 @@ type Options struct {
 	// their best-matching neighbouring segment (default: MinAreaCells)
 	// — chimneys and dormers must not become standalone roofs.
 	MinSegmentCells int
+	// SeamEdges marks tile borders that are interior seams of a larger
+	// city grid rather than true data boundaries. A component touching
+	// only seam edges is kept — its geometry continues into the
+	// overlap halo, so nothing is clipped — while one touching a
+	// non-seam border is still dropped unless KeepBorder is set.
+	SeamEdges Edges
+	// Keep, when non-nil, filters components before any fitting: a
+	// component it rejects is recorded with DropNotOwned. The city
+	// pipeline uses this for seam deduplication — every component is
+	// owned by exactly one work tile, decided by footprint centroid —
+	// and skipping the plane fit for unowned components keeps the
+	// halo overhead cheap.
+	Keep func(rect geom.Rect, cells []geom.Cell) bool
+}
+
+// Edges flags the four borders of a tile (Left = X0, Top = Y0,
+// Right = X1, Bottom = Y1).
+type Edges struct {
+	Left, Top, Right, Bottom bool
 }
 
 func (o Options) withDefaults() Options {
@@ -189,6 +208,7 @@ const (
 	DropBorder     DropReason = "border"
 	DropOverCap    DropReason = "over-cap"
 	DropUnsuitable DropReason = "no-suitable-cells"
+	DropNotOwned   DropReason = "owned-elsewhere"
 )
 
 // Dropped records a rejected candidate region.
@@ -266,9 +286,11 @@ func Extract(tile *dsm.Raster, nodata *geom.Mask, opts Options) (*Extraction, er
 	for _, comp := range components(opened) {
 		cand := Dropped{Rect: comp.rect, Cells: len(comp.cells)}
 		switch {
+		case opts.Keep != nil && !opts.Keep(comp.rect, comp.cells):
+			cand.Reason = DropNotOwned
 		case len(comp.cells) < opts.MinAreaCells:
 			cand.Reason = DropTooSmall
-		case !opts.KeepBorder && touchesBorder(comp.rect, w, h):
+		case !opts.KeepBorder && touchesBorder(comp.rect, w, h, opts.SeamEdges):
 			cand.Reason = DropBorder
 		case float64(len(comp.cells))/float64(comp.rect.Area()) < opts.MinRectangularity:
 			cand.Reason = DropRagged
@@ -399,8 +421,12 @@ func components(m *geom.Mask) []component {
 	return out
 }
 
-func touchesBorder(r geom.Rect, w, h int) bool {
-	return r.X0 == 0 || r.Y0 == 0 || r.X1 == w || r.Y1 == h
+// touchesBorder reports whether the rect reaches a *closed* tile
+// border — one that is a true data boundary, not a seam into a
+// larger grid's halo.
+func touchesBorder(r geom.Rect, w, h int, seam Edges) bool {
+	return (r.X0 == 0 && !seam.Left) || (r.Y0 == 0 && !seam.Top) ||
+		(r.X1 == w && !seam.Right) || (r.Y1 == h && !seam.Bottom)
 }
 
 // fitRoof least-squares fits a plane over the component, derives slope

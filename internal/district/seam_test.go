@@ -1,0 +1,111 @@
+package district
+
+import (
+	"testing"
+
+	"repro/internal/dsm"
+	"repro/internal/geom"
+)
+
+// TestSeamEdgesKeepBorderRoofs is the regression test for the
+// city-pipeline seam fix: a roof straddling a work-tile seam used to
+// be dropped unconditionally as a border roof; with the seam edge
+// declared, it survives in the tile that owns it.
+func TestSeamEdgesKeepBorderRoofs(t *testing.T) {
+	// A roof whose footprint is cut by the left tile edge — the
+	// window of a work tile whose halo continues further left.
+	build := func() *dsm.Raster {
+		tile := newTile(t, 60, 60)
+		stampBuilding(tile, geom.Rect{X0: 0, Y0: 20, X1: 24, Y1: 40}, 5, 0, 0)
+		return tile
+	}
+
+	t.Run("seam edge keeps the roof", func(t *testing.T) {
+		ex, err := Extract(build(), nil, Options{SeamEdges: Edges{Left: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ex.Roofs) != 1 {
+			t.Fatalf("extracted %d roofs, want 1 (left edge is a seam); drops: %+v",
+				len(ex.Roofs), ex.Dropped)
+		}
+		if ex.Roofs[0].Rect.X0 != 0 {
+			t.Errorf("kept roof rect %v does not reach the seam", ex.Roofs[0].Rect)
+		}
+	})
+
+	t.Run("other closed borders still drop", func(t *testing.T) {
+		// Same roof, but the declared seam is the opposite edge: the
+		// left border remains a true data boundary, so the drop stands.
+		ex, err := Extract(build(), nil, Options{SeamEdges: Edges{Right: true, Top: true, Bottom: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ex.Roofs) != 0 {
+			t.Fatalf("border roof extracted despite closed left edge: %+v", ex.Roofs)
+		}
+		if len(ex.Dropped) != 1 || ex.Dropped[0].Reason != DropBorder {
+			t.Fatalf("drops %+v, want one %s", ex.Dropped, DropBorder)
+		}
+	})
+
+	t.Run("all seams behave like KeepBorder", func(t *testing.T) {
+		all := Edges{Left: true, Top: true, Right: true, Bottom: true}
+		exSeam, err := Extract(build(), nil, Options{SeamEdges: all})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exKeep, err := Extract(build(), nil, Options{KeepBorder: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exSeam.Roofs) != len(exKeep.Roofs) {
+			t.Fatalf("all-seam extraction %d roofs, KeepBorder %d", len(exSeam.Roofs), len(exKeep.Roofs))
+		}
+	})
+}
+
+// TestKeepFilterOwnership pins the component-level Keep hook the city
+// pipeline deduplicates seams with: rejected components are recorded
+// as owned-elsewhere without being fitted, accepted ones flow through
+// unchanged.
+func TestKeepFilterOwnership(t *testing.T) {
+	tile := newTile(t, 100, 60)
+	stampBuilding(tile, geom.Rect{X0: 10, Y0: 20, X1: 34, Y1: 40}, 5, 0, 0) // centroid x ≈ 22
+	stampBuilding(tile, geom.Rect{X0: 60, Y0: 20, X1: 84, Y1: 40}, 5, 0, 0) // centroid x ≈ 72
+
+	core := geom.Rect{X0: 0, Y0: 0, X1: 50, Y1: 60}
+	owned := func(rect geom.Rect, cells []geom.Cell) bool {
+		var sx, sy int64
+		for _, c := range cells {
+			sx += int64(c.X)
+			sy += int64(c.Y)
+		}
+		n := int64(len(cells))
+		return 2*sx+n >= 2*n*int64(core.X0) && 2*sx+n < 2*n*int64(core.X1) &&
+			2*sy+n >= 2*n*int64(core.Y0) && 2*sy+n < 2*n*int64(core.Y1)
+	}
+
+	ex, err := Extract(tile, nil, Options{Keep: owned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Roofs) != 1 {
+		t.Fatalf("extracted %d roofs, want 1 owned; drops: %+v", len(ex.Roofs), ex.Dropped)
+	}
+	if got := ex.Roofs[0].Rect.X0; got >= 50 {
+		t.Errorf("kept the unowned roof: rect %v", ex.Roofs[0].Rect)
+	}
+	var notOwned int
+	for _, d := range ex.Dropped {
+		if d.Reason == DropNotOwned {
+			notOwned++
+			if d.Rect.X0 < 50 {
+				t.Errorf("owned component recorded as %s: %+v", DropNotOwned, d)
+			}
+		}
+	}
+	if notOwned != 1 {
+		t.Fatalf("drops %+v, want exactly one %s", ex.Dropped, DropNotOwned)
+	}
+}

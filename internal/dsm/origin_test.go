@@ -1,0 +1,107 @@
+package dsm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// patternRaster fills a w×h raster with a deterministic non-trivial
+// surface so coordinate mix-ups show up as value mismatches.
+func patternRaster(t *testing.T, w, h int, cell float64) *Raster {
+	t.Helper()
+	r, err := NewRaster(w, h, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r.Set(geom.Cell{X: x, Y: y}, math.Sin(float64(x)*0.7)+0.3*float64(y)+float64(x*y%7))
+		}
+	}
+	return r
+}
+
+// windowOf copies rect out of r as an origin-aware window raster —
+// the shape gis window sources produce.
+func windowOf(t *testing.T, r *Raster, rect geom.Rect) *Raster {
+	t.Helper()
+	w, err := NewRaster(rect.W(), rect.H(), r.CellSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetOrigin(rect.Anchor())
+	for y := 0; y < rect.H(); y++ {
+		for x := 0; x < rect.W(); x++ {
+			w.Set(geom.Cell{X: x, Y: y}, r.At(geom.Cell{X: rect.X0 + x, Y: rect.Y0 + y}))
+		}
+	}
+	return w
+}
+
+// TestOriginMetricEquivalence pins the property the whole city
+// pipeline rests on: a window raster with its origin set answers
+// every metric query bit-identically to the full raster. 0.2 m is
+// not binary-representable, so this only holds because the origin is
+// added in integer cells before any float multiplication.
+func TestOriginMetricEquivalence(t *testing.T) {
+	full := patternRaster(t, 37, 29, 0.2)
+	rect := geom.Rect{X0: 11, Y0: 7, X1: 31, Y1: 26}
+	win := windowOf(t, full, rect)
+
+	if win.Origin() != rect.Anchor() {
+		t.Fatalf("window origin %v, want %v", win.Origin(), rect.Anchor())
+	}
+	for y := rect.Y0; y < rect.Y1; y++ {
+		for x := rect.X0; x < rect.X1; x++ {
+			g := geom.Cell{X: x, Y: y}
+			l := geom.Cell{X: x - rect.X0, Y: y - rect.Y0}
+			fx, fy := full.CellCenterMetres(g)
+			wx, wy := win.CellCenterMetres(l)
+			if fx != wx || fy != wy {
+				t.Fatalf("cell %v: window center (%v,%v), full (%v,%v)", g, wx, wy, fx, fy)
+			}
+			// Sample metric lookups around the cell center, including
+			// the FP-sensitive positions just below cell boundaries.
+			for _, d := range []float64{0, 0.099999, -0.099999, 0.1 - 1e-12} {
+				if fz, wz := full.AtMetres(fx+d, fy+d), win.AtMetres(fx+d, fy+d); fz != wz {
+					t.Fatalf("AtMetres(%v+%g): window %g, full %g", g, d, wz, fz)
+				}
+			}
+		}
+	}
+}
+
+// TestOriginContentHash pins the cache-key contract: a zero origin
+// leaves the historical hash untouched (committed fixtures and golden
+// pins stay valid), while windows at distinct origins hash apart even
+// when their cell contents coincide.
+func TestOriginContentHash(t *testing.T) {
+	r := patternRaster(t, 12, 12, 0.2)
+	plain := r.ContentHash()
+	zeroed := r.Clone()
+	zeroed.SetOrigin(geom.Cell{})
+	if zeroed.ContentHash() != plain {
+		t.Error("explicit zero origin changed the content hash")
+	}
+
+	flat, err := NewRaster(4, 4, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := flat.Clone()
+	a.SetOrigin(geom.Cell{X: 8, Y: 0})
+	b := flat.Clone()
+	b.SetOrigin(geom.Cell{X: 0, Y: 8})
+	if flat.ContentHash() == a.ContentHash() {
+		t.Error("window origin not part of the identity")
+	}
+	if a.ContentHash() == b.ContentHash() {
+		t.Error("distinct origins collide")
+	}
+
+	if c := a.Clone(); c.Origin() != a.Origin() || c.ContentHash() != a.ContentHash() {
+		t.Error("Clone dropped the origin")
+	}
+}

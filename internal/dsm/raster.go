@@ -22,9 +22,18 @@ import (
 // Raster is a regular elevation grid. Heights are in metres above an
 // arbitrary datum; the cell size is the ground-plan pitch in metres
 // (the paper's virtual grid uses s = 0.20 m).
+//
+// A raster may be a window into a larger city grid: origin records the
+// window's offset in global cells. Cell addressing (At/Set/Bounds)
+// stays local, but the metric methods (AtMetres, CellCenterMetres)
+// work in global coordinates so horizon ray-marching over a window
+// performs bit-for-bit the same float operations as over the full
+// grid — the property the city pipeline's equivalence guarantee
+// rests on.
 type Raster struct {
 	w, h     int
 	cellSize float64
+	origin   geom.Cell
 	z        []float64
 }
 
@@ -49,8 +58,17 @@ func (r *Raster) H() int { return r.h }
 // CellSize returns the grid pitch in metres.
 func (r *Raster) CellSize() float64 { return r.cellSize }
 
-// Bounds returns the full raster rectangle.
+// Bounds returns the full raster rectangle in local cells.
 func (r *Raster) Bounds() geom.Rect { return geom.Rect{X0: 0, Y0: 0, X1: r.w, Y1: r.h} }
+
+// Origin returns the raster's offset, in cells, from the global grid
+// origin. Stand-alone rasters have origin (0,0).
+func (r *Raster) Origin() geom.Cell { return r.origin }
+
+// SetOrigin marks the raster as a window whose local cell (0,0) sits
+// at global cell o. Only the metric accessors and ContentHash observe
+// the origin.
+func (r *Raster) SetOrigin(o geom.Cell) { r.origin = o }
 
 // InBounds reports whether c addresses a raster cell.
 func (r *Raster) InBounds(c geom.Cell) bool {
@@ -76,18 +94,23 @@ func (r *Raster) Set(c geom.Cell, z float64) {
 }
 
 // AtMetres returns the elevation at the plan position (east, south)
-// metres from the raster origin, using nearest-cell sampling. Points
-// outside the raster read as 0.
+// metres from the *global* grid origin, using nearest-cell sampling.
+// Points outside the raster read as 0. The floor happens in global
+// cell space and the window origin is subtracted as an integer, so a
+// window and the full grid resolve any xm, ym to the same cell.
 func (r *Raster) AtMetres(xm, ym float64) float64 {
-	x := int(math.Floor(xm / r.cellSize))
-	y := int(math.Floor(ym / r.cellSize))
+	x := int(math.Floor(xm/r.cellSize)) - r.origin.X
+	y := int(math.Floor(ym/r.cellSize)) - r.origin.Y
 	return r.At(geom.Cell{X: x, Y: y})
 }
 
 // CellCenterMetres returns the plan position of the cell center in
-// metres from the raster origin (x grows east, y grows south).
+// metres from the *global* grid origin (x grows east, y grows south).
+// The origin offset is added in integer cells before the float
+// conversion, so the result is bit-identical whether c is addressed
+// through a window or through the full grid.
 func (r *Raster) CellCenterMetres(c geom.Cell) (xm, ym float64) {
-	return (float64(c.X) + 0.5) * r.cellSize, (float64(c.Y) + 0.5) * r.cellSize
+	return (float64(r.origin.X+c.X) + 0.5) * r.cellSize, (float64(r.origin.Y+c.Y) + 0.5) * r.cellSize
 }
 
 // ContentHash returns a hex SHA-256 digest of the raster's identity:
@@ -109,12 +132,22 @@ func (r *Raster) ContentHash() string {
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(z))
 		h.Write(buf[:])
 	}
+	// Windows at distinct global offsets hold distinct physics (their
+	// metric methods answer differently), so the origin joins the
+	// identity — but only when set, keeping every pre-existing hash of
+	// stand-alone rasters (golden corpus, committed fixtures) stable.
+	if r.origin != (geom.Cell{}) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(r.origin.X)))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(r.origin.Y)))
+		h.Write(buf[:])
+	}
 	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
-// Clone returns a deep copy of the raster.
+// Clone returns a deep copy of the raster, origin included.
 func (r *Raster) Clone() *Raster {
-	out := &Raster{w: r.w, h: r.h, cellSize: r.cellSize, z: make([]float64, len(r.z))}
+	out := &Raster{w: r.w, h: r.h, cellSize: r.cellSize, origin: r.origin, z: make([]float64, len(r.z))}
 	copy(out.z, r.z)
 	return out
 }

@@ -8,6 +8,7 @@ package gis
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"math"
@@ -52,27 +53,8 @@ func ReadAsc(r io.Reader) (*AscGrid, error) {
 		}
 		fields := strings.Fields(line)
 		if !headerDone && len(fields) == 2 && !isNumeric(fields[0]) {
-			key := strings.ToLower(fields[0])
-			val, err := strconv.ParseFloat(fields[1], 64)
-			if err != nil {
-				return nil, fmt.Errorf("gis: header %s: bad value %q: %w", key, fields[1], err)
-			}
-			seen[key] = true
-			switch key {
-			case "ncols":
-				g.NCols = int(val)
-			case "nrows":
-				g.NRows = int(val)
-			case "xllcorner", "xllcenter":
-				g.XLLCorner = val
-			case "yllcorner", "yllcenter":
-				g.YLLCorner = val
-			case "cellsize":
-				g.CellSize = val
-			case "nodata_value":
-				g.NoData = val
-			default:
-				return nil, fmt.Errorf("gis: unknown header key %q", key)
+			if err := g.setHeaderField(fields[0], fields[1], seen); err != nil {
+				return nil, err
 			}
 			continue
 		}
@@ -107,6 +89,35 @@ func ReadAsc(r io.Reader) (*AscGrid, error) {
 func isNumeric(s string) bool {
 	_, err := strconv.ParseFloat(s, 64)
 	return err == nil
+}
+
+// setHeaderField parses one "key value" header line into g, recording
+// the key in seen. Shared by the whole-file reader and the windowed
+// reader so header dialects cannot diverge.
+func (g *AscGrid) setHeaderField(rawKey, rawVal string, seen map[string]bool) error {
+	key := strings.ToLower(rawKey)
+	val, err := strconv.ParseFloat(rawVal, 64)
+	if err != nil {
+		return fmt.Errorf("gis: header %s: bad value %q: %w", key, rawVal, err)
+	}
+	seen[key] = true
+	switch key {
+	case "ncols":
+		g.NCols = int(val)
+	case "nrows":
+		g.NRows = int(val)
+	case "xllcorner", "xllcenter":
+		g.XLLCorner = val
+	case "yllcorner", "yllcenter":
+		g.YLLCorner = val
+	case "cellsize":
+		g.CellSize = val
+	case "nodata_value":
+		g.NoData = val
+	default:
+		return fmt.Errorf("gis: unknown header key %q", key)
+	}
+	return nil
 }
 
 // WriteAsc serialises the grid in ESRI ASCII format.
@@ -171,14 +182,43 @@ func (g *AscGrid) NoDataMask() *geom.Mask {
 	return m
 }
 
-// LoadRaster reads an ESRI ASCII grid into a district-ready raster:
-// NoData cells are filled with the ground datum 0, and when any exist
-// the returned mask marks them (nil mask = full coverage). This is
-// the one tile-ingestion path shared by cmd/pvdistrict and the
-// pvserve district endpoint, so NODATA policy cannot diverge between
-// the two surfaces.
+// gzipMagic is the two-byte RFC 1952 member header every gzip stream
+// starts with.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// MaybeGunzip sniffs the stream's first two bytes and, when they are
+// the gzip magic, interposes a gzip reader; plain streams pass through
+// untouched. National LiDAR portals ship .asc.gz, so every ingestion
+// surface (CLI file, HTTP body, windowed reader) accepts either form.
+func MaybeGunzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(2)
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("gis: sniffing stream: %w", err)
+	}
+	if len(head) == 2 && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("gis: opening gzip stream: %w", err)
+		}
+		return zr, nil
+	}
+	return br, nil
+}
+
+// LoadRaster reads an ESRI ASCII grid — plain or gzip-compressed
+// (sniffed by magic bytes) — into a district-ready raster: NoData
+// cells are filled with the ground datum 0, and when any exist the
+// returned mask marks them (nil mask = full coverage). This is the
+// one tile-ingestion path shared by cmd/pvdistrict and the pvserve
+// district endpoint, so NODATA policy cannot diverge between the two
+// surfaces.
 func LoadRaster(r io.Reader) (*dsm.Raster, *geom.Mask, error) {
-	g, err := ReadAsc(r)
+	rr, err := MaybeGunzip(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := ReadAsc(rr)
 	if err != nil {
 		return nil, nil, err
 	}

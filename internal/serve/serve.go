@@ -9,6 +9,7 @@
 //	POST /v1/run       — one pipeline run, synchronous JSON response
 //	POST /v1/batch     — a fleet of runs, NDJSON progress stream
 //	POST /v1/district  — a DSM tile sweep, NDJSON progress stream
+//	POST /v1/city      — a tiled city sweep, NDJSON progress stream
 //
 // The streaming endpoints emit one JSON object per line: progress
 // events ("run" for batch completions; "roof-extracted" and
@@ -107,6 +108,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/district", s.handleDistrict)
+	s.mux.HandleFunc("POST /v1/city", s.handleCity)
 	return s
 }
 
@@ -258,6 +260,58 @@ func (s *Server) handleDistrict(w http.ResponseWriter, r *http.Request) {
 		Event:     "result",
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
 		District:  pvfloor.NewDistrictReport(res),
+	})
+}
+
+// handleCity streams a tiled city sweep as NDJSON: "tile-started" /
+// "tile-finished" lifecycle events per work tile, roof events with
+// tile provenance in city coordinates, then a final deterministic
+// "result" event embedding the shared pvfloor.CityReport. The grid
+// ships in the body, so this surface exercises the tiled pipeline on
+// request-sized cities; true out-of-core ingestion (windowed ASC
+// files beyond memory) lives in cmd/pvdistrict -city.
+func (s *Server) handleCity(w http.ResponseWriter, r *http.Request) {
+	var req CityRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := req.validateTileChoice(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := s.cityConfig(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	release, err := s.pool.acquire(r.Context())
+	if err != nil {
+		writeBusy(w, err)
+		return
+	}
+	defer release()
+	tile, nodata, err := req.tile()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg.Source = &gis.RasterSource{Raster: tile, NoData: nodata}
+
+	stream := newStream(w)
+	start := time.Now()
+	cfg.Context = r.Context()
+	cfg.Progress = func(ev pvfloor.CityEvent) {
+		stream.send(cityEvent(ev))
+	}
+	res, err := pvfloor.RunCity(cfg)
+	if err != nil {
+		stream.send(errorEvent(err))
+		return
+	}
+	stream.send(CityResultEvent{
+		Event:     "result",
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		City:      pvfloor.NewCityReport(res),
 	})
 }
 

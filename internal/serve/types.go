@@ -83,6 +83,24 @@ type DistrictRequest struct {
 	Extract      ExtractRequest   `json:"extract,omitempty"`
 }
 
+// CityRequest is a city-scale tiled sweep streamed as NDJSON: the
+// district request surface plus the out-of-core partitioning knobs.
+// The embedded grid is partitioned into tile_cells×tile_cells work
+// tiles, each swept with a halo_cells overlap margin and deduplicated
+// at seams, so the stitched result matches a monolithic district run.
+type CityRequest struct {
+	DistrictRequest
+	// TileCells is the core work-tile edge length in cells (0 = the
+	// engine default, 512).
+	TileCells int `json:"tile_cells,omitempty"`
+	// HaloCells is the overlap margin (0 = derive from the horizon's
+	// shadow reach, negative = no halo).
+	HaloCells int `json:"halo_cells,omitempty"`
+	// TileWorkers bounds how many tiles are in flight at once
+	// (0 = sequential tiles, the bounded-memory default).
+	TileWorkers int `json:"tile_workers,omitempty"`
+}
+
 // ---- request → pvfloor config ----
 
 // scenarios memoises the built-in scenario constructors per name:
@@ -229,6 +247,36 @@ func (s *Server) districtConfig(req DistrictRequest, tile *dsm.Raster, nodata *g
 	}, nil
 }
 
+// cityConfig validates a CityRequest into a city config bound to the
+// server's pools and artifact cache (Source, Context and Progress are
+// attached by the handler).
+func (s *Server) cityConfig(req CityRequest) (pvfloor.CityConfig, error) {
+	dcfg, err := s.districtConfig(req.DistrictRequest, nil, nil)
+	if err != nil {
+		return pvfloor.CityConfig{}, err
+	}
+	if req.TileCells < 0 {
+		return pvfloor.CityConfig{}, fmt.Errorf("tile_cells %d must not be negative (0 = default)", req.TileCells)
+	}
+	if req.TileWorkers < 0 {
+		return pvfloor.CityConfig{}, fmt.Errorf("tile_workers %d must not be negative (0 = sequential)", req.TileWorkers)
+	}
+	return pvfloor.CityConfig{
+		TileCells:    req.TileCells,
+		HaloCells:    req.HaloCells,
+		TileWorkers:  req.TileWorkers,
+		Extract:      dcfg.Extract,
+		Modules:      dcfg.Modules,
+		MaxModules:   dcfg.MaxModules,
+		Fidelity:     dcfg.Fidelity,
+		Optimizer:    dcfg.Optimizer,
+		SkipBaseline: dcfg.SkipBaseline,
+		CacheDir:     dcfg.CacheDir,
+		Concurrency:  dcfg.Concurrency,
+		FieldWorkers: dcfg.FieldWorkers,
+	}, nil
+}
+
 // ---- responses and events ----
 
 // RunReport is the outcome of one pipeline run: the energy digest of
@@ -329,6 +377,50 @@ func districtEvent(ev pvfloor.DistrictEvent) DistrictRoofEvent {
 		out.Run = &rep
 	}
 	return out
+}
+
+// CityTileEvent is one NDJSON line of a city stream's tile
+// lifecycle: a work tile opening ("tile-started") or closing
+// ("tile-finished"), with its core and materialised window in city
+// cells.
+type CityTileEvent struct {
+	Event  string             `json:"event"`
+	Tile   int                `json:"tile"`
+	Tiles  int                `json:"tiles"`
+	Core   pvfloor.RectReport `json:"core"`
+	Window pvfloor.RectReport `json:"window"`
+}
+
+// CityRoofEvent is one NDJSON line of a city stream's roof progress:
+// the district roof event with its owning work tile, Rect in city
+// cells. Index stays tile-local — city-wide IDs exist only in the
+// final result.
+type CityRoofEvent struct {
+	DistrictRoofEvent
+	Tile int `json:"tile"`
+}
+
+// cityEvent flattens a pvfloor city progress event into its NDJSON
+// line type.
+func cityEvent(ev pvfloor.CityEvent) any {
+	switch ev.Kind {
+	case pvfloor.CityTileStarted, pvfloor.CityTileFinished:
+		return CityTileEvent{
+			Event: string(ev.Kind), Tile: ev.Tile, Tiles: ev.Tiles,
+			Core: pvfloor.NewRectReport(ev.Core), Window: pvfloor.NewRectReport(ev.Window),
+		}
+	default:
+		return CityRoofEvent{DistrictRoofEvent: districtEvent(ev.DistrictEvent), Tile: ev.Tile}
+	}
+}
+
+// CityResultEvent is the final line of a city stream. The City
+// payload is the same pvfloor.CityReport struct that cmd/pvdistrict
+// -city -json prints — byte-equivalent by construction.
+type CityResultEvent struct {
+	Event     string             `json:"event"` // "result"
+	ElapsedMS float64            `json:"elapsed_ms"`
+	City      pvfloor.CityReport `json:"city"`
 }
 
 // DistrictResultEvent is the final line of a district stream. The
