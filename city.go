@@ -2,11 +2,13 @@ package pvfloor
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/district"
 	"repro/internal/dsm"
@@ -15,6 +17,12 @@ import (
 	"repro/internal/solar/horizon"
 	"repro/internal/timegrid"
 )
+
+// ErrInterrupted is returned by RunCity when a Drain request stopped
+// the run before every tile completed. The checkpoint (when
+// configured) holds every tile that finished; re-running with the
+// same checkpoint resumes where the run left off.
+var ErrInterrupted = errors.New("pvfloor: city run interrupted")
 
 // CitySource serves rectangular windows of a city-scale DSM. The
 // windowed ASC reader (gis.WindowedReader) and the in-memory adapter
@@ -71,14 +79,47 @@ type CityConfig struct {
 	Concurrency    int
 	FieldWorkers   int
 
+	// TileRetries is the number of extra attempts a failed tile gets
+	// before it is recorded as failed (0 = one attempt only). Tile
+	// failures are isolated: a tile that exhausts its retries is
+	// recorded in the result with its error while the rest of the
+	// city completes — only cancellation aborts the whole run.
+	TileRetries int
+	// TileTimeout bounds each tile attempt (0 = unbounded). A
+	// timed-out attempt counts against TileRetries.
+	TileTimeout time.Duration
+	// Backoff is the delay before the first retry, doubling per
+	// attempt and capped at 5s (0 = 50ms).
+	Backoff time.Duration
+	// Checkpoint, when non-nil, makes the run resumable: every
+	// terminal tile (planned, skipped or failed) is durably committed
+	// before it counts, and a tile that already has a record is
+	// replayed from it instead of re-run. A resumed run's stitched
+	// result is byte-identical to the uninterrupted run it continues.
+	Checkpoint CityCheckpoint
+	// Drain, when non-nil, requests a graceful stop once closed: no
+	// new tile starts, in-flight tiles finish (and checkpoint), and
+	// RunCity returns ErrInterrupted — unless every tile had already
+	// been dispatched, in which case the completed result is
+	// returned. Context cancellation remains the hard abort.
+	Drain <-chan struct{}
+	// TileFault is a test seam for the fault-injection harness: when
+	// non-nil it is consulted at the start of every tile attempt
+	// (1-based) and a non-nil error fails that attempt as if the
+	// pipeline had.
+	TileFault func(tile, attempt int) error
+
 	// Context, when non-nil, bounds the run: once cancelled no new
 	// tile starts and in-flight tiles stop between roofs.
 	Context context.Context
 	// Progress, when non-nil, receives CityEvents: tile-started and
 	// tile-finished per work tile plus every wrapped DistrictEvent
-	// with roof geometry translated to city cells. Tiles run
-	// concurrently when TileWorkers > 1, so the callback must be safe
-	// for concurrent use. Events never change the result.
+	// with roof geometry translated to city cells. Retried tiles
+	// emit one tile-started per attempt; replayed (checkpointed)
+	// tiles emit started+finished with no roof events in between.
+	// Tiles run concurrently when TileWorkers > 1, so the callback
+	// must be safe for concurrent use. Events never change the
+	// result.
 	Progress func(CityEvent)
 }
 
@@ -120,6 +161,12 @@ type CityTileInfo struct {
 	GroundZ float64
 	// Roofs counts the owned roofs extracted from this tile.
 	Roofs int
+	// Attempts counts the attempts the tile took (1 = first try).
+	Attempts int
+	// Failed records the final error of a tile that exhausted its
+	// retries ("" = the tile ran or was skipped). A failed tile owns
+	// no roofs; the rest of the city still completes.
+	Failed string
 }
 
 // CityPlan is one roof's outcome in city coordinates: the embedded
@@ -166,10 +213,15 @@ func (cr *CityResult) CityGainPct() float64 {
 	return (cr.TotalProposedMWh - cr.TotalTraditionalMWh) / cr.TotalTraditionalMWh * 100
 }
 
-// tileOutcome is one worker's raw product before stitching.
+// tileOutcome is one worker's raw product before stitching: the tile
+// summary plus its window-local roof plans and drop records. Live
+// tiles carry plans with full BatchRuns; tiles replayed from a
+// checkpoint carry Restored outcomes — the stitch consumes both
+// identically through RoofPlan.Outcome.
 type tileOutcome struct {
-	info CityTileInfo
-	res  *DistrictResult
+	info    CityTileInfo
+	plans   []RoofPlan
+	dropped []district.Dropped
 }
 
 // RunCity sweeps a city-scale DSM tile by tile: each core tile is
@@ -246,8 +298,19 @@ func RunCity(cfg CityConfig) (*CityResult, error) {
 		firstErr error
 	)
 	sem := make(chan struct{}, workers)
+	drained := false
 	for t := 0; t < n; t++ {
 		if cctx.Err() != nil {
+			break
+		}
+		if cfg.Drain != nil {
+			select {
+			case <-cfg.Drain:
+				drained = true
+			default:
+			}
+		}
+		if drained {
 			break
 		}
 		core := geom.Rect{
@@ -259,7 +322,7 @@ func RunCity(cfg CityConfig) (*CityResult, error) {
 		go func(t int, core geom.Rect) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out, err := cfg.runTile(cctx, t, n, core, bounds, halo)
+			out, err := cfg.resolveTile(cctx, t, n, core, bounds, halo)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -279,6 +342,14 @@ func RunCity(cfg CityConfig) (*CityResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// A drain that won the race against the last dispatches leaves
+	// gaps; in-flight tiles have checkpointed, so a rerun with the
+	// same checkpoint continues from here.
+	for _, out := range outcomes {
+		if out == nil {
+			return nil, ErrInterrupted
+		}
+	}
 	return stitchCity(cfg, bounds, cellSize, tileCells, halo, outcomes)
 }
 
@@ -294,9 +365,12 @@ func (cfg CityConfig) defaultHalo(cellSize float64) int {
 	return int(math.Ceil(reach / cellSize))
 }
 
-// runTile materialises one work tile's window and sweeps it through
-// the district pipeline.
-func (cfg CityConfig) runTile(ctx context.Context, t, tiles int, core, bounds geom.Rect, halo int) (*tileOutcome, error) {
+// resolveTile produces one tile's terminal outcome: replayed from the
+// checkpoint when a usable record exists, otherwise run live with
+// per-tile retry — and, when a checkpoint is configured, durably
+// committed before the outcome counts (a Commit failure is fatal: an
+// uncommitted "completed" tile would break resume equivalence).
+func (cfg CityConfig) resolveTile(ctx context.Context, t, tiles int, core, bounds geom.Rect, halo int) (*tileOutcome, error) {
 	window := geom.Rect{
 		X0: core.X0 - halo, Y0: core.Y0 - halo,
 		X1: core.X1 + halo, Y1: core.Y1 + halo,
@@ -306,7 +380,95 @@ func (cfg CityConfig) runTile(ctx context.Context, t, tiles int, core, bounds ge
 			cfg.Progress(CityEvent{Tile: t, Tiles: tiles, Core: core, Window: window, DistrictEvent: ev})
 		}
 	}
-	emit(DistrictEvent{Kind: CityTileStarted})
+	if cfg.Checkpoint != nil {
+		rec, err := cfg.Checkpoint.Lookup(t)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint lookup: %w", err)
+		}
+		if rec != nil {
+			emit(DistrictEvent{Kind: CityTileStarted})
+			emit(DistrictEvent{Kind: CityTileFinished})
+			return restoreTile(rec), nil
+		}
+	}
+	out, err := cfg.runTileRetrying(ctx, t, tiles, core, window, bounds, emit)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Checkpoint != nil {
+		if err := cfg.Checkpoint.Commit(t, recordTile(out)); err != nil {
+			return nil, fmt.Errorf("checkpoint commit: %w", err)
+		}
+	}
+	emit(DistrictEvent{Kind: CityTileFinished})
+	return out, nil
+}
+
+// runTileRetrying drives one tile through its attempt budget with
+// capped exponential backoff between attempts. Cancellation aborts;
+// every other exhaustion degrades to a recorded failure so the rest
+// of the city completes.
+func (cfg CityConfig) runTileRetrying(ctx context.Context, t, tiles int, core, window, bounds geom.Rect, emit func(DistrictEvent)) (*tileOutcome, error) {
+	attempts := cfg.TileRetries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(cfg.retryDelay(attempt)):
+			}
+		}
+		emit(DistrictEvent{Kind: CityTileStarted})
+		out, err := cfg.runTileAttempt(ctx, t, core, window, bounds, attempt, emit)
+		if err == nil {
+			out.info.Attempts = attempt
+			return out, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return &tileOutcome{info: CityTileInfo{
+		Index: t, Core: core, Window: window,
+		Attempts: attempts, Failed: lastErr.Error(),
+	}}, nil
+}
+
+// retryDelay is the backoff before the given attempt (2 = first
+// retry): Backoff (default 50ms) doubling per attempt, capped at 5s.
+func (cfg CityConfig) retryDelay(attempt int) time.Duration {
+	const maxDelay = 5 * time.Second
+	delay := cfg.Backoff
+	if delay <= 0 {
+		delay = 50 * time.Millisecond
+	}
+	for i := 2; i < attempt && delay < maxDelay; i++ {
+		delay *= 2
+	}
+	if delay > maxDelay {
+		delay = maxDelay
+	}
+	return delay
+}
+
+// runTileAttempt materialises one work tile's window and sweeps it
+// through the district pipeline, bounded by TileTimeout when set.
+func (cfg CityConfig) runTileAttempt(ctx context.Context, t int, core, window, bounds geom.Rect, attempt int, emit func(DistrictEvent)) (*tileOutcome, error) {
+	if cfg.TileFault != nil {
+		if err := cfg.TileFault(t, attempt); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.TileTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.TileTimeout)
+		defer cancel()
+	}
 
 	win, mask, err := cfg.Source.Window(window)
 	if err != nil {
@@ -315,7 +477,6 @@ func (cfg CityConfig) runTile(ctx context.Context, t, tiles int, core, bounds ge
 	out := &tileOutcome{info: CityTileInfo{Index: t, Core: core, Window: window}}
 	if mask != nil && mask.Count() == window.Area() {
 		out.info.Skipped = "window entirely NODATA"
-		emit(DistrictEvent{Kind: CityTileFinished})
 		return out, nil
 	}
 
@@ -346,10 +507,10 @@ func (cfg CityConfig) runTile(ctx context.Context, t, tiles int, core, bounds ge
 	if err != nil {
 		return nil, err
 	}
-	out.res = res
+	out.plans = res.Plans
+	out.dropped = res.Extraction.Dropped
 	out.info.GroundZ = res.Extraction.GroundZ
 	out.info.Roofs = len(res.Extraction.Roofs)
-	emit(DistrictEvent{Kind: CityTileFinished})
 	return out, nil
 }
 
@@ -413,11 +574,8 @@ func stitchCity(cfg CityConfig, bounds geom.Rect, cellSize float64, tileCells, h
 			continue
 		}
 		cr.Tiles = append(cr.Tiles, out.info)
-		if out.res == nil {
-			continue
-		}
 		origin := out.info.Window.Anchor()
-		for _, rp := range out.res.Plans {
+		for _, rp := range out.plans {
 			rp.Roof.Rect = offsetRect(rp.Roof.Rect, origin)
 			key := [2]int{out.info.Index, rp.Roof.Building}
 			g, ok := index[key]
@@ -431,7 +589,7 @@ func stitchCity(cfg CityConfig, bounds geom.Rect, cellSize float64, tileCells, h
 			}
 			g.members = append(g.members, CityPlan{RoofPlan: rp, Tile: out.info.Index})
 		}
-		for _, d := range out.res.Extraction.Dropped {
+		for _, d := range out.dropped {
 			if d.Reason == district.DropNotOwned {
 				continue // the owning tile reports it with its real fate
 			}
@@ -461,19 +619,23 @@ func stitchCity(cfg CityConfig, bounds geom.Rect, cellSize float64, tileCells, h
 		return cr.Dropped[a].Reason < cr.Dropped[b].Reason
 	})
 
+	// Totals and ranking read the flattened Outcome so live and
+	// checkpoint-restored plans stitch identically.
+	net := make([]float64, len(cr.Plans))
 	for i := range cr.Plans {
 		cp := &cr.Plans[i]
-		if !cp.Planned() {
+		o := cp.Outcome()
+		if !o.Planned {
 			continue
 		}
+		net[i] = o.ProposedMWh
 		cr.Ranked = append(cr.Ranked, i)
-		cr.TotalProposedMWh += cp.Run.Result.ProposedEval.NetMWh()
-		cr.TotalTraditionalMWh += cp.Run.Result.TraditionalEval.NetMWh()
-		cr.TotalWiringExtraM += cp.Run.Result.ProposedEval.WiringExtraM
+		cr.TotalProposedMWh += o.ProposedMWh
+		cr.TotalTraditionalMWh += o.TraditionalMWh
+		cr.TotalWiringExtraM += o.WiringExtraM
 	}
 	sort.SliceStable(cr.Ranked, func(a, b int) bool {
-		ea := cr.Plans[cr.Ranked[a]].Run.Result.ProposedEval.NetMWh()
-		eb := cr.Plans[cr.Ranked[b]].Run.Result.ProposedEval.NetMWh()
+		ea, eb := net[cr.Ranked[a]], net[cr.Ranked[b]]
 		if ea != eb {
 			return ea > eb
 		}
@@ -503,13 +665,19 @@ func CityTable(cr *CityResult) string {
 		dr.Plans[i] = cp.RoofPlan
 	}
 	out := DistrictTable(dr)
-	ran := 0
+	ran, failed := 0, 0
 	for _, ti := range cr.Tiles {
-		if ti.Skipped == "" {
+		switch {
+		case ti.Failed != "":
+			failed++
+		case ti.Skipped == "":
 			ran++
 		}
 	}
 	out += fmt.Sprintf("City: %v at %g m/cell, %d/%d tiles swept (tile %d cells, halo %d), %d roofs owned\n",
 		cr.Bounds, cr.CellSizeM, ran, len(cr.Tiles), cr.TileCells, cr.HaloCells, len(cr.Plans))
+	if failed > 0 {
+		out += fmt.Sprintf("WARNING: %d tile(s) failed after exhausting retries; their roofs are missing above\n", failed)
+	}
 	return out
 }

@@ -1,0 +1,149 @@
+package pvfloor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+
+	"repro/internal/district"
+	"repro/internal/faultfs"
+)
+
+// This file is the crash-safe persistence seam of RunCity: one JSON
+// record per terminal tile, written atomically and durably, replayed
+// on resume so a city run killed at tile 93 of 100 re-runs only the
+// seven unfinished tiles and still stitches a byte-identical report.
+// Records store window-local roof geometry — exactly what the live
+// pipeline hands the stitch — so resumed tiles take the same stitch
+// and report code path as live ones; the numeric outcome rides along
+// as a flattened PlanOutcome (JSON float64 round-trips bit-exactly).
+
+// tileRecordVersion guards the record layout: a record written by a
+// different layout is ignored and its tile re-run.
+const tileRecordVersion = 1
+
+// TileRoofRecord persists one roof plan of a finished tile,
+// window-local.
+type TileRoofRecord struct {
+	Roof    district.Roof `json:"roof"`
+	Modules int           `json:"modules,omitempty"`
+	Skipped string        `json:"skipped,omitempty"`
+	Outcome PlanOutcome   `json:"outcome"`
+}
+
+// TileRecord persists one terminal work tile — planned, skipped or
+// failed — of a checkpointed city run.
+type TileRecord struct {
+	Version int                `json:"version"`
+	Info    CityTileInfo       `json:"info"`
+	Roofs   []TileRoofRecord   `json:"roofs,omitempty"`
+	Dropped []district.Dropped `json:"dropped,omitempty"`
+}
+
+// CityCheckpoint persists terminal tile outcomes for resumable city
+// runs. Implementations must be safe for concurrent use (tile workers
+// commit in parallel).
+type CityCheckpoint interface {
+	// Lookup returns the record for tile, or nil when the tile has no
+	// usable record — absent, torn and corrupt records all read as
+	// nil, so the tile simply re-runs. Errors are fatal to the run.
+	Lookup(tile int) (*TileRecord, error)
+	// Commit durably persists a terminal tile outcome before it
+	// counts. It must not return success until the record would
+	// survive a crash; Commit errors abort the run, because an
+	// unrecorded "completed" tile would break resume equivalence.
+	Commit(tile int, rec *TileRecord) error
+}
+
+// DirCheckpoint is the file-based CityCheckpoint: one JSON record per
+// tile in one directory, published with faultfs.WriteFileAtomic
+// (temp + fsync + rename + dir fsync) so a power cut mid-commit
+// leaves either no record or a complete one — a torn record is
+// impossible, and a corrupt one merely re-runs its tile.
+type DirCheckpoint struct {
+	dir  string
+	fsys faultfs.FS
+}
+
+// NewDirCheckpoint opens (creating if needed) a checkpoint directory.
+func NewDirCheckpoint(dir string) (*DirCheckpoint, error) {
+	return NewDirCheckpointFS(dir, faultfs.OS())
+}
+
+// NewDirCheckpointFS opens a checkpoint directory over an explicit
+// filesystem seam — the entry point the fault-injection tests use.
+func NewDirCheckpointFS(dir string, fsys faultfs.FS) (*DirCheckpoint, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("pvfloor: empty checkpoint directory")
+	}
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pvfloor: checkpoint dir %s: %w", dir, err)
+	}
+	return &DirCheckpoint{dir: dir, fsys: fsys}, nil
+}
+
+// Dir returns the checkpoint directory.
+func (d *DirCheckpoint) Dir() string { return d.dir }
+
+func (d *DirCheckpoint) path(tile int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("tile-%06d.json", tile))
+}
+
+// Lookup implements CityCheckpoint.
+func (d *DirCheckpoint) Lookup(tile int) (*TileRecord, error) {
+	raw, err := d.fsys.ReadFile(d.path(tile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var rec TileRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, nil // corrupt record: re-run the tile
+	}
+	if rec.Version != tileRecordVersion || rec.Info.Index != tile {
+		return nil, nil
+	}
+	return &rec, nil
+}
+
+// Commit implements CityCheckpoint.
+func (d *DirCheckpoint) Commit(tile int, rec *TileRecord) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("pvfloor: encoding tile %d record: %w", tile, err)
+	}
+	return faultfs.WriteFileAtomic(d.fsys, d.path(tile), raw, 0o644)
+}
+
+// recordTile flattens a terminal tile outcome into its durable record.
+func recordTile(out *tileOutcome) *TileRecord {
+	rec := &TileRecord{Version: tileRecordVersion, Info: out.info, Dropped: out.dropped}
+	for i := range out.plans {
+		rp := &out.plans[i]
+		rec.Roofs = append(rec.Roofs, TileRoofRecord{
+			Roof: rp.Roof, Modules: rp.Modules, Skipped: rp.Skipped, Outcome: rp.Outcome(),
+		})
+	}
+	return rec
+}
+
+// restoreTile rebuilds a tile outcome from its record. Restored plans
+// carry their persisted PlanOutcome, so stitching and reporting run
+// the exact code path a live tile takes.
+func restoreTile(rec *TileRecord) *tileOutcome {
+	out := &tileOutcome{info: rec.Info, dropped: rec.Dropped}
+	for i := range rec.Roofs {
+		rr := rec.Roofs[i]
+		out.plans = append(out.plans, RoofPlan{
+			Roof: rr.Roof, Modules: rr.Modules, Skipped: rr.Skipped, Restored: &rr.Outcome,
+		})
+	}
+	return out
+}

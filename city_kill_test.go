@@ -1,0 +1,147 @@
+package pvfloor
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/gis"
+	"repro/internal/solar/horizon"
+)
+
+// This file is the hard-crash variant of the drain/resume tests: the
+// checkpointed city run is executed in a child process that the parent
+// SIGKILLs mid-run — no deferred cleanup, no graceful anything — and
+// the parent then resumes from whatever the checkpoint directory
+// durably holds, asserting the resumed report is byte-equal to an
+// uninterrupted run's and that only unfinished tiles recompute.
+
+// killChildEnv carries the checkpoint directory into the re-executed
+// child; its presence selects the child role.
+const killChildEnv = "PVFLOOR_KILL_CKPT"
+
+// TestCityKillAndResume re-executes this test binary as a child that
+// runs a checkpointed 4-tile city sweep, sleeping after each committed
+// tile so the parent can SIGKILL it with some but not all records on
+// disk. The parent then (1) verifies the child died by signal, (2)
+// runs an uninterrupted baseline, and (3) resumes over the killed
+// run's checkpoint, requiring byte-equal reports, exactly the
+// committed tiles replayed, and strictly fewer horizon ray-marches
+// than a cold run.
+func TestCityKillAndResume(t *testing.T) {
+	if dir := os.Getenv(killChildEnv); dir != "" {
+		runKillChild(t, dir)
+		return
+	}
+
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCityKillAndResume$", "-test.count=1")
+	cmd.Env = append(os.Environ(), killChildEnv+"="+dir)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the instant the first durable tile record appears — the
+	// child is then inside its post-commit sleep, so the checkpoint
+	// holds at least one and (thanks to the sleep) not all records.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		recs, err := filepath.Glob(filepath.Join(dir, "tile-*.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			t.Fatal("child produced no checkpoint record within the deadline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ProcessState.ExitCode() != -1 {
+		t.Fatalf("child exit = %v, want death by SIGKILL", err)
+	}
+	recs, err := filepath.Glob(filepath.Join(dir, "tile-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := len(recs)
+	if committed == 0 || committed >= 4 {
+		t.Fatalf("killed run left %d committed tiles, want some but not all of 4", committed)
+	}
+
+	tile := loadNeighborhoodTile(t)
+	cfg := CityConfig{
+		Source:    &gis.RasterSource{Raster: tile},
+		TileCells: 80, // 4 work tiles over the 160×120 fixture
+	}
+	b0 := horizon.BuildCount()
+	baseline, err := RunCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullBuilds := horizon.BuildCount() - b0
+	wantReport := cityReportJSON(t, baseline)
+
+	ckpt, err := NewDirCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingCheckpoint{inner: ckpt}
+	resumed := cfg
+	resumed.Checkpoint = counting
+	b1 := horizon.BuildCount()
+	city, err := RunCity(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumeBuilds := horizon.BuildCount() - b1
+	if got := cityReportJSON(t, city); string(got) != string(wantReport) {
+		t.Errorf("resumed-after-SIGKILL report differs from uninterrupted run:\ngot:  %s\nwant: %s", got, wantReport)
+	}
+	if counting.hits != committed {
+		t.Errorf("resume replayed %d tiles, want the %d the killed run committed", counting.hits, committed)
+	}
+	if counting.commits != 4-committed {
+		t.Errorf("resume ran %d tiles live, want %d", counting.commits, 4-committed)
+	}
+	if resumeBuilds >= fullBuilds {
+		t.Errorf("resume ray-marched %d horizons, want fewer than the cold run's %d (replay must not recompute)",
+			resumeBuilds, fullBuilds)
+	}
+}
+
+// runKillChild is the child role: a checkpointed sequential city run
+// that naps after every committed tile, holding the kill window open.
+// If the parent somehow never kills it the run completes and the child
+// exits 0 — which the parent rejects as a missing SIGKILL.
+func runKillChild(t *testing.T, dir string) {
+	tile := loadNeighborhoodTile(t)
+	ckpt, err := NewDirCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunCity(CityConfig{
+		Source:     &gis.RasterSource{Raster: tile},
+		TileCells:  80,
+		Checkpoint: ckpt,
+		Progress: func(ev CityEvent) {
+			if ev.Kind == CityTileFinished {
+				time.Sleep(3 * time.Second)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

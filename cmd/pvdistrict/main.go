@@ -23,6 +23,16 @@
 //	pvdistrict -city -tile city.asc.gz                # defaults: 512-cell tiles
 //	pvdistrict -city -tile city.asc -tile-size 256 -mem-budget 128
 //	pvdistrict -city -tile city.asc -tile-workers 4   # overlap IO and planning
+//
+// City runs can be made crash-safe and fault-tolerant: -checkpoint
+// commits every finished tile durably (a killed run re-invoked with
+// the same directory resumes from its last finished tile and stitches
+// a byte-identical report), and -tile-retries/-tile-timeout/
+// -retry-backoff retry failed tiles with capped exponential backoff
+// before recording them as failed while the rest of the city
+// completes:
+//
+//	pvdistrict -city -tile city.asc -checkpoint run1.ckpt -tile-retries 2
 package main
 
 import (
@@ -69,6 +79,10 @@ func main() {
 	halo := flag.Int("halo", 0, "city: overlap margin in cells (0 = derive from the horizon's shadow reach, negative = none)")
 	memBudget := flag.Int("mem-budget", 0, "city: windowed-reader block cache budget in MiB (0 = default 64)")
 	tileWorkers := flag.Int("tile-workers", 0, "city: concurrent work tiles (0 = sequential, the bounded-memory default)")
+	checkpoint := flag.String("checkpoint", "", "city: checkpoint directory — finished tiles are committed there and a re-run resumes from them")
+	tileRetries := flag.Int("tile-retries", 0, "city: extra attempts per failed tile before it is recorded as failed")
+	tileTimeout := flag.Duration("tile-timeout", 0, "city: per-tile attempt timeout (0 = unbounded)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "city: delay before the first tile retry, doubling per attempt (0 = 50ms)")
 	flag.Parse()
 
 	strat, err := pvfloor.ParseStrategy(*optName)
@@ -83,7 +97,11 @@ func main() {
 		runCity(cityFlags{
 			tilePath: *tilePath, demo: *demo, asJSON: *asJSON,
 			tileSize: *tileSize, halo: *halo, memBudgetMiB: *memBudget, tileWorkers: *tileWorkers,
+			checkpoint: *checkpoint,
 			cfg: pvfloor.CityConfig{
+				TileRetries: *tileRetries,
+				TileTimeout: *tileTimeout,
+				Backoff:     *retryBackoff,
 				Extract: district.Options{
 					MinHeightM:          *minHeight,
 					MinAreaCells:        *minArea,
@@ -172,6 +190,7 @@ type cityFlags struct {
 	halo         int
 	memBudgetMiB int
 	tileWorkers  int
+	checkpoint   string
 	cfg          pvfloor.CityConfig
 }
 
@@ -201,6 +220,13 @@ func runCity(cf cityFlags) {
 	cf.cfg.TileCells = cf.tileSize
 	cf.cfg.HaloCells = cf.halo
 	cf.cfg.TileWorkers = cf.tileWorkers
+	if cf.checkpoint != "" {
+		ck, err := pvfloor.NewDirCheckpoint(cf.checkpoint)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cf.cfg.Checkpoint = ck
+	}
 
 	start := time.Now()
 	res, err := pvfloor.RunCity(cf.cfg)

@@ -11,13 +11,22 @@
 //	pvserve -addr :9000 -cache ~/.pvcache    # warm re-runs skip the physics
 //	pvserve -max-runs 4 -queue 16            # job-pool sizing
 //	pvserve -concurrency 4 -field-workers 2  # per-request worker caps
+//	pvserve -jobs-dir ~/.pvjobs              # durable async city jobs
+//
+// With -jobs-dir, city runs can also be submitted as durable async
+// jobs (/v1/jobs): each job is journaled and checkpointed tile by
+// tile under that directory, survives crashes and graceful restarts,
+// and resumes from its last finished tile when the process comes
+// back with the same -jobs-dir.
 //
 // Endpoints (see internal/serve and the README quickstart):
 //
-//	GET  /healthz      liveness + pool gauges
+//	GET  /healthz      liveness + pool gauges + job census
 //	POST /v1/run       one run, synchronous JSON
 //	POST /v1/batch     fleet of runs, NDJSON stream
 //	POST /v1/district  DSM tile sweep, NDJSON stream
+//	POST /v1/city      tiled city sweep, NDJSON stream
+//	/v1/jobs...        durable async jobs (submit/poll/fetch/cancel)
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/serve"
 )
 
@@ -44,18 +54,28 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "per-request run fan-out (0 = one per CPU)")
 	fieldWorkers := flag.Int("field-workers", 0, "solar-field workers per roof (0 = one per CPU)")
 	maxBody := flag.Int64("max-body", 16<<20, "request body cap in bytes (district tiles ship in the body)")
+	jobsDir := flag.String("jobs-dir", "", "durable job store directory: enables /v1/jobs and crash-safe resume")
 	flag.Parse()
 
+	opts := serve.Options{
+		MaxConcurrentRuns: *maxRuns,
+		QueueDepth:        *queue,
+		Concurrency:       *concurrency,
+		FieldWorkers:      *fieldWorkers,
+		CacheDir:          *cacheDir,
+		MaxBodyBytes:      *maxBody,
+	}
+	if *jobsDir != "" {
+		store, err := jobs.Open(*jobsDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Jobs = store
+	}
+	app := serve.New(opts)
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: serve.New(serve.Options{
-			MaxConcurrentRuns: *maxRuns,
-			QueueDepth:        *queue,
-			Concurrency:       *concurrency,
-			FieldWorkers:      *fieldWorkers,
-			CacheDir:          *cacheDir,
-			MaxBodyBytes:      *maxBody,
-		}),
+		Addr:              *addr,
+		Handler:           app,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -65,6 +85,9 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("listening on %s (max-runs %d, queue %d, cache %q)", *addr, *maxRuns, *queue, *cacheDir)
+	if n := app.ResumeJobs(); n > 0 {
+		log.Printf("resumed %d parked job(s) from %s", n, *jobsDir)
+	}
 
 	select {
 	case err := <-errCh:
@@ -74,7 +97,14 @@ func main() {
 	log.Print("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	// Drain background jobs (they checkpoint and park as interrupted)
+	// concurrently with the HTTP request drain, sharing one deadline.
+	jobErr := make(chan error, 1)
+	go func() { jobErr <- app.Shutdown(shutdownCtx) }()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatal(err)
+	}
+	if err := <-jobErr; err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Fatal(err)
 	}
 }

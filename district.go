@@ -128,11 +128,54 @@ type RoofPlan struct {
 	// Skipped explains why the roof was never run ("" = it ran;
 	// Run.Err still reports runtime failures).
 	Skipped string
+	// Restored, when non-nil, marks a plan replayed from a persisted
+	// checkpoint record instead of a live run: Run and Scenario are
+	// zero-valued and every report surface reads Outcome() instead.
+	Restored *PlanOutcome
+}
+
+// PlanOutcome is the flattened, persistable outcome of one roof plan —
+// exactly the numbers the tables, reports and rankings read. Live
+// plans derive it from Run; checkpoint records persist it as JSON
+// (float64 round-trips bit-exactly), so a restored plan reports
+// byte-identically to the live run it replays.
+type PlanOutcome struct {
+	Planned        bool    `json:"planned"`
+	RunName        string  `json:"run_name,omitempty"`
+	RunErr         string  `json:"run_err,omitempty"`
+	ProposedMWh    float64 `json:"proposed_mwh,omitempty"`
+	TraditionalMWh float64 `json:"traditional_mwh,omitempty"`
+	GainPct        float64 `json:"gain_pct,omitempty"`
+	WiringExtraM   float64 `json:"wiring_extra_m,omitempty"`
 }
 
 // Planned reports whether the roof produced a successful plan.
 func (rp *RoofPlan) Planned() bool {
+	if rp.Restored != nil {
+		return rp.Restored.Planned
+	}
 	return rp.Skipped == "" && rp.Run.Err == nil && rp.Run.Result != nil
+}
+
+// Outcome flattens the plan for reporting: the restored record when
+// the plan was replayed from a checkpoint, the live Run otherwise.
+func (rp *RoofPlan) Outcome() PlanOutcome {
+	if rp.Restored != nil {
+		return *rp.Restored
+	}
+	o := PlanOutcome{RunName: rp.Run.Name}
+	if rp.Run.Err != nil {
+		o.RunErr = rp.Run.Err.Error()
+	}
+	if rp.Planned() {
+		r := rp.Run.Result
+		o.Planned = true
+		o.ProposedMWh = r.ProposedEval.NetMWh()
+		o.TraditionalMWh = r.TraditionalEval.NetMWh()
+		o.GainPct = r.ImprovementPct()
+		o.WiringExtraM = r.ProposedEval.WiringExtraM
+	}
+	return o
 }
 
 // DistrictResult aggregates a district run.
@@ -428,19 +471,19 @@ func DistrictTable(res *DistrictResult) string {
 		dims := fmt.Sprintf("%dx%d", rp.Roof.Rect.W(), rp.Roof.Rect.H())
 		slope := fmt.Sprintf("%.1f", rp.Roof.Plane.SlopeDeg)
 		aspect := fmt.Sprintf("%.0f", rp.Roof.Plane.AspectDeg)
-		if rp.Planned() {
-			r := rp.Run.Result
+		o := rp.Outcome()
+		if o.Planned {
 			tbl.AddRow(rank, name, bldg, dims, fmt.Sprint(rp.Roof.Suitable.Count()), slope, aspect,
 				fmt.Sprint(rp.Modules),
-				fmt.Sprintf("%.3f", r.TraditionalEval.NetMWh()),
-				fmt.Sprintf("%.3f", r.ProposedEval.NetMWh()),
-				fmt.Sprintf("%+.2f", r.ImprovementPct()),
-				fmt.Sprintf("%.1f", r.ProposedEval.WiringExtraM))
+				fmt.Sprintf("%.3f", o.TraditionalMWh),
+				fmt.Sprintf("%.3f", o.ProposedMWh),
+				fmt.Sprintf("%+.2f", o.GainPct),
+				fmt.Sprintf("%.1f", o.WiringExtraM))
 			return
 		}
 		why := rp.Skipped
-		if why == "" && rp.Run.Err != nil {
-			why = "failed: " + rp.Run.Err.Error()
+		if why == "" && o.RunErr != "" {
+			why = "failed: " + o.RunErr
 		}
 		tbl.AddRow(rank, name, bldg, dims, fmt.Sprint(rp.Roof.Suitable.Count()), slope, aspect,
 			"-", why)

@@ -116,15 +116,14 @@ func NewDistrictReport(res *DistrictResult) DistrictReport {
 			Rank:          rank[i],
 			Skipped:       rp.Skipped,
 		}
-		if rp.Planned() {
-			r := rp.Run.Result
+		if o := rp.Outcome(); o.Planned {
 			rj.Modules = rp.Modules
-			rj.ProposedMWh = r.ProposedEval.NetMWh()
-			rj.TraditionalMWh = r.TraditionalEval.NetMWh()
-			rj.GainPct = r.ImprovementPct()
-			rj.WiringExtraM = r.ProposedEval.WiringExtraM
-		} else if rp.Run.Err != nil {
-			rj.Error = rp.Run.Err.Error()
+			rj.ProposedMWh = o.ProposedMWh
+			rj.TraditionalMWh = o.TraditionalMWh
+			rj.GainPct = o.GainPct
+			rj.WiringExtraM = o.WiringExtraM
+		} else if o.RunErr != "" {
+			rj.Error = o.RunErr
 		}
 		out.Roofs = append(out.Roofs, rj)
 	}
@@ -144,6 +143,11 @@ type CityTileReport struct {
 	Skipped string     `json:"skipped,omitempty"`
 	GroundZ float64    `json:"ground_z,omitempty"`
 	Roofs   int        `json:"roofs"`
+	// Attempts appears only when the tile needed retries (>1).
+	Attempts int `json:"attempts,omitempty"`
+	// Failed carries the final error of a tile that exhausted its
+	// retries; its roofs are absent from the report.
+	Failed string `json:"failed,omitempty"`
 }
 
 // CityRoofReport is a district roof row plus the work tile that owned
@@ -186,10 +190,14 @@ func NewCityReport(cr *CityResult) CityReport {
 		},
 	}
 	for _, ti := range cr.Tiles {
-		out.Tiles = append(out.Tiles, CityTileReport{
+		tr := CityTileReport{
 			Index: ti.Index, Core: NewRectReport(ti.Core), Window: NewRectReport(ti.Window),
-			Skipped: ti.Skipped, GroundZ: ti.GroundZ, Roofs: ti.Roofs,
-		})
+			Skipped: ti.Skipped, GroundZ: ti.GroundZ, Roofs: ti.Roofs, Failed: ti.Failed,
+		}
+		if ti.Attempts > 1 {
+			tr.Attempts = ti.Attempts
+		}
+		out.Tiles = append(out.Tiles, tr)
 	}
 	rank := make(map[int]int, len(cr.Ranked))
 	for i, pi := range cr.Ranked {
@@ -211,15 +219,14 @@ func NewCityReport(cr *CityResult) CityReport {
 			Rank:          rank[i],
 			Skipped:       cp.Skipped,
 		}
-		if cp.Planned() {
-			r := cp.Run.Result
+		if o := cp.Outcome(); o.Planned {
 			rj.Modules = cp.Modules
-			rj.ProposedMWh = r.ProposedEval.NetMWh()
-			rj.TraditionalMWh = r.TraditionalEval.NetMWh()
-			rj.GainPct = r.ImprovementPct()
-			rj.WiringExtraM = r.ProposedEval.WiringExtraM
-		} else if cp.Run.Err != nil {
-			rj.Error = cp.Run.Err.Error()
+			rj.ProposedMWh = o.ProposedMWh
+			rj.TraditionalMWh = o.TraditionalMWh
+			rj.GainPct = o.GainPct
+			rj.WiringExtraM = o.WiringExtraM
+		} else if o.RunErr != "" {
+			rj.Error = o.RunErr
 		}
 		out.Roofs = append(out.Roofs, CityRoofReport{RoofReport: rj, Tile: cp.Tile})
 	}

@@ -1,0 +1,301 @@
+// Package faultfs is the filesystem seam of the durability layer: a
+// narrow FS interface over the handful of operations the persistent
+// stores need (atomic temp+rename publication, fsync of files and
+// directories, directory scans), a passthrough OS implementation, and
+// an Injector that wraps any FS with programmable faults — fail the
+// Nth write, tear a write short, refuse an fsync or a rename — plus an
+// operation log the resilience tests assert ordering against.
+//
+// Every store that claims crash safety (internal/fieldcache,
+// internal/jobs, the city tile checkpoints) routes its IO through an
+// FS so the same code path that runs in production is the one the
+// fault-injection tests drive. The injected error is always
+// ErrInjected, so tests can tell deliberate faults from real ones.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrInjected is the error returned by every fault the Injector
+// fires. Real filesystem errors never wrap it.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// File is the writable-file surface the stores need: sequential
+// writes, a durability barrier, and a close.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	Close() error
+	// Name returns the file's path.
+	Name() string
+}
+
+// FS is the filesystem surface of the durability layer. All
+// implementations must be safe for concurrent use.
+type FS interface {
+	MkdirAll(dir string, perm fs.FileMode) error
+	// CreateTemp creates a new unique file in dir (os.CreateTemp
+	// semantics: pattern's "*" is replaced by a random string).
+	CreateTemp(dir, pattern string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Chmod(name string, mode fs.FileMode) error
+	// SyncDir fsyncs a directory, making a preceding rename durable: a
+	// power cut after SyncDir returns cannot roll the rename back.
+	SyncDir(dir string) error
+}
+
+// OS returns the passthrough implementation backed by the real
+// filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+func (osFS) ReadFile(name string) ([]byte, error)        { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)  { return os.ReadDir(name) }
+func (osFS) Rename(oldpath, newpath string) error        { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                    { return os.Remove(name) }
+func (osFS) Chmod(name string, mode fs.FileMode) error   { return os.Chmod(name, mode) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Op names one logged filesystem operation.
+type Op string
+
+const (
+	OpCreateTemp Op = "create-temp"
+	OpWrite      Op = "write"
+	OpSync       Op = "sync"
+	OpClose      Op = "close"
+	OpRename     Op = "rename"
+	OpRemove     Op = "remove"
+	OpSyncDir    Op = "sync-dir"
+)
+
+// Record is one entry of the Injector's operation log.
+type Record struct {
+	Op   Op
+	Name string // file path (rename logs the new path)
+}
+
+// Injector wraps an FS with programmable faults and an operation log.
+// The zero value is not usable; construct with Wrap. Fault arming and
+// the log are safe for concurrent use.
+type Injector struct {
+	inner FS
+
+	mu         sync.Mutex
+	log        []Record
+	writes     int
+	syncs      int
+	renames    int
+	failWrite  int // fail the Nth write (1-based; 0 = never)
+	tornBytes  int // bytes actually written before the injected write failure
+	failSync   int
+	failRename int
+}
+
+// Wrap builds an Injector over inner with no faults armed.
+func Wrap(inner FS) *Injector { return &Injector{inner: inner} }
+
+// FailNthWrite arms a fault on the Nth Write call (1-based, counted
+// across all files). The failing write persists torn bytes of its
+// payload first — 0 models a clean failure, >0 a torn (short) write.
+func (i *Injector) FailNthWrite(n, torn int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.failWrite, i.tornBytes = i.writes+n, torn
+}
+
+// FailNthSync arms a fault on the Nth Sync call (file fsync only;
+// 1-based, counted from now).
+func (i *Injector) FailNthSync(n int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.failSync = i.syncs + n
+}
+
+// FailNthRename arms a fault on the Nth Rename call (1-based, counted
+// from now).
+func (i *Injector) FailNthRename(n int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.failRename = i.renames + n
+}
+
+// Log returns a copy of the operation log.
+func (i *Injector) Log() []Record {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]Record, len(i.log))
+	copy(out, i.log)
+	return out
+}
+
+// Reset clears the log (armed faults and counters persist).
+func (i *Injector) Reset() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.log = i.log[:0]
+}
+
+func (i *Injector) record(op Op, name string) {
+	i.mu.Lock()
+	i.log = append(i.log, Record{Op: op, Name: name})
+	i.mu.Unlock()
+}
+
+func (i *Injector) MkdirAll(dir string, perm fs.FileMode) error { return i.inner.MkdirAll(dir, perm) }
+func (i *Injector) ReadFile(name string) ([]byte, error)        { return i.inner.ReadFile(name) }
+func (i *Injector) ReadDir(name string) ([]fs.DirEntry, error)  { return i.inner.ReadDir(name) }
+func (i *Injector) Chmod(name string, mode fs.FileMode) error   { return i.inner.Chmod(name, mode) }
+
+func (i *Injector) CreateTemp(dir, pattern string) (File, error) {
+	f, err := i.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	i.record(OpCreateTemp, f.Name())
+	return &injFile{inj: i, inner: f}, nil
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	i.mu.Lock()
+	i.renames++
+	fail := i.failRename > 0 && i.renames == i.failRename
+	i.mu.Unlock()
+	i.record(OpRename, newpath)
+	if fail {
+		return fmt.Errorf("rename %s: %w", newpath, ErrInjected)
+	}
+	return i.inner.Rename(oldpath, newpath)
+}
+
+func (i *Injector) Remove(name string) error {
+	i.record(OpRemove, name)
+	return i.inner.Remove(name)
+}
+
+func (i *Injector) SyncDir(dir string) error {
+	i.record(OpSyncDir, dir)
+	return i.inner.SyncDir(dir)
+}
+
+// injFile intercepts writes and fsyncs of one file.
+type injFile struct {
+	inj   *Injector
+	inner File
+}
+
+func (f *injFile) Name() string { return f.inner.Name() }
+
+func (f *injFile) Write(p []byte) (int, error) {
+	i := f.inj
+	i.mu.Lock()
+	i.writes++
+	fail := i.failWrite > 0 && i.writes == i.failWrite
+	torn := i.tornBytes
+	i.mu.Unlock()
+	i.record(OpWrite, f.inner.Name())
+	if fail {
+		if torn > len(p) {
+			torn = len(p)
+		}
+		n := 0
+		if torn > 0 {
+			n, _ = f.inner.Write(p[:torn])
+		}
+		return n, fmt.Errorf("write %s: %w", f.inner.Name(), ErrInjected)
+	}
+	return f.inner.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	i := f.inj
+	i.mu.Lock()
+	i.syncs++
+	fail := i.failSync > 0 && i.syncs == i.failSync
+	i.mu.Unlock()
+	i.record(OpSync, f.inner.Name())
+	if fail {
+		return fmt.Errorf("sync %s: %w", f.inner.Name(), ErrInjected)
+	}
+	return f.inner.Sync()
+}
+
+func (f *injFile) Close() error {
+	f.inj.record(OpClose, f.inner.Name())
+	return f.inner.Close()
+}
+
+// WriteFileAtomic publishes data at path with full crash safety: the
+// bytes go to a unique temp file in path's directory, are fsynced,
+// the file is atomically renamed into place, and the parent directory
+// is fsynced so the rename itself survives a power cut. Readers
+// therefore observe either the previous content or the complete new
+// content — never a torn file — and a successful return means the
+// data is durable.
+func WriteFileAtomic(fsys FS, path string, data []byte, perm fs.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := fsys.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("faultfs: temp file in %s: %w", dir, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		fsys.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("faultfs: writing %s: %w", path, err)
+	}
+	// The fsync-before-rename is the point of this helper: without it
+	// the rename can be durable while the data is not, and a power cut
+	// leaves a committed zero-length (or torn) file.
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("faultfs: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		fsys.Remove(tmpName)
+		return fmt.Errorf("faultfs: closing %s: %w", path, err)
+	}
+	if err := fsys.Chmod(tmpName, perm); err != nil {
+		fsys.Remove(tmpName)
+		return fmt.Errorf("faultfs: publishing %s: %w", path, err)
+	}
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
+		return fmt.Errorf("faultfs: publishing %s: %w", path, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("faultfs: syncing directory of %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteFileAtomicDurabilityOrder pins the crash-safety protocol:
+// every publication fsyncs the temp file BEFORE the rename and the
+// parent directory AFTER it. Reordering either step reopens the
+// power-cut window the protocol exists to close.
+func TestWriteFileAtomicDurabilityOrder(t *testing.T) {
+	inj := Wrap(OS())
+	path := filepath.Join(t.TempDir(), "artifact.json")
+	if err := WriteFileAtomic(inj, path, []byte(`{"ok":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"ok":true}` {
+		t.Fatalf("published content = %q", got)
+	}
+
+	var seq []Op
+	for _, r := range inj.Log() {
+		seq = append(seq, r.Op)
+	}
+	want := []Op{OpCreateTemp, OpWrite, OpSync, OpClose, OpRename, OpSyncDir}
+	if len(seq) != len(want) {
+		t.Fatalf("op sequence = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("op %d = %s, want %s (full sequence %v)", i, seq[i], want[i], seq)
+		}
+	}
+}
+
+// TestWriteFileAtomicFaults drives every armed fault through the
+// helper: a failed or torn write, a refused fsync and a refused rename
+// must all surface ErrInjected, leave no committed file behind, and
+// clean up their temp files.
+func TestWriteFileAtomicFaults(t *testing.T) {
+	arm := map[string]func(*Injector){
+		"clean write failure": func(i *Injector) { i.FailNthWrite(1, 0) },
+		"torn write":          func(i *Injector) { i.FailNthWrite(1, 3) },
+		"fsync failure":       func(i *Injector) { i.FailNthSync(1) },
+		"rename failure":      func(i *Injector) { i.FailNthRename(1) },
+	}
+	for name, armFault := range arm {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			inj := Wrap(OS())
+			armFault(inj)
+			path := filepath.Join(dir, "artifact.json")
+			err := WriteFileAtomic(inj, path, []byte("payload-bytes"), 0o644)
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("err = %v, want ErrInjected", err)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("failed publication left a committed file (stat err %v)", err)
+			}
+			left, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(left) != 0 {
+				t.Errorf("failed publication left %d stray files: %v", len(left), left)
+			}
+		})
+	}
+}
+
+// TestInjectorCountsAcrossFiles pins the fault counter semantics: the
+// Nth write is counted across all files, from the moment of arming.
+func TestInjectorCountsAcrossFiles(t *testing.T) {
+	dir := t.TempDir()
+	inj := Wrap(OS())
+
+	// Two clean writes first, then arm "fail the 2nd write from now".
+	for range 2 {
+		f, err := inj.CreateTemp(dir, "a-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	inj.FailNthWrite(2, 0)
+
+	f, err := inj.CreateTemp(dir, "b-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write 3 failed early: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 4 err = %v, want ErrInjected", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write 5 failed after the armed fault fired: %v", err)
+	}
+}
+
+// TestTornWritePersistsPrefix pins the torn-write model: the failing
+// write leaves exactly the torn prefix on disk, simulating a power cut
+// mid-write.
+func TestTornWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	inj := Wrap(OS())
+	inj.FailNthWrite(1, 5)
+	f, err := inj.CreateTemp(dir, "torn-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	f.Close()
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("torn file holds %q, want the 5-byte prefix", got)
+	}
+}

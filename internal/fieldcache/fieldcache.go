@@ -24,13 +24,17 @@
 // decoding: corrupt, truncated or colliding files are treated as
 // misses (counted in Metrics.Corrupt) and recomputed, never trusted.
 //
-// # Concurrency
+// # Concurrency and durability
 //
-// Stores write to a unique temporary file and atomically rename it
-// into place, so concurrent writers — goroutines or whole processes
-// sharing one cache directory — race benignly: readers observe either
-// nothing or a complete file, and identical keys hold identical
-// content by construction.
+// Stores write to a unique temporary file, fsync it, atomically
+// rename it into place and fsync the parent directory, so concurrent
+// writers — goroutines or whole processes sharing one cache directory
+// — race benignly (readers observe either nothing or a complete file,
+// and identical keys hold identical content by construction) and a
+// power cut cannot leave a committed zero-length or torn entry: the
+// data is on stable storage before the rename publishes it. All IO
+// goes through a faultfs.FS seam so the fault-injection tests drive
+// the exact production write path.
 package fieldcache
 
 import (
@@ -38,9 +42,10 @@ import (
 	"crypto/sha256"
 	"encoding/gob"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync/atomic"
+
+	"repro/internal/faultfs"
 )
 
 const (
@@ -62,7 +67,8 @@ type envelope struct {
 // usable; construct with Open. All methods are safe for concurrent
 // use.
 type Cache struct {
-	dir string
+	dir  string
+	fsys faultfs.FS
 
 	hits    atomic.Uint64
 	misses  atomic.Uint64
@@ -87,13 +93,23 @@ type Metrics struct {
 
 // Open creates (if needed) and opens a cache directory.
 func Open(dir string) (*Cache, error) {
+	return OpenFS(dir, faultfs.OS())
+}
+
+// OpenFS opens a cache directory over an explicit filesystem seam —
+// the entry point the fault-injection tests use to exercise the
+// production write path under failing or torn IO.
+func OpenFS(dir string, fsys faultfs.FS) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("fieldcache: empty cache directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("fieldcache: creating %s: %w", dir, err)
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{dir: dir, fsys: fsys}, nil
 }
 
 // Dir returns the cache directory.
@@ -123,7 +139,7 @@ func (c *Cache) path(kind, fingerprint string) string {
 // absent file, bad magic or version, fingerprint mismatch, checksum
 // mismatch, decode error — is a miss, and the caller recomputes.
 func (c *Cache) Load(kind, fingerprint string, out any) bool {
-	raw, err := os.ReadFile(c.path(kind, fingerprint))
+	raw, err := c.fsys.ReadFile(c.path(kind, fingerprint))
 	if err != nil {
 		c.misses.Add(1)
 		return false
@@ -156,8 +172,12 @@ func (c *Cache) markCorrupt() {
 }
 
 // Store writes the artifact for (kind, fingerprint). The write is
-// atomic (temp file + rename), so concurrent stores of the same key
-// and concurrent loads are race-free.
+// atomic and durable (temp file + fsync + rename + directory fsync,
+// see faultfs.WriteFileAtomic), so concurrent stores of the same key
+// and concurrent loads are race-free, and a crash mid-store can never
+// publish a truncated entry: the entry is either absent or complete.
+// CreateTemp opens 0600; published artifacts are chmodded readable so
+// whole processes can share one cache directory, as documented.
 func (c *Cache) Store(kind, fingerprint string, v any) error {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
@@ -175,30 +195,8 @@ func (c *Cache) Store(kind, fingerprint string, v any) error {
 	if err := gob.NewEncoder(&frame).Encode(env); err != nil {
 		return fmt.Errorf("fieldcache: framing %s artifact: %w", kind, err)
 	}
-	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("fieldcache: temp file: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(frame.Bytes()); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("fieldcache: writing %s artifact: %w", kind, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("fieldcache: closing %s artifact: %w", kind, err)
-	}
-	// CreateTemp opens 0600; published artifacts must be readable by
-	// other users so whole processes can share one cache directory,
-	// as documented.
-	if err := os.Chmod(tmpName, 0o644); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("fieldcache: publishing %s artifact: %w", kind, err)
-	}
-	if err := os.Rename(tmpName, c.path(kind, fingerprint)); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("fieldcache: publishing %s artifact: %w", kind, err)
+	if err := faultfs.WriteFileAtomic(c.fsys, c.path(kind, fingerprint), frame.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("fieldcache: storing %s artifact: %w", kind, err)
 	}
 	c.stores.Add(1)
 	return nil

@@ -1,10 +1,13 @@
 package fieldcache
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"repro/internal/faultfs"
 )
 
 type payload struct {
@@ -176,6 +179,77 @@ func TestFingerprintCollisionGuard(t *testing.T) {
 	var out payload
 	if c.Load("stats", "fp-b", &out) {
 		t.Fatal("artifact with mismatched fingerprint must not load")
+	}
+}
+
+// TestStoreDurabilityProtocol pins the power-cut-safe write order on
+// the production Store path: the temp file must be fsynced before the
+// rename, and the parent directory after it. This is the regression
+// test for the historical gap where Store renamed without any fsync,
+// letting a power cut commit a zero-length entry.
+func TestStoreDurabilityProtocol(t *testing.T) {
+	inj := faultfs.Wrap(faultfs.OS())
+	c, err := OpenFS(t.TempDir(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store("stats", "fp", testPayload()); err != nil {
+		t.Fatal(err)
+	}
+	var syncedFile, renamed, syncedDir int = -1, -1, -1
+	for i, r := range inj.Log() {
+		switch r.Op {
+		case faultfs.OpSync:
+			syncedFile = i
+		case faultfs.OpRename:
+			renamed = i
+		case faultfs.OpSyncDir:
+			syncedDir = i
+		}
+	}
+	if syncedFile == -1 || renamed == -1 || syncedDir == -1 {
+		t.Fatalf("store skipped part of the durability protocol: log %v", inj.Log())
+	}
+	if !(syncedFile < renamed && renamed < syncedDir) {
+		t.Fatalf("durability order violated: sync@%d rename@%d syncdir@%d", syncedFile, renamed, syncedDir)
+	}
+}
+
+// TestStoreFaultsNeverCommit drives injected IO failures through the
+// production Store path: a failed write, a torn write and a refused
+// fsync must all surface an error, leave no committed artifact, and
+// leave the key a clean miss that a later store recovers.
+func TestStoreFaultsNeverCommit(t *testing.T) {
+	for name, arm := range map[string]func(*faultfs.Injector){
+		"write failure": func(i *faultfs.Injector) { i.FailNthWrite(1, 0) },
+		"torn write":    func(i *faultfs.Injector) { i.FailNthWrite(1, 7) },
+		"fsync failure": func(i *faultfs.Injector) { i.FailNthSync(1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			inj := faultfs.Wrap(faultfs.OS())
+			c, err := OpenFS(dir, inj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arm(inj)
+			if err := c.Store("stats", "fp", testPayload()); !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("store err = %v, want ErrInjected", err)
+			}
+			if files := artifactFiles(t, dir); len(files) != 0 {
+				t.Fatalf("failed store committed %d artifact(s)", len(files))
+			}
+			var out payload
+			if c.Load("stats", "fp", &out) {
+				t.Fatal("failed store must leave the key a miss")
+			}
+			if err := c.Store("stats", "fp", testPayload()); err != nil {
+				t.Fatal(err)
+			}
+			if !c.Load("stats", "fp", &out) || !samePayload(out, testPayload()) {
+				t.Fatal("store after injected failure must recover the artifact")
+			}
+		})
 	}
 }
 

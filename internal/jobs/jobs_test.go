@@ -1,0 +1,271 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+func TestJobLifecycle(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Create("city", json.RawMessage(`{"tile_cells":80}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := j.Manifest(); m.State != Queued || m.Kind != "city" || m.Created.IsZero() {
+		t.Fatalf("fresh job manifest = %+v", m)
+	}
+	if err := j.Transition(Running, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.SetTiles(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordTile(TileStatus{Index: 1, State: "done", Attempts: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordTile(TileStatus{Index: 0, State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Transition(Done, ""); err != nil {
+		t.Fatal(err)
+	}
+	m := j.Manifest()
+	if m.State != Done || m.Started.IsZero() || m.Finished.IsZero() {
+		t.Fatalf("finished manifest = %+v", m)
+	}
+	if m.Tiles != 4 || m.TilesDone() != 2 || m.TileStatuses[0].Index != 0 || m.TileStatuses[1].Attempts != 2 {
+		t.Fatalf("tile records = %+v", m.TileStatuses)
+	}
+	if len(m.History) != 3 || m.History[0].State != Queued || m.History[2].State != Done {
+		t.Fatalf("history = %+v", m.History)
+	}
+	// Terminal states are sinks.
+	if err := j.Transition(Running, ""); err == nil {
+		t.Fatal("done → running accepted")
+	}
+}
+
+func TestJobResultRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Create("city", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing map[string]int
+	if err := j.ReadResult(&missing); err == nil {
+		t.Fatal("reading an unwritten result succeeded")
+	}
+	in := map[string]int{"roofs": 4}
+	if err := j.WriteResult(in); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]int
+	if err := j.ReadResult(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["roofs"] != 4 {
+		t.Fatalf("result round trip = %v", out)
+	}
+}
+
+// TestStoreRecovery pins the crash-recovery contract: a reopened
+// store reconstructs every job, parks running orphans in interrupted
+// (durably), and offers them for resumption alongside still-queued
+// work — oldest first.
+func TestStoreRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	running, err := s.Create("city", json.RawMessage(`{"a":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := running.Transition(Running, ""); err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Create("city", json.RawMessage(`{"b":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := s.Create("city", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := done.Transition(Running, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := done.Transition(Done, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": drop the handle, reopen the directory.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := s2.Get(running.ID())
+	if !ok {
+		t.Fatal("running job lost across reopen")
+	}
+	m := j.Manifest()
+	if m.State != Interrupted || m.Error == "" {
+		t.Fatalf("orphaned running job recovered as %+v, want interrupted", m)
+	}
+	if string(m.Request) != `{"a":1}` {
+		t.Fatalf("request not preserved: %s", m.Request)
+	}
+	// The interruption was persisted, not just in-memory.
+	raw, err := os.ReadFile(filepath.Join(dir, running.ID(), "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk Manifest
+	if err := json.Unmarshal(raw, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.State != Interrupted {
+		t.Fatalf("on-disk state after recovery = %s, want interrupted", onDisk.State)
+	}
+	res := s2.Resumable()
+	if len(res) != 2 || res[0].ID() != running.ID() || res[1].ID() != queued.ID() {
+		ids := make([]string, len(res))
+		for i, r := range res {
+			ids[i] = r.ID()
+		}
+		t.Fatalf("resumable = %v, want [running, queued] oldest first", ids)
+	}
+	c := s2.Counts()
+	if c.Interrupted != 1 || c.Queued != 1 || c.Done != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	// The interrupted orphan can be re-run to completion.
+	if err := j.Transition(Running, "resumed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Transition(Done, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreRecoveryUnreadableManifest pins the tamper path: a job
+// directory whose manifest is garbage surfaces as a failed job, and
+// the rest of the store opens normally.
+func TestStoreRecoveryUnreadableManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Create("city", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := s.Create("city", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, bad.ID(), "manifest.json"), []byte("torn garbag"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, found := s2.Get(bad.ID())
+	if !found {
+		t.Fatal("corrupt job dropped")
+	}
+	if m := j.Manifest(); m.State != Failed || m.Error != "unreadable manifest" {
+		t.Fatalf("corrupt job recovered as %+v", m)
+	}
+	if j2, found := s2.Get(ok.ID()); !found || j2.Manifest().State != Queued {
+		t.Fatal("healthy sibling job damaged by corrupt neighbour")
+	}
+}
+
+// TestManifestWritesAreDurable pins the persistence protocol on the
+// job store's own writes: manifest publication fsyncs the temp file
+// before the rename, and an injected failure surfaces instead of
+// committing a half-written manifest.
+func TestManifestWritesAreDurable(t *testing.T) {
+	inj := faultfs.Wrap(faultfs.OS())
+	s, err := OpenFS(t.TempDir(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Create("city", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawSyncBeforeRename bool
+	var lastSync int = -1
+	for i, r := range inj.Log() {
+		switch r.Op {
+		case faultfs.OpSync:
+			lastSync = i
+		case faultfs.OpRename:
+			if lastSync >= 0 && lastSync < i {
+				sawSyncBeforeRename = true
+			}
+		}
+	}
+	if !sawSyncBeforeRename {
+		t.Fatalf("manifest write skipped fsync-before-rename: %v", inj.Log())
+	}
+
+	inj.FailNthSync(1)
+	if err := j.Transition(Running, ""); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("transition with failing fsync returned %v, want ErrInjected", err)
+	}
+	// A transition that could not persist did not happen: the handle
+	// rolls back and Running is still reachable later.
+	if st := j.Manifest().State; st != Queued {
+		t.Fatalf("in-memory state after failed persist = %s, want queued", st)
+	}
+	// The failed write must not have clobbered the previous manifest:
+	// a reopened store still sees the job queued.
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, found := s2.Get(j.ID())
+	if !found || j2.Manifest().State != Queued {
+		t.Fatalf("job after failed transition write = %+v, want the prior queued manifest", j2.Manifest())
+	}
+}
+
+func TestIllegalTransitions(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Create("city", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []State{Done, Failed, Interrupted} {
+		if err := j.Transition(bad, ""); err == nil {
+			t.Errorf("queued → %s accepted", bad)
+		}
+	}
+	if err := j.Transition(Cancelled, "user request"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Transition(Queued, ""); err == nil {
+		t.Error("cancelled → queued accepted")
+	}
+}

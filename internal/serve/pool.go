@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
+	"time"
 )
 
 // errBusy rejects work beyond the pool's queue: the caller maps it to
@@ -16,10 +18,18 @@ var errBusy = errors.New("server busy: run queue full")
 // everything beyond that is rejected immediately — admission control
 // so one burst of large tiles cannot pile unbounded work (and memory)
 // onto the process.
+//
+// waiting and running are tracked separately so the gauges are exact:
+// a request is waiting from admission until it holds a run slot, and
+// running until it releases the slot. The pool also keeps an EWMA of
+// completed run wall times, so a 503's Retry-After can reflect the
+// actual backlog instead of a constant.
 type pool struct {
 	sem      chan struct{}
 	queue    int
-	inflight atomic.Int64 // admitted: waiting + running
+	waiting  atomic.Int64 // admitted, not yet holding a run slot
+	running  atomic.Int64 // holding a run slot
+	avgRunMS atomic.Int64 // EWMA of completed run wall times
 }
 
 func newPool(slots, queue int) *pool {
@@ -30,28 +40,87 @@ func newPool(slots, queue int) *pool {
 // ctx is cancelled. On success the returned release func must be
 // called exactly once.
 func (p *pool) acquire(ctx context.Context) (release func(), err error) {
-	if p.inflight.Add(1) > int64(cap(p.sem)+p.queue) {
-		p.inflight.Add(-1)
+	// The two loads are not one atomic read, but the waiting→running
+	// handoff increments running before decrementing waiting, so the
+	// sum only ever reads transiently high — over-admission is
+	// impossible.
+	if p.waiting.Add(1)+p.running.Load() > int64(cap(p.sem)+p.queue) {
+		p.waiting.Add(-1)
 		return nil, fmt.Errorf("%w (capacity %d, queue %d)", errBusy, cap(p.sem), p.queue)
 	}
 	select {
 	case p.sem <- struct{}{}:
-		return func() {
-			<-p.sem
-			p.inflight.Add(-1)
-		}, nil
+		p.running.Add(1)
+		p.waiting.Add(-1)
+		return p.releaseFunc(), nil
 	case <-ctx.Done():
-		p.inflight.Add(-1)
+		p.waiting.Add(-1)
 		return nil, ctx.Err()
 	}
 }
 
-// gauges reports how many admitted jobs are running and waiting.
-func (p *pool) gauges() (running, queued int) {
-	running = len(p.sem)
-	queued = int(p.inflight.Load()) - running
-	if queued < 0 {
-		queued = 0
+// acquireJob waits for a run slot without the admission bound: async
+// jobs are already durably queued in the job store, so they only
+// contend for execution slots, never for queue space. They count in
+// the running gauge while executing.
+func (p *pool) acquireJob(ctx context.Context) (release func(), err error) {
+	select {
+	case p.sem <- struct{}{}:
+		p.running.Add(1)
+		return p.releaseFunc(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	return running, queued
+}
+
+func (p *pool) releaseFunc() func() {
+	start := time.Now()
+	return func() {
+		p.observe(time.Since(start))
+		p.running.Add(-1)
+		<-p.sem
+	}
+}
+
+// observe folds one completed run's wall time into the EWMA (α=1/4).
+func (p *pool) observe(d time.Duration) {
+	ms := d.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	for {
+		old := p.avgRunMS.Load()
+		nw := ms
+		if old > 0 {
+			nw = old + (ms-old)/4
+		}
+		if p.avgRunMS.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates when a rejected request could plausibly
+// be admitted: the average run time times the requests ahead of it,
+// spread over the pool's capacity, clamped to [1, 60] seconds. Before
+// any run has completed the estimate is the 1-second floor.
+func (p *pool) retryAfterSeconds() int {
+	avg := time.Duration(p.avgRunMS.Load()) * time.Millisecond
+	if avg <= 0 {
+		return 1
+	}
+	ahead := float64(p.waiting.Load() + 1)
+	secs := int(math.Ceil(avg.Seconds() * ahead / float64(cap(p.sem))))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// gauges reports how many admitted requests are running and waiting.
+func (p *pool) gauges() (running, queued int) {
+	return int(p.running.Load()), int(p.waiting.Load())
 }

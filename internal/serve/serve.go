@@ -5,11 +5,12 @@
 //
 // Endpoints:
 //
-//	GET  /healthz      — liveness plus job-pool gauges
+//	GET  /healthz      — liveness plus job-pool gauges and store census
 //	POST /v1/run       — one pipeline run, synchronous JSON response
 //	POST /v1/batch     — a fleet of runs, NDJSON progress stream
 //	POST /v1/district  — a DSM tile sweep, NDJSON progress stream
 //	POST /v1/city      — a tiled city sweep, NDJSON progress stream
+//	/v1/jobs...        — durable async jobs: submit, poll, fetch, cancel
 //
 // The streaming endpoints emit one JSON object per line: progress
 // events ("run" for batch completions; "roof-extracted" and
@@ -23,21 +24,29 @@
 //
 // Every request runs under a bounded job pool (Options.
 // MaxConcurrentRuns running, Options.QueueDepth waiting; excess
-// requests get 503 + Retry-After), each run's internal fan-out is
+// requests get 503 with a Retry-After derived from the observed run
+// times and the backlog ahead), each run's internal fan-out is
 // capped by Options.Concurrency and Options.FieldWorkers so one large
 // tile cannot starve the process, and the request context is threaded
 // down into the batch fan-out: a client that disconnects mid-stream
 // cancels the remaining roof runs. With Options.CacheDir set, every
 // request shares one persistent field-artifact cache, so repeated
 // tiles and roofs are warm across requests and across processes.
+//
+// With Options.Jobs set, the /v1/jobs surface additionally accepts
+// city runs as durable async jobs: recorded before the 202, executed
+// in the background under the same run-slot pool, checkpointed tile
+// by tile, and resumable across process restarts (see jobs.go).
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	pvfloor "repro"
@@ -45,6 +54,7 @@ import (
 	"repro/internal/dsm"
 	"repro/internal/geom"
 	"repro/internal/gis"
+	"repro/internal/jobs"
 )
 
 // Options tunes a Server. The zero value serves with conservative
@@ -73,6 +83,10 @@ type Options struct {
 	// MaxBodyBytes caps request bodies (default 16 MiB — a district
 	// tile ships as ASCII-grid text inside the JSON body).
 	MaxBodyBytes int64
+	// Jobs, when non-nil, enables the durable async job surface
+	// (/v1/jobs): submitted city runs are journaled in this store,
+	// executed in the background, and resumed across restarts.
+	Jobs *jobs.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -89,26 +103,51 @@ func (o Options) withDefaults() Options {
 }
 
 // Server is the HTTP front-end. Create with New; it implements
-// http.Handler and is safe for concurrent use.
+// http.Handler and is safe for concurrent use. On a server with a job
+// store, call ResumeJobs after New to restart parked jobs and
+// Shutdown to drain the runners before exit.
 type Server struct {
 	opts Options
 	pool *pool
 	mux  *http.ServeMux
+	jobs *jobs.Store
+
+	// drain closes when Shutdown begins: running city jobs stop
+	// dispatching tiles and park as interrupted.
+	drain     chan struct{}
+	drainOnce sync.Once
+	// jobCtx bounds every background job; jobCancel is the
+	// shutdown-deadline hard abort.
+	jobCtx    context.Context
+	jobCancel context.CancelFunc
+	jobWG     sync.WaitGroup
+	jobRuns   sync.Map // job ID → *jobRun
+	// cityHook, when non-nil, may adjust every city config just before
+	// RunCity — the fault-injection seam the resilience tests use.
+	cityHook func(*pvfloor.CityConfig)
 }
 
 // New builds a Server with its routes and job pool.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts: opts,
-		pool: newPool(opts.MaxConcurrentRuns, opts.QueueDepth),
-		mux:  http.NewServeMux(),
+		opts:  opts,
+		pool:  newPool(opts.MaxConcurrentRuns, opts.QueueDepth),
+		mux:   http.NewServeMux(),
+		jobs:  opts.Jobs,
+		drain: make(chan struct{}),
 	}
+	s.jobCtx, s.jobCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/district", s.handleDistrict)
 	s.mux.HandleFunc("POST /v1/city", s.handleCity)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	return s
 }
 
@@ -116,21 +155,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Health is the /healthz payload.
+// Health is the /healthz payload: pool gauges plus, when the server
+// owns a job store, its per-state census.
 type Health struct {
-	Status   string `json:"status"`
-	Running  int    `json:"running"`
-	Queued   int    `json:"queued"`
-	Capacity int    `json:"capacity"`
-	Queue    int    `json:"queue_depth"`
+	Status   string       `json:"status"`
+	Running  int          `json:"running"`
+	Queued   int          `json:"queued"`
+	Capacity int          `json:"capacity"`
+	Queue    int          `json:"queue_depth"`
+	Jobs     *jobs.Counts `json:"jobs,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	running, queued := s.pool.gauges()
-	writeJSON(w, http.StatusOK, Health{
+	h := Health{
 		Status: "ok", Running: running, Queued: queued,
 		Capacity: s.opts.MaxConcurrentRuns, Queue: s.opts.QueueDepth,
-	})
+	}
+	if s.jobs != nil {
+		c := s.jobs.Counts()
+		h.Jobs = &c
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // handleRun executes one pipeline run synchronously.
@@ -146,7 +192,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	release, err := s.pool.acquire(r.Context())
 	if err != nil {
-		writeBusy(w, err)
+		s.writeBusy(w, err)
 		return
 	}
 	defer release()
@@ -182,7 +228,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	release, err := s.pool.acquire(r.Context())
 	if err != nil {
-		writeBusy(w, err)
+		s.writeBusy(w, err)
 		return
 	}
 	defer release()
@@ -235,7 +281,7 @@ func (s *Server) handleDistrict(w http.ResponseWriter, r *http.Request) {
 	}
 	release, err := s.pool.acquire(r.Context())
 	if err != nil {
-		writeBusy(w, err)
+		s.writeBusy(w, err)
 		return
 	}
 	defer release()
@@ -286,7 +332,7 @@ func (s *Server) handleCity(w http.ResponseWriter, r *http.Request) {
 	}
 	release, err := s.pool.acquire(r.Context())
 	if err != nil {
-		writeBusy(w, err)
+		s.writeBusy(w, err)
 		return
 	}
 	defer release()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -99,6 +100,15 @@ type CityRequest struct {
 	// TileWorkers bounds how many tiles are in flight at once
 	// (0 = sequential tiles, the bounded-memory default).
 	TileWorkers int `json:"tile_workers,omitempty"`
+	// TileRetries is the number of extra attempts a failed tile gets
+	// before it is recorded as failed (0 = one attempt only).
+	TileRetries int `json:"tile_retries,omitempty"`
+	// TileTimeoutMS bounds each tile attempt in milliseconds
+	// (0 = unbounded). A timed-out attempt counts against TileRetries.
+	TileTimeoutMS int `json:"tile_timeout_ms,omitempty"`
+	// BackoffMS is the delay before the first retry in milliseconds,
+	// doubling per attempt and capped at 5s (0 = the 50ms default).
+	BackoffMS int `json:"backoff_ms,omitempty"`
 }
 
 // ---- request → pvfloor config ----
@@ -261,10 +271,16 @@ func (s *Server) cityConfig(req CityRequest) (pvfloor.CityConfig, error) {
 	if req.TileWorkers < 0 {
 		return pvfloor.CityConfig{}, fmt.Errorf("tile_workers %d must not be negative (0 = sequential)", req.TileWorkers)
 	}
+	if req.TileRetries < 0 || req.TileTimeoutMS < 0 || req.BackoffMS < 0 {
+		return pvfloor.CityConfig{}, fmt.Errorf("tile_retries/tile_timeout_ms/backoff_ms must not be negative")
+	}
 	return pvfloor.CityConfig{
 		TileCells:    req.TileCells,
 		HaloCells:    req.HaloCells,
 		TileWorkers:  req.TileWorkers,
+		TileRetries:  req.TileRetries,
+		TileTimeout:  time.Duration(req.TileTimeoutMS) * time.Millisecond,
+		Backoff:      time.Duration(req.BackoffMS) * time.Millisecond,
 		Extract:      dcfg.Extract,
 		Modules:      dcfg.Modules,
 		MaxModules:   dcfg.MaxModules,
@@ -463,11 +479,12 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // writeBusy maps pool admission failures: queue overflow becomes 503
-// + Retry-After, a context cancelled while queued becomes 499-style
+// with a Retry-After computed from the observed run times and the
+// backlog ahead, a context cancelled while queued becomes 499-style
 // client-closed (408 is the closest standard code).
-func writeBusy(w http.ResponseWriter, err error) {
+func (s *Server) writeBusy(w http.ResponseWriter, err error) {
 	if errors.Is(err, errBusy) {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.pool.retryAfterSeconds()))
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
