@@ -944,3 +944,31 @@ func BenchmarkEconomics(b *testing.B) {
 	}
 	b.ReportMetric(npv, "npv_usd")
 }
+
+// BenchmarkDistrictEconRanking measures the fleet economics pass in
+// isolation: the district is planned once, then each iteration
+// re-prices the fleet over the panel catalog, re-runs the greedy
+// budget admission and re-ranks by NPV — the pass is idempotent by
+// design, so re-applying it is exactly what -econ adds on top of a
+// sweep. It must stay microseconds: economics never touches the
+// physics hot path.
+func BenchmarkDistrictEconRanking(b *testing.B) {
+	res, err := RunDistrict(DistrictConfig{Tile: district.SyntheticNeighborhood()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := EconConfig{Enabled: true, RankBy: RankByNPV, BudgetUSD: 40000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := res.applyEconomics(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if res.Econ == nil || res.Econ.RoofsAdmitted == 0 {
+		b.Fatal("econ pass admitted no roofs")
+	}
+	b.ReportMetric(float64(res.Econ.RoofsAdmitted), "roofs_admitted")
+	b.ReportMetric(res.Econ.TotalNPVUSD, "fleet_npv_usd")
+}

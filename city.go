@@ -79,6 +79,13 @@ type CityConfig struct {
 	Concurrency    int
 	FieldWorkers   int
 
+	// Economics switches the stitched city result into
+	// economics-aware fleet ranking (see EconConfig). The pass runs
+	// once over the stitched city — never per tile — so a budget cap
+	// spans the whole city and checkpoint-restored tiles price
+	// identically to live ones.
+	Economics EconConfig
+
 	// TileRetries is the number of extra attempts a failed tile gets
 	// before it is recorded as failed (0 = one attempt only). Tile
 	// failures are isolated: a tile that exhausts its retries is
@@ -192,16 +199,20 @@ type CityResult struct {
 	// city-wide IDs and Building numbers.
 	Plans []CityPlan
 	// Ranked indexes Plans best-first (descending proposed net
-	// energy, ties by index).
+	// energy, ties by index; with the economics pass, the configured
+	// objective over the admitted subset).
 	Ranked []int
 	// Dropped lists rejected candidate regions in city cells, each
 	// counted once (entries a tile rejected as owned-elsewhere are
 	// the owning tile's to report), sorted by position.
 	Dropped []district.Dropped
-	// Totals sum over the successfully planned roofs.
+	// Totals sum over the successfully planned roofs (the admitted
+	// subset when a budget cap is configured).
 	TotalProposedMWh    float64
 	TotalTraditionalMWh float64
 	TotalWiringExtraM   float64
+	// Econ summarises the economics pass (nil when disabled).
+	Econ *FleetEcon
 }
 
 // CityGainPct returns the aggregate net-energy gain of the proposed
@@ -261,6 +272,9 @@ func RunCity(cfg CityConfig) (*CityResult, error) {
 	}
 	if cfg.Extract.Keep != nil {
 		return nil, fmt.Errorf("pvfloor: city run owns Extract.Keep (seam deduplication)")
+	}
+	if err := cfg.Economics.Validate(); err != nil {
+		return nil, err
 	}
 	tileCells := cfg.TileCells
 	if tileCells <= 0 {
@@ -641,6 +655,11 @@ func stitchCity(cfg CityConfig, bounds geom.Rect, cellSize float64, tileCells, h
 		}
 		return cr.Ranked[a] < cr.Ranked[b]
 	})
+	if cfg.Economics.Enabled {
+		if err := cr.applyEconomics(cfg.Economics); err != nil {
+			return nil, err
+		}
+	}
 	return cr, nil
 }
 
@@ -660,6 +679,7 @@ func CityTable(cr *CityResult) string {
 		TotalProposedMWh:    cr.TotalProposedMWh,
 		TotalTraditionalMWh: cr.TotalTraditionalMWh,
 		TotalWiringExtraM:   cr.TotalWiringExtraM,
+		Econ:                cr.Econ,
 	}
 	for i, cp := range cr.Plans {
 		dr.Plans[i] = cp.RoofPlan

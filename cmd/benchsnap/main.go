@@ -37,13 +37,14 @@ import (
 	"time"
 )
 
-// defaultBench selects the headline benchmarks of the six pipeline
+// defaultBench selects the headline benchmarks of the seven pipeline
 // stages: Table I regeneration (planning + evaluation), the Fig. 6
 // statistics pass, solar-field construction, the incremental
-// objective, the district sweep (shared vs per-roof horizon), and the
+// objective, the district sweep (shared vs per-roof horizon), the
 // out-of-core city pipeline (whose peak-MB/op metric pins the
-// bounded-memory claim).
-const defaultBench = "BenchmarkTableI|BenchmarkFig6IrradianceMaps|BenchmarkFieldConstruction|BenchmarkObjectiveDelta|BenchmarkDistrictSharedHorizon|BenchmarkCityPipeline"
+// bounded-memory claim), and the fleet economics ranking pass (which
+// must stay microseconds — off the physics hot path).
+const defaultBench = "BenchmarkTableI|BenchmarkFig6IrradianceMaps|BenchmarkFieldConstruction|BenchmarkObjectiveDelta|BenchmarkDistrictSharedHorizon|BenchmarkCityPipeline|BenchmarkDistrictEconRanking"
 
 func main() {
 	log.SetFlags(0)

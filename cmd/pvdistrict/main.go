@@ -33,6 +33,15 @@
 // completes:
 //
 //	pvdistrict -city -tile city.asc -checkpoint run1.ckpt -tile-retries 2
+//
+// Economics-aware fleet ranking prices every planned roof (capex,
+// NPV, payback, LCOE over a panel catalog) and can re-rank the fleet
+// by economic value or admit roofs greedily against a capital budget:
+//
+//	pvdistrict -demo -econ                         # price roofs, keep energy ranking
+//	pvdistrict -demo -rank-by npv                  # rank by net present value
+//	pvdistrict -demo -rank-by npv -budget 50000    # best roofs for $50k
+//	pvdistrict -demo -panel-catalog mono-165:165:150,mono-400:400:360
 package main
 
 import (
@@ -41,6 +50,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	pvfloor "repro"
@@ -83,9 +94,17 @@ func main() {
 	tileRetries := flag.Int("tile-retries", 0, "city: extra attempts per failed tile before it is recorded as failed")
 	tileTimeout := flag.Duration("tile-timeout", 0, "city: per-tile attempt timeout (0 = unbounded)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "city: delay before the first tile retry, doubling per attempt (0 = 50ms)")
+	econOn := flag.Bool("econ", false, "price every planned roof (capex, NPV, payback, LCOE) and report fleet economics")
+	budget := flag.Float64("budget", 0, "econ: fleet capital budget in USD — admit roofs greedily by NPV per dollar (0 = unbounded, implies -econ)")
+	panelCatalog := flag.String("panel-catalog", "", "econ: comma-separated panel classes name:wattsSTC[:moduleUSD] (default mono-165:165:150,mono-330:330:290; implies -econ)")
+	rankBy := flag.String("rank-by", "", "econ: ranking objective energy|npv|payback (default energy; implies -econ)")
 	flag.Parse()
 
 	strat, err := pvfloor.ParseStrategy(*optName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	econCfg, err := econConfig(*econOn, *budget, *panelCatalog, *rankBy)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,6 +134,7 @@ func main() {
 				MaxModules:     *maxModules,
 				Fidelity:       fid,
 				SkipBaseline:   *noBaseline,
+				Economics:      econCfg,
 				CacheDir:       *cacheDir,
 				PerRoofHorizon: *perRoofHorizon,
 				Concurrency:    *runs,
@@ -149,6 +169,7 @@ func main() {
 		MaxModules:     *maxModules,
 		Fidelity:       fid,
 		SkipBaseline:   *noBaseline,
+		Economics:      econCfg,
 		CacheDir:       *cacheDir,
 		PerRoofHorizon: *perRoofHorizon,
 		Concurrency:    *runs,
@@ -254,6 +275,65 @@ func runCity(cf cityFlags) {
 			os.Exit(1)
 		}
 	}
+}
+
+// econConfig assembles the economics pass from its flag surface. Any
+// of -budget, -panel-catalog or -rank-by implies -econ so the common
+// invocations stay short.
+func econConfig(on bool, budget float64, catalogSpec, rankBy string) (pvfloor.EconConfig, error) {
+	ec := pvfloor.EconConfig{
+		Enabled:   on || budget != 0 || catalogSpec != "" || rankBy != "",
+		BudgetUSD: budget,
+		RankBy:    pvfloor.RankBy(rankBy),
+	}
+	if !ec.Enabled {
+		return pvfloor.EconConfig{}, nil
+	}
+	if catalogSpec != "" {
+		catalog, err := parsePanelCatalog(catalogSpec)
+		if err != nil {
+			return pvfloor.EconConfig{}, err
+		}
+		ec.Catalog = catalog
+	}
+	if err := ec.Validate(); err != nil {
+		return pvfloor.EconConfig{}, err
+	}
+	return ec, nil
+}
+
+// parsePanelCatalog parses the -panel-catalog flag: comma-separated
+// name:wattsSTC[:moduleUSD] entries, e.g. "mono-165:165:150,bifacial-400:400".
+func parsePanelCatalog(spec string) ([]pvfloor.PanelClass, error) {
+	var catalog []pvfloor.PanelClass
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("panel class %q: want name:wattsSTC[:moduleUSD]", entry)
+		}
+		pc := pvfloor.PanelClass{Name: strings.TrimSpace(parts[0])}
+		w, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("panel class %q: watts: %w", entry, err)
+		}
+		pc.WattsSTC = w
+		if len(parts) == 3 {
+			usd, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("panel class %q: price: %w", entry, err)
+			}
+			pc.ModuleUSD = usd
+		}
+		catalog = append(catalog, pc)
+	}
+	if len(catalog) == 0 {
+		return nil, fmt.Errorf("panel catalog %q is empty", spec)
+	}
+	return catalog, nil
 }
 
 func loadTile(path string, demo bool) (*dsm.Raster, *geom.Mask, error) {

@@ -58,6 +58,13 @@ type DistrictConfig struct {
 	// is marched once and every roof slices its view), so this is an
 	// escape hatch for comparison and debugging, not a tuning knob.
 	PerRoofHorizon bool
+	// Economics switches the run into economics-aware fleet ranking:
+	// every planned roof is priced through internal/econ over the
+	// panel catalog, and ranking/totals follow the configured
+	// objective and budget (see EconConfig). The zero value disables
+	// the pass — results are then byte-identical to an economics-free
+	// run, as is Economics.RankBy == RankByEnergy without a budget.
+	Economics EconConfig
 	// Concurrency bounds how many roof runs execute simultaneously
 	// (0 = one per CPU; the RunBatch pool).
 	Concurrency int
@@ -132,6 +139,9 @@ type RoofPlan struct {
 	// checkpoint record instead of a live run: Run and Scenario are
 	// zero-valued and every report surface reads Outcome() instead.
 	Restored *PlanOutcome
+	// Econ carries the roof's economics report when the run's
+	// economics pass is enabled (nil otherwise).
+	Econ *EconReport
 }
 
 // PlanOutcome is the flattened, persistable outcome of one roof plan —
@@ -186,13 +196,18 @@ type DistrictResult struct {
 	// Plans holds one entry per extracted roof, in roof-ID order.
 	Plans []RoofPlan
 	// Ranked indexes Plans best-first: successfully planned roofs by
-	// descending proposed net energy, ties by roof ID.
+	// descending proposed net energy, ties by roof ID. With the
+	// economics pass enabled, the order follows EconConfig.RankBy and
+	// a budget restricts it to the admitted subset.
 	Ranked []int
 	// TotalProposedMWh / TotalTraditionalMWh / TotalWiringExtraM sum
-	// over the successfully planned roofs.
+	// over the successfully planned roofs (the admitted subset when a
+	// budget cap is configured).
 	TotalProposedMWh    float64
 	TotalTraditionalMWh float64
 	TotalWiringExtraM   float64
+	// Econ summarises the economics pass (nil when disabled).
+	Econ *FleetEcon
 }
 
 // DistrictGainPct returns the aggregate net-energy gain of the
@@ -226,6 +241,9 @@ func RunDistrict(cfg DistrictConfig) (*DistrictResult, error) {
 	if cfg.Modules != 0 && (cfg.Modules < 8 || cfg.Modules%8 != 0) {
 		return nil, fmt.Errorf("pvfloor: district Modules %d not a positive multiple of 8 (use 0 to auto-size)",
 			cfg.Modules)
+	}
+	if err := cfg.Economics.Validate(); err != nil {
+		return nil, err
 	}
 	ctx := cfg.Context
 	if ctx == nil {
@@ -377,6 +395,11 @@ func RunDistrict(cfg DistrictConfig) (*DistrictResult, error) {
 		}
 		return res.Ranked[a] < res.Ranked[b]
 	})
+	if cfg.Economics.Enabled {
+		if err := res.applyEconomics(cfg.Economics); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
 }
 
@@ -504,5 +527,12 @@ func DistrictTable(res *DistrictResult) string {
 	out += fmt.Sprintf("\nDistrict totals: %d/%d roofs planned, traditional %.3f MWh, proposed %.3f MWh (%+.2f%%), extra wiring %.1f m\n",
 		len(res.Ranked), len(res.Plans), res.TotalTraditionalMWh, res.TotalProposedMWh,
 		res.DistrictGainPct(), res.TotalWiringExtraM)
+	if res.Econ != nil {
+		plans := make([]*RoofPlan, len(res.Plans))
+		for i := range res.Plans {
+			plans[i] = &res.Plans[i]
+		}
+		out += econTable(plans, res.Ranked, res.Econ)
+	}
 	return out
 }

@@ -47,10 +47,17 @@ type RoofReport struct {
 	Modules        int        `json:"modules,omitempty"`
 	ProposedMWh    float64    `json:"proposed_mwh,omitempty"`
 	TraditionalMWh float64    `json:"traditional_mwh,omitempty"`
-	GainPct        float64    `json:"gain_pct,omitempty"`
-	WiringExtraM   float64    `json:"wiring_extra_m,omitempty"`
-	Skipped        string     `json:"skipped,omitempty"`
-	Error          string     `json:"error,omitempty"`
+	// GainPct is a pointer so a planned roof with exactly 0% gain
+	// still serialises (omitempty on a float64 would drop the
+	// legitimate zero); it is nil — and absent — only for unplanned
+	// roofs.
+	GainPct      *float64 `json:"gain_pct,omitempty"`
+	WiringExtraM float64  `json:"wiring_extra_m,omitempty"`
+	// Econ carries the roof's economics report when the run's
+	// economics pass is enabled.
+	Econ    *EconReport `json:"econ,omitempty"`
+	Skipped string      `json:"skipped,omitempty"`
+	Error   string      `json:"error,omitempty"`
 }
 
 // DroppedReport records one rejected candidate region.
@@ -60,14 +67,43 @@ type DroppedReport struct {
 	Reason string     `json:"reason"`
 }
 
-// TotalsReport aggregates a district run.
+// EconTotalsReport aggregates the economics pass of a district/city
+// run: the resolved objective plus capital and value totals over the
+// admitted roofs.
+type EconTotalsReport struct {
+	RankBy           string  `json:"rank_by"`
+	BudgetUSD        float64 `json:"budget_usd,omitempty"`
+	RoofsAdmitted    int     `json:"roofs_admitted"`
+	CapexUSD         float64 `json:"capex_usd"`
+	NPVUSD           float64 `json:"npv_usd"`
+	AnnualRevenueUSD float64 `json:"annual_revenue_usd"`
+}
+
+// NewEconTotalsReport converts the fleet summary (nil-safe).
+func NewEconTotalsReport(f *FleetEcon) *EconTotalsReport {
+	if f == nil {
+		return nil
+	}
+	return &EconTotalsReport{
+		RankBy:           string(f.RankBy),
+		BudgetUSD:        f.BudgetUSD,
+		RoofsAdmitted:    f.RoofsAdmitted,
+		CapexUSD:         f.TotalCapexUSD,
+		NPVUSD:           f.TotalNPVUSD,
+		AnnualRevenueUSD: f.TotalAnnualRevenueUSD,
+	}
+}
+
+// TotalsReport aggregates a district run. With a budget-capped
+// economics pass the energy totals cover the admitted subset.
 type TotalsReport struct {
-	RoofsExtracted  int     `json:"roofs_extracted"`
-	RoofsPlanned    int     `json:"roofs_planned"`
-	ProposedMWh     float64 `json:"proposed_mwh"`
-	TraditionalMWh  float64 `json:"traditional_mwh"`
-	DistrictGainPct float64 `json:"district_gain_pct"`
-	WiringExtraM    float64 `json:"wiring_extra_m"`
+	RoofsExtracted  int               `json:"roofs_extracted"`
+	RoofsPlanned    int               `json:"roofs_planned"`
+	ProposedMWh     float64           `json:"proposed_mwh"`
+	TraditionalMWh  float64           `json:"traditional_mwh"`
+	DistrictGainPct float64           `json:"district_gain_pct"`
+	WiringExtraM    float64           `json:"wiring_extra_m"`
+	Econ            *EconTotalsReport `json:"econ,omitempty"`
 }
 
 // DistrictReport is the machine-readable district report, ranked
@@ -94,6 +130,7 @@ func NewDistrictReport(res *DistrictResult) DistrictReport {
 			TraditionalMWh:  res.TotalTraditionalMWh,
 			DistrictGainPct: res.DistrictGainPct(),
 			WiringExtraM:    res.TotalWiringExtraM,
+			Econ:            NewEconTotalsReport(res.Econ),
 		},
 	}
 	rank := make(map[int]int, len(res.Ranked))
@@ -117,11 +154,13 @@ func NewDistrictReport(res *DistrictResult) DistrictReport {
 			Skipped:       rp.Skipped,
 		}
 		if o := rp.Outcome(); o.Planned {
+			gain := o.GainPct
 			rj.Modules = rp.Modules
 			rj.ProposedMWh = o.ProposedMWh
 			rj.TraditionalMWh = o.TraditionalMWh
-			rj.GainPct = o.GainPct
+			rj.GainPct = &gain
 			rj.WiringExtraM = o.WiringExtraM
+			rj.Econ = rp.Econ
 		} else if o.RunErr != "" {
 			rj.Error = o.RunErr
 		}
@@ -141,8 +180,12 @@ type CityTileReport struct {
 	Core    RectReport `json:"core"`
 	Window  RectReport `json:"window"`
 	Skipped string     `json:"skipped,omitempty"`
-	GroundZ float64    `json:"ground_z,omitempty"`
-	Roofs   int        `json:"roofs"`
+	// GroundZ is a pointer so a tile whose detected ground sits at
+	// exactly 0 m still serialises (omitempty on a float64 would drop
+	// the legitimate zero); it is nil — and absent — only for tiles
+	// that never ran (skipped or failed).
+	GroundZ *float64 `json:"ground_z,omitempty"`
+	Roofs   int      `json:"roofs"`
 	// Attempts appears only when the tile needed retries (>1).
 	Attempts int `json:"attempts,omitempty"`
 	// Failed carries the final error of a tile that exhausted its
@@ -187,12 +230,17 @@ func NewCityReport(cr *CityResult) CityReport {
 			TraditionalMWh:  cr.TotalTraditionalMWh,
 			DistrictGainPct: cr.CityGainPct(),
 			WiringExtraM:    cr.TotalWiringExtraM,
+			Econ:            NewEconTotalsReport(cr.Econ),
 		},
 	}
 	for _, ti := range cr.Tiles {
 		tr := CityTileReport{
 			Index: ti.Index, Core: NewRectReport(ti.Core), Window: NewRectReport(ti.Window),
-			Skipped: ti.Skipped, GroundZ: ti.GroundZ, Roofs: ti.Roofs, Failed: ti.Failed,
+			Skipped: ti.Skipped, Roofs: ti.Roofs, Failed: ti.Failed,
+		}
+		if ti.Skipped == "" && ti.Failed == "" {
+			gz := ti.GroundZ
+			tr.GroundZ = &gz
 		}
 		if ti.Attempts > 1 {
 			tr.Attempts = ti.Attempts
@@ -220,11 +268,13 @@ func NewCityReport(cr *CityResult) CityReport {
 			Skipped:       cp.Skipped,
 		}
 		if o := cp.Outcome(); o.Planned {
+			gain := o.GainPct
 			rj.Modules = cp.Modules
 			rj.ProposedMWh = o.ProposedMWh
 			rj.TraditionalMWh = o.TraditionalMWh
-			rj.GainPct = o.GainPct
+			rj.GainPct = &gain
 			rj.WiringExtraM = o.WiringExtraM
+			rj.Econ = cp.Econ
 		} else if o.RunErr != "" {
 			rj.Error = o.RunErr
 		}

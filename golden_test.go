@@ -234,3 +234,28 @@ func TestGoldenRunDistrictGabled(t *testing.T) {
 	}
 	checkGolden(t, "rundistrict_gabled.json", golden)
 }
+
+// TestGoldenDistrictReportEcon pins the full machine-readable
+// district report with the economics pass enabled — NPV ranking under
+// a budget cap, per-roof econ rows (panel class, capex, NPV, payback,
+// LCOE) and the fleet summary. This is the exact JSON cmd/pvdistrict
+// -json emits and the serve endpoints embed, so the byte-equivalence
+// of every econ-enabled surface is pinned here once.
+func TestGoldenDistrictReportEcon(t *testing.T) {
+	tile := loadNeighborhoodTile(t)
+	res, err := RunDistrict(DistrictConfig{
+		Tile: tile,
+		Economics: EconConfig{
+			Enabled:   true,
+			RankBy:    RankByNPV,
+			BudgetUSD: 60000,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Econ == nil || res.Econ.RoofsAdmitted == 0 {
+		t.Fatalf("econ pass admitted no roofs: %+v", res.Econ)
+	}
+	checkGolden(t, "districtreport_econ.json", NewDistrictReport(res))
+}

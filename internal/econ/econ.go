@@ -10,9 +10,22 @@
 package econ
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 )
+
+// FinitePtr returns &v when v is finite and nil otherwise — the JSON
+// representation of "never pays back" / "infinitely expensive energy".
+// encoding/json rejects non-finite floats outright, so every report
+// field that can legitimately be +Inf must pass through here before a
+// struct carrying it is marshalled.
+func FinitePtr(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
 
 // CostModel prices the installation's capital items.
 type CostModel struct {
@@ -117,7 +130,27 @@ type Assessment struct {
 	AnnualRevenueUSD   float64 // first-year revenue
 	SimplePaybackYears float64 // capex / first-year net revenue (+Inf if never)
 	NPVUSD             float64 // discounted lifetime value minus capex
-	LCOEUSDPerKWh      float64 // levelised cost of energy
+	LCOEUSDPerKWh      float64 // levelised cost of energy (+Inf at zero production)
+}
+
+// MarshalJSON emits the assessment with +Inf payback/LCOE as null.
+// encoding/json.Marshal fails outright on non-finite floats, so a
+// never-pays-back or zero-production system would otherwise poison
+// any report struct embedding the assessment.
+func (a Assessment) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		CapexUSD           float64  `json:"capex_usd"`
+		AnnualRevenueUSD   float64  `json:"annual_revenue_usd"`
+		SimplePaybackYears *float64 `json:"simple_payback_years"`
+		NPVUSD             float64  `json:"npv_usd"`
+		LCOEUSDPerKWh      *float64 `json:"lcoe_usd_per_kwh"`
+	}{
+		CapexUSD:           a.CapexUSD,
+		AnnualRevenueUSD:   a.AnnualRevenueUSD,
+		SimplePaybackYears: FinitePtr(a.SimplePaybackYears),
+		NPVUSD:             a.NPVUSD,
+		LCOEUSDPerKWh:      FinitePtr(a.LCOEUSDPerKWh),
+	})
 }
 
 // Assess evaluates a system producing annualMWh in year one.
@@ -162,6 +195,11 @@ func Assess(annualMWh float64, nModules int, nameplateKW, extraCableM float64,
 	}
 	if discEnergy > 0 {
 		a.LCOEUSDPerKWh = discCost / discEnergy
+	} else {
+		// A system that never produces has infinitely expensive
+		// energy, not free energy — reporting 0 here would make a
+		// dead roof look like the best deal in the fleet.
+		a.LCOEUSDPerKWh = math.Inf(1)
 	}
 	return a, nil
 }
@@ -182,6 +220,22 @@ type Marginal struct {
 	// LifetimeNPVGainUSD is the discounted lifetime value of
 	// choosing sparse over traditional.
 	LifetimeNPVGainUSD float64
+}
+
+// MarshalJSON emits the marginal comparison with the +Inf
+// never-pays-back sentinel as null, mirroring Assessment.MarshalJSON.
+func (m Marginal) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		ExtraCapexUSD         float64  `json:"extra_capex_usd"`
+		ExtraAnnualRevenueUSD float64  `json:"extra_annual_revenue_usd"`
+		PaybackYears          *float64 `json:"payback_years"`
+		LifetimeNPVGainUSD    float64  `json:"lifetime_npv_gain_usd"`
+	}{
+		ExtraCapexUSD:         m.ExtraCapexUSD,
+		ExtraAnnualRevenueUSD: m.ExtraAnnualRevenueUSD,
+		PaybackYears:          FinitePtr(m.PaybackYears),
+		LifetimeNPVGainUSD:    m.LifetimeNPVGainUSD,
+	})
 }
 
 // CompareMarginal prices the traditional→proposed decision.

@@ -1,7 +1,9 @@
 package econ
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -168,6 +170,147 @@ func TestCompareMarginalNoGain(t *testing.T) {
 	if m.LifetimeNPVGainUSD != -50 {
 		t.Errorf("NPV gain = %.0f, want -50 (pure cable cost)", m.LifetimeNPVGainUSD)
 	}
+}
+
+// TestAssessMarshalNeverPaysBack is the regression test for the +Inf
+// payback sentinel: json.Marshal used to fail the moment a
+// never-pays-back assessment entered a report struct; it must now
+// succeed with the sentinel encoded as null.
+func TestAssessMarshalNeverPaysBack(t *testing.T) {
+	// O&M above first-year revenue → net ≤ 0 → payback = +Inf.
+	fin := TurinFeedIn2018()
+	fin.TariffUSDPerKWh = 0.01
+	fin.OMUSDPerYear = 10000
+	a, err := Assess(1, 16, 2.64, 0, Residential2018(), fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(a.SimplePaybackYears, 1) {
+		t.Fatalf("payback = %v, want +Inf for this setup", a.SimplePaybackYears)
+	}
+	raw, err := json.Marshal(struct {
+		System Assessment `json:"system"`
+	}{a})
+	if err != nil {
+		t.Fatalf("marshalling a never-pays-back assessment: %v", err)
+	}
+	if !strings.Contains(string(raw), `"simple_payback_years":null`) {
+		t.Errorf("payback not encoded as null: %s", raw)
+	}
+}
+
+// TestAssessZeroProductionLCOE is the regression test for the LCOE of
+// a dead system: it used to report 0 $/kWh (free energy!) when the
+// discounted energy was zero; it must report +Inf, encoded as null.
+func TestAssessZeroProductionLCOE(t *testing.T) {
+	a, err := Assess(0, 16, 2.64, 0, Residential2018(), TurinFeedIn2018())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(a.LCOEUSDPerKWh, 1) {
+		t.Fatalf("zero-production LCOE = %v, want +Inf (not free energy)", a.LCOEUSDPerKWh)
+	}
+	raw, err := json.Marshal(a)
+	if err != nil {
+		t.Fatalf("marshalling a zero-production assessment: %v", err)
+	}
+	if !strings.Contains(string(raw), `"lcoe_usd_per_kwh":null`) {
+		t.Errorf("LCOE not encoded as null: %s", raw)
+	}
+}
+
+// TestMarginalMarshalNeverPaysBack mirrors the assessment regression
+// for the marginal comparison's +Inf payback.
+func TestMarginalMarshalNeverPaysBack(t *testing.T) {
+	m, err := CompareMarginal(4.0, 4.0, 50, Residential2018(), TurinFeedIn2018())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("marshalling a no-gain marginal comparison: %v", err)
+	}
+	if !strings.Contains(string(raw), `"payback_years":null`) {
+		t.Errorf("marginal payback not encoded as null: %s", raw)
+	}
+}
+
+func TestFinitePtr(t *testing.T) {
+	if FinitePtr(math.Inf(1)) != nil || FinitePtr(math.Inf(-1)) != nil || FinitePtr(math.NaN()) != nil {
+		t.Error("non-finite values must map to nil")
+	}
+	if p := FinitePtr(3.5); p == nil || *p != 3.5 {
+		t.Errorf("finite value must round-trip, got %v", p)
+	}
+}
+
+// TestEconInvariants pins the analytic identities of the
+// discounted-cashflow model, table-driven over representative systems.
+func TestEconInvariants(t *testing.T) {
+	systems := []struct {
+		name        string
+		mwh         float64
+		modules     int
+		nameplateKW float64
+		cableM      float64
+	}{
+		{"residential-8", 1.7, 8, 1.32, 10},
+		{"residential-16", 3.5, 16, 2.64, 20},
+		{"large-32", 7.1, 32, 5.28, 45},
+	}
+
+	t.Run("zero discount equals undiscounted cashflow sum", func(t *testing.T) {
+		for _, s := range systems {
+			fin := TurinFeedIn2018()
+			fin.DiscountRate = 0
+			a, err := Assess(s.mwh, s.modules, s.nameplateKW, s.cableM, Residential2018(), fin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := -a.CapexUSD
+			for y := 1; y <= fin.LifetimeYears; y++ {
+				decay := math.Pow(1-fin.DegradationPerYear, float64(y-1))
+				want += s.mwh*1000*decay*fin.TariffUSDPerKWh - fin.OMUSDPerYear
+			}
+			if math.Abs(a.NPVUSD-want) > 1e-6 {
+				t.Errorf("%s: NPV at 0%% discount = %.6f, undiscounted sum = %.6f", s.name, a.NPVUSD, want)
+			}
+		}
+	})
+
+	t.Run("payback monotone decreasing in tariff", func(t *testing.T) {
+		for _, s := range systems {
+			prev := math.Inf(1)
+			for _, tariff := range []float64{0.05, 0.10, 0.20, 0.40} {
+				fin := TurinFeedIn2018()
+				fin.TariffUSDPerKWh = tariff
+				a, err := Assess(s.mwh, s.modules, s.nameplateKW, s.cableM, Residential2018(), fin)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a.SimplePaybackYears >= prev {
+					t.Errorf("%s: payback %.3f yr at %.2f $/kWh not below %.3f at the lower tariff",
+						s.name, a.SimplePaybackYears, tariff, prev)
+				}
+				prev = a.SimplePaybackYears
+			}
+		}
+	})
+
+	t.Run("zero extra cable yields zero extra capex", func(t *testing.T) {
+		for _, s := range systems {
+			m, err := CompareMarginal(s.mwh, s.mwh*1.1, 0, Residential2018(), TurinFeedIn2018())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.ExtraCapexUSD != 0 {
+				t.Errorf("%s: zero cable produced extra capex $%g", s.name, m.ExtraCapexUSD)
+			}
+			if m.LifetimeNPVGainUSD <= 0 {
+				t.Errorf("%s: free energy gain must have positive NPV, got %g", s.name, m.LifetimeNPVGainUSD)
+			}
+		}
+	})
 }
 
 func TestCompareMarginalValidation(t *testing.T) {

@@ -10,6 +10,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	pvfloor "repro"
+	"repro/internal/econ"
 )
 
 // waitFor polls until the condition holds (tests only).
@@ -88,6 +91,9 @@ func TestRequestValidation(t *testing.T) {
 		{"district tile+demo", "/v1/district", `{"demo":true,"tile_asc":"ncols 1"}`, "mutually exclusive"},
 		{"district bad tile", "/v1/district", `{"tile_asc":"not a grid"}`, "parsing tile_asc"},
 		{"district ragged modules", "/v1/district", `{"demo":true,"modules":3}`, "multiple of 8"},
+		{"district bad rank-by", "/v1/district", `{"demo":true,"econ":{"rank_by":"alphabetical"}}`, "unknown rank-by"},
+		{"district negative budget", "/v1/district", `{"demo":true,"econ":{"budget_usd":-1}}`, "negative budget"},
+		{"district bad panel class", "/v1/district", `{"demo":true,"econ":{"catalog":[{"name":"x","watts_stc":0}]}}`, "nameplate"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -257,4 +263,40 @@ func TestBusyMapsTo503(t *testing.T) {
 	releaseQueued()
 	<-done
 	rel()
+}
+
+// TestEconRequestMapping pins the request → engine mapping of the
+// econ block: its presence enables the pass, and a partial financial
+// override starts from the Turin-2018 defaults instead of zeroing
+// the rest.
+func TestEconRequestMapping(t *testing.T) {
+	s := newTestServer(t, Options{})
+	cfg, err := s.districtConfig(DistrictRequest{
+		Econ: &EconRequest{RankBy: "npv", BudgetUSD: 5000, TariffUSDPerKWh: 0.3},
+	}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := cfg.Economics
+	if !ec.Enabled {
+		t.Fatal("econ block did not enable the pass")
+	}
+	if ec.RankBy != pvfloor.RankByNPV || ec.BudgetUSD != 5000 {
+		t.Errorf("mapped rank_by %q budget %v", ec.RankBy, ec.BudgetUSD)
+	}
+	want := econ.TurinFeedIn2018()
+	if ec.Financials.TariffUSDPerKWh != 0.3 {
+		t.Errorf("tariff override %v, want 0.3", ec.Financials.TariffUSDPerKWh)
+	}
+	if ec.Financials.DiscountRate != want.DiscountRate || ec.Financials.LifetimeYears != want.LifetimeYears {
+		t.Errorf("partial override lost the defaults: %+v", ec.Financials)
+	}
+
+	plain, err := s.districtConfig(DistrictRequest{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Economics.Enabled {
+		t.Error("econ pass enabled without an econ block")
+	}
 }

@@ -217,8 +217,10 @@ func checkDistrictResult(t *testing.T, lines []map[string]json.RawMessage) json.
 		if r.TraditionalMWh != g.Golden.Traditional.NetMWh {
 			t.Errorf("roof %d traditional_mwh = %v, golden %v", r.ID, r.TraditionalMWh, g.Golden.Traditional.NetMWh)
 		}
-		if r.GainPct != g.Golden.GainPct {
-			t.Errorf("roof %d gain_pct = %v, golden %v", r.ID, r.GainPct, g.Golden.GainPct)
+		if r.GainPct == nil {
+			t.Errorf("roof %d gain_pct absent, golden %v", r.ID, g.Golden.GainPct)
+		} else if *r.GainPct != g.Golden.GainPct {
+			t.Errorf("roof %d gain_pct = %v, golden %v", r.ID, *r.GainPct, g.Golden.GainPct)
 		}
 		if r.WiringExtraM != g.Golden.Proposed.WiringExtraM {
 			t.Errorf("roof %d wiring_extra_m = %v, golden %v", r.ID, r.WiringExtraM, g.Golden.Proposed.WiringExtraM)

@@ -14,6 +14,7 @@ import (
 	pvfloor "repro"
 	"repro/internal/district"
 	"repro/internal/dsm"
+	"repro/internal/econ"
 	"repro/internal/geom"
 	"repro/internal/scenario"
 )
@@ -69,6 +70,50 @@ type ExtractRequest struct {
 	MaxRoofs            int     `json:"max_roofs,omitempty"`
 }
 
+// EconRequest switches a district/city sweep into economics-aware
+// fleet ranking (its presence enables the pass; all fields optional).
+type EconRequest struct {
+	// BudgetUSD caps the fleet capital; roofs are admitted greedily by
+	// marginal NPV per dollar (0 = unbounded).
+	BudgetUSD float64 `json:"budget_usd,omitempty"`
+	// RankBy is the ranking objective: energy (default), npv or
+	// payback.
+	RankBy string `json:"rank_by,omitempty"`
+	// Catalog overrides the built-in two-class panel catalog.
+	Catalog []pvfloor.PanelClass `json:"catalog,omitempty"`
+	// TariffUSDPerKWh / DiscountRate / LifetimeYears override the
+	// Turin-2018 financial defaults (0 = keep the default).
+	TariffUSDPerKWh float64 `json:"tariff_usd_per_kwh,omitempty"`
+	DiscountRate    float64 `json:"discount_rate,omitempty"`
+	LifetimeYears   int     `json:"lifetime_years,omitempty"`
+}
+
+// config maps the request onto the engine's econ config. Partial
+// financial overrides start from the Turin-2018 defaults so a request
+// can change just the tariff without restating the rest.
+func (er *EconRequest) config() pvfloor.EconConfig {
+	ec := pvfloor.EconConfig{
+		Enabled:   true,
+		BudgetUSD: er.BudgetUSD,
+		RankBy:    pvfloor.RankBy(er.RankBy),
+		Catalog:   er.Catalog,
+	}
+	if er.TariffUSDPerKWh != 0 || er.DiscountRate != 0 || er.LifetimeYears != 0 {
+		fin := econ.TurinFeedIn2018()
+		if er.TariffUSDPerKWh != 0 {
+			fin.TariffUSDPerKWh = er.TariffUSDPerKWh
+		}
+		if er.DiscountRate != 0 {
+			fin.DiscountRate = er.DiscountRate
+		}
+		if er.LifetimeYears != 0 {
+			fin.LifetimeYears = er.LifetimeYears
+		}
+		ec.Financials = fin
+	}
+	return ec
+}
+
 // DistrictRequest is one whole-tile district sweep streamed as
 // NDJSON. Exactly one of TileASC (an ESRI ASCII grid, the cmd/roofgen
 // and gis package interchange format, embedded as text) or Demo (the
@@ -82,6 +127,7 @@ type DistrictRequest struct {
 	Optimizer    OptimizerRequest `json:"optimizer,omitempty"`
 	SkipBaseline bool             `json:"skip_baseline,omitempty"`
 	Extract      ExtractRequest   `json:"extract,omitempty"`
+	Econ         *EconRequest     `json:"econ,omitempty"`
 }
 
 // CityRequest is a city-scale tiled sweep streamed as NDJSON: the
@@ -231,6 +277,13 @@ func (s *Server) districtConfig(req DistrictRequest, tile *dsm.Raster, nodata *g
 	if err != nil {
 		return pvfloor.DistrictConfig{}, err
 	}
+	var ec pvfloor.EconConfig
+	if req.Econ != nil {
+		ec = req.Econ.config()
+		if err := ec.Validate(); err != nil {
+			return pvfloor.DistrictConfig{}, err
+		}
+	}
 	return pvfloor.DistrictConfig{
 		Tile:   tile,
 		NoData: nodata,
@@ -251,6 +304,7 @@ func (s *Server) districtConfig(req DistrictRequest, tile *dsm.Raster, nodata *g
 		Fidelity:     fid,
 		Optimizer:    opt,
 		SkipBaseline: req.SkipBaseline,
+		Economics:    ec,
 		CacheDir:     s.opts.CacheDir,
 		Concurrency:  s.opts.Concurrency,
 		FieldWorkers: s.opts.FieldWorkers,
@@ -287,6 +341,7 @@ func (s *Server) cityConfig(req CityRequest) (pvfloor.CityConfig, error) {
 		Fidelity:     dcfg.Fidelity,
 		Optimizer:    dcfg.Optimizer,
 		SkipBaseline: dcfg.SkipBaseline,
+		Economics:    dcfg.Economics,
 		CacheDir:     dcfg.CacheDir,
 		Concurrency:  dcfg.Concurrency,
 		FieldWorkers: dcfg.FieldWorkers,
