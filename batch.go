@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fieldcache"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/solar/field"
@@ -91,6 +92,7 @@ type groupKey struct {
 	fast     bool
 	grid     string
 	cacheDir string
+	cache    *fieldcache.Cache
 }
 
 // RunBatch executes many pipeline configurations concurrently — the
@@ -129,6 +131,7 @@ func RunBatch(cfgs []Config, opts BatchOptions) ([]BatchRun, error) {
 			fast:     cfg.Fidelity != Full,
 			grid:     cfg.effectiveGrid().Fingerprint(),
 			cacheDir: cfg.CacheDir,
+			cache:    cfg.Cache,
 		}
 		keys[i] = k
 		if _, ok := groups[k]; !ok {
@@ -219,6 +222,7 @@ func runOne(i int, cfg Config, g *fieldGroup) BatchRun {
 			Fast:     cfg.Fidelity != Full,
 			Workers:  g.workers,
 			CacheDir: cfg.CacheDir,
+			Cache:    cfg.Cache,
 		})
 	})
 	br.FieldBuilt = g.built == int32(i) && g.err == nil

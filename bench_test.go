@@ -15,6 +15,7 @@ package pvfloor
 import (
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -24,9 +25,11 @@ import (
 	"time"
 
 	"repro/internal/anneal"
+	"repro/internal/blobstore"
 	"repro/internal/district"
 	"repro/internal/dsm"
 	"repro/internal/econ"
+	"repro/internal/fieldcache"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
 	"repro/internal/gis"
@@ -694,6 +697,46 @@ func BenchmarkDistrictSharedHorizon(b *testing.B) {
 		b.ResetTimer()
 		run(b, DistrictConfig{CacheDir: dir})
 	})
+}
+
+// BenchmarkWarmRemoteCache measures the district sweep served from a
+// warm REMOTE blob tier through a cold local cache — the fleet
+// scale-out steady state, where a fresh worker's first request pulls
+// every artifact from a peer's /v1/blobs mount over HTTP instead of
+// ray-marching. Each iteration starts with an empty local directory so
+// every artifact crosses the wire; horizon-builds/op stays 0 because
+// the remote tier absorbs all misses.
+func BenchmarkWarmRemoteCache(b *testing.B) {
+	b.ReportAllocs()
+	tile := district.SyntheticNeighborhood()
+	peer, err := fieldcache.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := RunDistrict(DistrictConfig{Tile: tile, Cache: peer}); err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(blobstore.Handler(peer.Local()))
+	defer srv.Close()
+	before := horizon.BuildCount()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		remote, err := blobstore.OpenHTTP(srv.URL, blobstore.HTTPOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache, err := fieldcache.OpenTiered(fieldcache.Config{Dir: b.TempDir(), Remote: remote})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := RunDistrict(DistrictConfig{Tile: tile, Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(horizon.BuildCount()-before)/float64(b.N), "horizon-builds/op")
 }
 
 // BenchmarkHorizonBuild measures the horizon-map precomputation — the

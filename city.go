@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/district"
 	"repro/internal/dsm"
+	"repro/internal/fieldcache"
 	"repro/internal/geom"
 	"repro/internal/scenario"
 	"repro/internal/solar/horizon"
@@ -75,6 +76,7 @@ type CityConfig struct {
 	Optimizer      OptimizerConfig
 	SkipBaseline   bool
 	CacheDir       string
+	Cache          *fieldcache.Cache
 	PerRoofHorizon bool
 	Concurrency    int
 	FieldWorkers   int
@@ -510,7 +512,7 @@ func (cfg CityConfig) runTileAttempt(ctx context.Context, t int, core, window, b
 		Modules: cfg.Modules, MaxModules: cfg.MaxModules,
 		Fidelity: cfg.Fidelity, Grid: cfg.Grid,
 		Optimizer: cfg.Optimizer, SkipBaseline: cfg.SkipBaseline,
-		CacheDir: cfg.CacheDir, PerRoofHorizon: cfg.PerRoofHorizon,
+		CacheDir: cfg.CacheDir, Cache: cfg.Cache, PerRoofHorizon: cfg.PerRoofHorizon,
 		Concurrency: cfg.Concurrency, FieldWorkers: cfg.FieldWorkers,
 		Context: ctx,
 		Progress: func(ev DistrictEvent) {

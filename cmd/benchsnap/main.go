@@ -37,14 +37,17 @@ import (
 	"time"
 )
 
-// defaultBench selects the headline benchmarks of the seven pipeline
+// defaultBench selects the headline benchmarks of the eight pipeline
 // stages: Table I regeneration (planning + evaluation), the Fig. 6
 // statistics pass, solar-field construction, the incremental
 // objective, the district sweep (shared vs per-roof horizon), the
 // out-of-core city pipeline (whose peak-MB/op metric pins the
-// bounded-memory claim), and the fleet economics ranking pass (which
-// must stay microseconds — off the physics hot path).
-const defaultBench = "BenchmarkTableI|BenchmarkFig6IrradianceMaps|BenchmarkFieldConstruction|BenchmarkObjectiveDelta|BenchmarkDistrictSharedHorizon|BenchmarkCityPipeline|BenchmarkDistrictEconRanking"
+// bounded-memory claim), the fleet economics ranking pass (which
+// must stay microseconds — off the physics hot path), and the
+// remote-blob-tier district run (whose horizon-builds/op metric pins
+// the fleet scale-out contract: a peer-warmed run ray-marches
+// nothing).
+const defaultBench = "BenchmarkTableI|BenchmarkFig6IrradianceMaps|BenchmarkFieldConstruction|BenchmarkObjectiveDelta|BenchmarkDistrictSharedHorizon|BenchmarkCityPipeline|BenchmarkDistrictEconRanking|BenchmarkWarmRemoteCache"
 
 func main() {
 	log.SetFlags(0)

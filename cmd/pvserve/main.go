@@ -12,6 +12,8 @@
 //	pvserve -max-runs 4 -queue 16            # job-pool sizing
 //	pvserve -concurrency 4 -field-workers 2  # per-request worker caps
 //	pvserve -jobs-dir ~/.pvjobs              # durable async city jobs
+//	pvserve -tiles-dir ~/.pvtiles            # tile uploads + tile_ref requests
+//	pvserve -cache ~/.pvcache -cache-remote http://peer:8037/v1/blobs
 //
 // With -jobs-dir, city runs can also be submitted as durable async
 // jobs (/v1/jobs): each job is journaled and checkpointed tile by
@@ -19,14 +21,25 @@
 // and resumes from its last finished tile when the process comes
 // back with the same -jobs-dir.
 //
+// With -tiles-dir, DSM tiles can be uploaded once (POST /v1/tiles,
+// plain or gzipped ESRI ASCII grid) and referenced by tile_ref in
+// district/city/job requests instead of shipping in every body.
+//
+// With -cache-remote, the local artifact cache gains a remote tier:
+// misses fall through to a peer's /v1/blobs mount and local stores
+// publish there, so a fleet shares one warm cache. Any remote failure
+// degrades to recompute — it never fails a request.
+//
 // Endpoints (see internal/serve and the README quickstart):
 //
-//	GET  /healthz      liveness + pool gauges + job census
-//	POST /v1/run       one run, synchronous JSON
-//	POST /v1/batch     fleet of runs, NDJSON stream
-//	POST /v1/district  DSM tile sweep, NDJSON stream
-//	POST /v1/city      tiled city sweep, NDJSON stream
-//	/v1/jobs...        durable async jobs (submit/poll/fetch/cancel)
+//	GET  /healthz        liveness + pool gauges + store censuses
+//	POST /v1/run         one run, synchronous JSON
+//	POST /v1/batch       fleet of runs, NDJSON stream
+//	POST /v1/district    DSM tile sweep, NDJSON stream
+//	POST /v1/city        tiled city sweep, NDJSON stream
+//	POST /v1/tiles       upload a DSM tile, returns its tile_ref
+//	/v1/blobs/{key}      the artifact cache's blob mount (peer tier)
+//	/v1/jobs...          durable async jobs (submit/poll/fetch/cancel)
 package main
 
 import (
@@ -49,6 +62,8 @@ func main() {
 	log.SetPrefix("pvserve: ")
 	addr := flag.String("addr", ":8037", "listen address")
 	cacheDir := flag.String("cache", "", "persistent field-artifact cache directory shared by all requests")
+	cacheRemote := flag.String("cache-remote", "", "peer blob-mount base URL (e.g. http://cache-host:8037/v1/blobs): local misses fall through to it, stores publish to it")
+	tilesDir := flag.String("tiles-dir", "", "uploaded-tile store directory: enables POST /v1/tiles and tile_ref requests")
 	maxRuns := flag.Int("max-runs", 2, "max concurrently executing requests (the job pool)")
 	queue := flag.Int("queue", 8, "max requests waiting for a run slot before 503")
 	concurrency := flag.Int("concurrency", 0, "per-request run fan-out (0 = one per CPU)")
@@ -63,6 +78,8 @@ func main() {
 		Concurrency:       *concurrency,
 		FieldWorkers:      *fieldWorkers,
 		CacheDir:          *cacheDir,
+		CacheRemote:       *cacheRemote,
+		TilesDir:          *tilesDir,
 		MaxBodyBytes:      *maxBody,
 	}
 	if *jobsDir != "" {
@@ -72,7 +89,10 @@ func main() {
 		}
 		opts.Jobs = store
 	}
-	app := serve.New(opts)
+	app, err := serve.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           app,

@@ -52,6 +52,11 @@ type DistrictConfig struct {
 	// whole neighborhood and re-reading it: roofs are keyed by tile
 	// content + roof rect, so an unchanged tile re-runs warm.
 	CacheDir string
+	// Cache, when non-nil, is the artifact cache handle to use
+	// directly and takes precedence over CacheDir — the way a
+	// long-lived caller (pvserve) shares one metrics surface and one
+	// remote blob tier across every district run.
+	Cache *fieldcache.Cache
 	// PerRoofHorizon disables the tile-level shared horizon and
 	// ray-marches one horizon map per roof, as earlier releases did.
 	// The shared path is bit-identical and strictly cheaper (the tile
@@ -260,28 +265,30 @@ func RunDistrict(cfg DistrictConfig) (*DistrictResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Resolve the artifact cache once for the whole district run: the
+	// shared handle serves the tile horizon below and (via roofConfig)
+	// every per-roof field build, so metrics aggregate in one place.
+	if cfg.Cache == nil && cfg.CacheDir != "" {
+		if cfg.Cache, err = fieldcache.Open(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
 	// Tile-level shared horizon: march the union of the roof rects once
 	// and let every roof's evaluator slice its view from the result —
 	// bit-identical to the per-roof builds it replaces (the per-cell
 	// march depends only on the raster and the cell) and cached as one
-	// tile artifact when CacheDir is set, so a warm district run
+	// tile artifact when the cache is enabled, so a warm district run
 	// restores a single entry instead of one map per roof.
 	if !cfg.PerRoofHorizon && len(ex.Roofs) > 0 {
 		var hopts horizon.Options
 		if cfg.Fidelity != Full {
 			hopts = scenario.FastHorizonOptions()
 		}
-		var cache *fieldcache.Cache
-		if cfg.CacheDir != "" {
-			if cache, err = fieldcache.Open(cfg.CacheDir); err != nil {
-				return nil, err
-			}
-		}
 		rects := make([]geom.Rect, len(ex.Roofs))
 		for i := range ex.Roofs {
 			rects[i] = ex.Roofs[i].Rect
 		}
-		tileH, _, err := field.TileHorizon(cfg.Tile, rects, hopts, cfg.FieldWorkers, cache)
+		tileH, _, err := field.TileHorizon(cfg.Tile, rects, hopts, cfg.FieldWorkers, cfg.Cache)
 		if err != nil {
 			return nil, err
 		}
@@ -416,6 +423,7 @@ func (cfg DistrictConfig) retryShrinking(rp *RoofPlan) {
 		Fast:     cfg.Fidelity != Full,
 		Workers:  cfg.FieldWorkers,
 		CacheDir: cfg.CacheDir,
+		Cache:    cfg.Cache,
 	})
 	if err != nil {
 		rp.Run.Err = fmt.Errorf("pvfloor: district retry (%s): field: %w", rp.Run.Name, err)
@@ -448,6 +456,7 @@ func (cfg DistrictConfig) roofConfig(sc *scenario.Scenario, n int) Config {
 		Optimizer:    cfg.Optimizer,
 		SkipBaseline: cfg.SkipBaseline,
 		CacheDir:     cfg.CacheDir,
+		Cache:        cfg.Cache,
 	}
 }
 

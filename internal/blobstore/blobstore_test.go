@@ -1,0 +1,397 @@
+package blobstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+func TestValidKey(t *testing.T) {
+	for _, ok := range []string{"horizon-abc123.gob", "asc-DEADBEEF", "a", "x_y-z.9"} {
+		if !ValidKey(ok) {
+			t.Errorf("ValidKey(%q) = false, want true", ok)
+		}
+	}
+	bad := []string{"", ".", "..", ".hidden", "a/b", "../etc", "a b", "k\x00", "ключ"}
+	bad = append(bad, string(make([]byte, maxKeyLen+1)))
+	for _, k := range bad {
+		if ValidKey(k) {
+			t.Errorf("ValidKey(%q) = true, want false", k)
+		}
+	}
+}
+
+func TestDirRoundTrip(t *testing.T) {
+	d, err := OpenDir(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get("k1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get before put = %v, want ErrNotFound", err)
+	}
+	if _, err := d.Stat("k1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stat before put = %v, want ErrNotFound", err)
+	}
+	payload := []byte("artifact bytes")
+	if err := d.Put("k1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Get("k1")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+	if size, err := d.Stat("k1"); err != nil || size != int64(len(payload)) {
+		t.Fatalf("stat = %d, %v", size, err)
+	}
+	if n, err := d.Count(); err != nil || n != 1 {
+		t.Fatalf("count = %d, %v, want 1", n, err)
+	}
+	// Invalid keys are rejected before touching the filesystem.
+	if err := d.Put("../escape", payload); err == nil {
+		t.Fatal("traversal key accepted")
+	}
+	if _, err := d.Get(".hidden"); err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("hidden key error = %v, want validation error", err)
+	}
+}
+
+// TestDirDurabilityProtocol pins the crash-safe write order on the
+// production Put path: fsync the temp file, rename, fsync the
+// directory — and a failed write never commits a blob.
+func TestDirDurabilityProtocol(t *testing.T) {
+	inj := faultfs.Wrap(faultfs.OS())
+	d, err := OpenDir(t.TempDir(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	sync, rename, syncDir := -1, -1, -1
+	for i, r := range inj.Log() {
+		switch r.Op {
+		case faultfs.OpSync:
+			sync = i
+		case faultfs.OpRename:
+			rename = i
+		case faultfs.OpSyncDir:
+			syncDir = i
+		}
+	}
+	if !(sync >= 0 && sync < rename && rename < syncDir) {
+		t.Fatalf("durability order violated: sync@%d rename@%d syncdir@%d", sync, rename, syncDir)
+	}
+
+	inj.FailNthWrite(1, 3) // torn write on the next put
+	if err := d.Put("torn", []byte("payload")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("torn put err = %v, want ErrInjected", err)
+	}
+	if _, err := d.Get("torn"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn put committed a blob: %v", err)
+	}
+}
+
+func TestHTTPRoundTripThroughHandler(t *testing.T) {
+	d, err := OpenDir(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/blobs/{key}", Handler(d))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	h, err := OpenHTTP(srv.URL+"/v1/blobs", HTTPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get("k1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("remote get before put = %v, want ErrNotFound", err)
+	}
+	payload := []byte{0x00, 0x01, 0xFE, 0xFF, 'g', 'o', 'b'}
+	if err := h.Put("k1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get("k1")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("remote get = %x, %v", got, err)
+	}
+	if size, err := h.Stat("k1"); err != nil || size != int64(len(payload)) {
+		t.Fatalf("remote stat = %d, %v", size, err)
+	}
+	// The bytes really landed in the backing directory.
+	local, err := d.Get("k1")
+	if err != nil || !bytes.Equal(local, payload) {
+		t.Fatalf("backing dir get = %x, %v", local, err)
+	}
+	// Handler-side key validation and method gate. (".." would be
+	// cleaned away by the mux before reaching the handler, so probe
+	// with a leading-dot key instead.)
+	resp, err := http.Get(srv.URL + "/v1/blobs/.hidden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET .hidden = %d, want 400", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/blobs/k1", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHTTPRetries pins the retry policy: 5xx answers retry with
+// backoff until the budget runs out, 404 returns ErrNotFound with no
+// retry at all.
+func TestHTTPRetries(t *testing.T) {
+	var gets, notFounds atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/flaky" {
+			if gets.Add(1) < 3 {
+				http.Error(w, "transient", http.StatusInternalServerError)
+				return
+			}
+			w.Write([]byte("recovered"))
+			return
+		}
+		notFounds.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+
+	h, err := OpenHTTP(srv.URL, HTTPOptions{Retries: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get("flaky")
+	if err != nil || string(got) != "recovered" {
+		t.Fatalf("get after transient 500s = %q, %v", got, err)
+	}
+	if n := gets.Load(); n != 3 {
+		t.Errorf("flaky endpoint hit %d times, want 3 (2 retries)", n)
+	}
+	if _, err := h.Get("absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("404 = %v, want ErrNotFound", err)
+	}
+	if n := notFounds.Load(); n != 1 {
+		t.Errorf("404 endpoint hit %d times, want 1 (no retry)", n)
+	}
+}
+
+func TestHTTPRejectsBadURL(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "ftp://host/blobs", "http://"} {
+		if _, err := OpenHTTP(bad, HTTPOptions{}); err == nil {
+			t.Errorf("OpenHTTP(%q) accepted", bad)
+		}
+	}
+}
+
+// failingBackend errors on everything — a dead remote tier.
+type failingBackend struct{ err error }
+
+func (f failingBackend) Get(string) ([]byte, error) { return nil, f.err }
+func (f failingBackend) Put(string, []byte) error   { return f.err }
+func (f failingBackend) Stat(string) (int64, error) { return 0, f.err }
+
+func TestTieredReadThroughAndPromotion(t *testing.T) {
+	local, err := OpenDir(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := OpenDir(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered, err := NewTiered(nil, Tier{"local", local}, Tier{"remote", remote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed only the remote tier — the fleet's warm artifact.
+	payload := []byte("fleet-warm artifact")
+	if err := remote.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tiered.Get("k")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("tiered get = %q, %v", got, err)
+	}
+	// The hit was promoted: the local tier now holds the bytes and
+	// serves the second lookup itself.
+	if lb, err := local.Get("k"); err != nil || !bytes.Equal(lb, payload) {
+		t.Fatalf("promotion did not land locally: %q, %v", lb, err)
+	}
+	if _, err := tiered.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	m := tiered.Metrics()
+	if len(m) != 2 || m[0].Tier != "local" || m[1].Tier != "remote" {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m[0].Hits != 1 || m[0].Misses != 1 || m[0].Stores != 1 {
+		t.Errorf("local tier = %+v, want 1 hit, 1 miss, 1 promoted store", m[0])
+	}
+	if m[1].Hits != 1 || m[1].Misses != 0 {
+		t.Errorf("remote tier = %+v, want 1 hit", m[1])
+	}
+
+	// Write-through: a Put lands in both tiers.
+	if err := tiered.Put("w", []byte("both")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Get("w"); err != nil {
+		t.Error("write-through skipped the local tier")
+	}
+	if _, err := remote.Get("w"); err != nil {
+		t.Error("write-through skipped the remote tier")
+	}
+	if size, err := tiered.Stat("w"); err != nil || size != 4 {
+		t.Errorf("tiered stat = %d, %v", size, err)
+	}
+}
+
+// TestTieredVerifyFallsThroughCorruption pins the corruption story: a
+// vandalised local copy is counted corrupt and the lookup falls
+// through to the remote tier's good copy, which repairs the local
+// tier by promotion.
+func TestTieredVerifyFallsThroughCorruption(t *testing.T) {
+	local, err := OpenDir(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := OpenDir(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []byte("good payload")
+	verify := func(key string, data []byte) error {
+		if !bytes.Equal(data, good) {
+			return fmt.Errorf("checksum mismatch on %s", key)
+		}
+		return nil
+	}
+	tiered, err := NewTiered(verify, Tier{"local", local}, Tier{"remote", remote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := local.Put("k", []byte("vandalised")); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Put("k", good); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tiered.Get("k")
+	if err != nil || !bytes.Equal(got, good) {
+		t.Fatalf("get over corrupt local = %q, %v", got, err)
+	}
+	m := tiered.Metrics()
+	if m[0].Corrupt != 1 || m[0].Stores != 1 {
+		t.Errorf("local tier = %+v, want 1 corrupt + 1 repairing store", m[0])
+	}
+	// The repair stuck: local now serves the good copy directly.
+	if lb, err := local.Get("k"); err != nil || !bytes.Equal(lb, good) {
+		t.Fatalf("local after repair = %q, %v", lb, err)
+	}
+
+	// Corrupt everywhere = clean miss, both counted.
+	if err := local.Put("x", []byte("bad")); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Put("x", []byte("bad")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tiered.Get("x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("all-corrupt get = %v, want ErrNotFound", err)
+	}
+}
+
+// TestTieredDeadRemoteFailsSoft pins the never-fail-the-run contract:
+// with the remote tier erroring on every call, gets fall through to
+// ErrNotFound (recompute), puts still land locally and return nil,
+// and the failures are visible in the remote tier's Errors counter.
+func TestTieredDeadRemoteFailsSoft(t *testing.T) {
+	local, err := OpenDir(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := failingBackend{err: errors.New("connection refused")}
+	tiered, err := NewTiered(nil, Tier{"local", local}, Tier{"remote", dead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tiered.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get with dead remote = %v, want ErrNotFound", err)
+	}
+	if err := tiered.Put("k", []byte("v")); err != nil {
+		t.Fatalf("put with dead remote = %v, want nil (local accepted)", err)
+	}
+	if got, err := tiered.Get("k"); err != nil || string(got) != "v" {
+		t.Fatalf("get after put = %q, %v", got, err)
+	}
+	m := tiered.Metrics()
+	if m[1].Errors < 2 { // one failed get, one failed write-through
+		t.Errorf("remote tier errors = %d, want >= 2 (%+v)", m[1].Errors, m)
+	}
+	if m[0].Stores != 1 {
+		t.Errorf("local tier = %+v, want the put counted", m[0])
+	}
+}
+
+// TestTieredConcurrent hammers one tiered store from many goroutines
+// (run with -race in CI): mixed gets and puts over a small key space
+// must stay consistent and never serve torn payloads.
+func TestTieredConcurrent(t *testing.T) {
+	local, err := OpenDir(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := OpenDir(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered, err := NewTiered(nil, Tier{"local", local}, Tier{"remote", remote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloadFor := func(key string) []byte { return []byte("payload-for-" + key) }
+	keys := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 25; round++ {
+				for _, k := range keys {
+					if got, err := tiered.Get(k); err == nil {
+						if !bytes.Equal(got, payloadFor(k)) {
+							t.Errorf("key %s: torn payload %q", k, got)
+							return
+						}
+					} else if err := tiered.Put(k, payloadFor(k)); err != nil {
+						t.Errorf("key %s: put: %v", k, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, k := range keys {
+		if got, err := tiered.Get(k); err != nil || !bytes.Equal(got, payloadFor(k)) {
+			t.Errorf("key %s after hammer = %q, %v", k, got, err)
+		}
+	}
+}

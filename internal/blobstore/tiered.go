@@ -1,0 +1,192 @@
+package blobstore
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Tier names one layer of a Tiered store.
+type Tier struct {
+	// Name labels the tier in metrics ("local", "remote").
+	Name string
+	// Backend serves the tier's blobs.
+	Backend Backend
+}
+
+// TierMetrics is a snapshot of one tier's counters, JSON-shaped for
+// the /healthz payload.
+type TierMetrics struct {
+	// Tier is the layer's label.
+	Tier string `json:"tier"`
+	// Hits counts Gets served by this tier with a verified payload.
+	Hits uint64 `json:"hits"`
+	// Misses counts Gets this tier could not serve (absent, failed or
+	// corrupt; the latter two also increment their own counters).
+	Misses uint64 `json:"misses"`
+	// Stores counts successful Puts, including read-through
+	// promotions from a slower tier.
+	Stores uint64 `json:"stores"`
+	// Corrupt counts payloads this tier returned that failed the
+	// Verify hook.
+	Corrupt uint64 `json:"corrupt"`
+	// Errors counts infrastructure failures (IO errors, network
+	// faults, non-404 HTTP answers) on Get or Put.
+	Errors uint64 `json:"errors"`
+}
+
+type tierState struct {
+	name    string
+	b       Backend
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	stores  atomic.Uint64
+	corrupt atomic.Uint64
+	errs    atomic.Uint64
+}
+
+// Tiered layers backends fastest-first into one Backend:
+//
+//   - Get consults tiers in order and returns the first payload that
+//     passes the Verify hook, promoting it into every faster tier
+//     (read-through) so the next Get stops earlier. A tier that
+//     errors, misses or serves a corrupt payload is skipped and
+//     counted — a dead or vandalised tier degrades, never fails, the
+//     lookup.
+//   - Put writes through every tier. Only the first (fastest,
+//     authoritative) tier's failure is returned; slower tiers fail
+//     soft into their Errors counter, so an unreachable remote never
+//     fails a store that the local tier accepted.
+//
+// This is the fleet topology: each process layers its local directory
+// over a shared remote tier, reads fall through to the fleet's warm
+// artifacts, and writes publish to both. All methods are safe for
+// concurrent use.
+type Tiered struct {
+	verify func(key string, data []byte) error
+	tiers  []*tierState
+}
+
+// NewTiered composes tiers (fastest first) into one store. verify,
+// when non-nil, gates every Get payload: a payload failing it is
+// treated as corrupt and the lookup falls through to the next tier.
+// At least one tier is required.
+func NewTiered(verify func(key string, data []byte) error, tiers ...Tier) (*Tiered, error) {
+	if len(tiers) == 0 {
+		return nil, errors.New("blobstore: tiered store needs at least one tier")
+	}
+	t := &Tiered{verify: verify}
+	for i, tr := range tiers {
+		if tr.Backend == nil {
+			return nil, fmt.Errorf("blobstore: tier %d (%s) has no backend", i, tr.Name)
+		}
+		name := tr.Name
+		if name == "" {
+			name = fmt.Sprintf("tier%d", i)
+		}
+		t.tiers = append(t.tiers, &tierState{name: name, b: tr.Backend})
+	}
+	return t, nil
+}
+
+// Tiers returns the layer labels, fastest first.
+func (t *Tiered) Tiers() []string {
+	out := make([]string, len(t.tiers))
+	for i, tr := range t.tiers {
+		out[i] = tr.name
+	}
+	return out
+}
+
+// Get returns the first verified payload found walking the tiers
+// fastest-first, promoting it into every faster tier. ErrNotFound
+// means no tier holds a usable blob.
+func (t *Tiered) Get(key string) ([]byte, error) {
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	for i, tr := range t.tiers {
+		data, err := tr.b.Get(key)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			tr.misses.Add(1)
+			continue
+		case err != nil:
+			tr.errs.Add(1)
+			tr.misses.Add(1)
+			continue
+		}
+		if t.verify != nil {
+			if verr := t.verify(key, data); verr != nil {
+				tr.corrupt.Add(1)
+				tr.misses.Add(1)
+				continue
+			}
+		}
+		tr.hits.Add(1)
+		// Read-through promotion: publish into every faster tier so
+		// the next lookup is served locally. A failed promotion only
+		// costs the warm start — the payload in hand is unaffected.
+		for _, fast := range t.tiers[:i] {
+			if perr := fast.b.Put(key, data); perr != nil {
+				fast.errs.Add(1)
+			} else {
+				fast.stores.Add(1)
+			}
+		}
+		return data, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+}
+
+// Put writes data through every tier. The first tier's failure is
+// returned (it is the authoritative copy); slower tiers fail soft
+// into their Errors counter.
+func (t *Tiered) Put(key string, data []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	var first error
+	for i, tr := range t.tiers {
+		err := tr.b.Put(key, data)
+		if err == nil {
+			tr.stores.Add(1)
+			continue
+		}
+		tr.errs.Add(1)
+		if i == 0 {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stat returns the first tier's answer for the blob's size, falling
+// through misses and errors like Get (without promotion).
+func (t *Tiered) Stat(key string) (int64, error) {
+	if err := checkKey(key); err != nil {
+		return 0, err
+	}
+	for _, tr := range t.tiers {
+		if size, err := tr.b.Stat(key); err == nil {
+			return size, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+}
+
+// Metrics snapshots every tier's counters, fastest first.
+func (t *Tiered) Metrics() []TierMetrics {
+	out := make([]TierMetrics, len(t.tiers))
+	for i, tr := range t.tiers {
+		out[i] = TierMetrics{
+			Tier:    tr.name,
+			Hits:    tr.hits.Load(),
+			Misses:  tr.misses.Load(),
+			Stores:  tr.stores.Load(),
+			Corrupt: tr.corrupt.Load(),
+			Errors:  tr.errs.Load(),
+		}
+	}
+	return out
+}

@@ -128,6 +128,11 @@ type FieldConfig struct {
 	// are fingerprinted and reused across runs and processes. Cached
 	// results are bit-identical to cold computation.
 	CacheDir string
+	// Cache, when non-nil, is the artifact cache handle to use
+	// directly and takes precedence over CacheDir. Passing a handle
+	// lets many runs share one set of metrics counters (and one
+	// remote blob tier) instead of opening a fresh handle per field.
+	Cache *fieldcache.Cache
 }
 
 // Field builds the solar-field evaluator for the scenario on the
@@ -153,8 +158,8 @@ func (s *Scenario) FieldWith(cfg FieldConfig) (*field.Evaluator, error) {
 	if cfg.Fast {
 		hopts = FastHorizonOptions()
 	}
-	var cache *fieldcache.Cache
-	if cfg.CacheDir != "" {
+	cache := cfg.Cache
+	if cache == nil && cfg.CacheDir != "" {
 		if cache, err = fieldcache.Open(cfg.CacheDir); err != nil {
 			return nil, err
 		}

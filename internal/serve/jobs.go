@@ -10,7 +10,6 @@ import (
 	"sync"
 
 	pvfloor "repro"
-	"repro/internal/gis"
 	"repro/internal/jobs"
 )
 
@@ -85,10 +84,18 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Validate everything except the raster decode now, so a bad
-	// request fails the submit, not the background run.
-	if err := req.City.validateTileChoice(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	// request fails the submit, not the background run. A tile_ref is
+	// resolved too: a ref the store has never seen should 404 here,
+	// not fail a job hours later.
+	if err := s.validateTile(req.City.DistrictRequest); err != nil {
+		writeTileError(w, err)
 		return
+	}
+	if req.City.TileRef != "" {
+		if _, err := s.tiles.Path(req.City.TileRef); err != nil {
+			writeTileError(w, err)
+			return
+		}
 	}
 	if _, err := s.cityConfig(*req.City); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -209,12 +216,18 @@ func (s *Server) runJob(j *jobs.Job) {
 		fail(err)
 		return
 	}
-	tile, nodata, err := req.City.tile()
+	// A tile_ref job re-opens the uploaded tile through the windowed
+	// reader — the manifest persists only the ref, so a resumed job on
+	// a restarted process rebuilds its source from the tile store.
+	src, closeSrc, err := s.citySource(req.City.DistrictRequest)
 	if err != nil {
 		fail(err)
 		return
 	}
-	cfg.Source = &gis.RasterSource{Raster: tile, NoData: nodata}
+	if closeSrc != nil {
+		defer closeSrc.Close()
+	}
+	cfg.Source = src
 	ck, err := pvfloor.NewDirCheckpoint(filepath.Join(j.Dir(), "tiles"))
 	if err != nil {
 		fail(err)

@@ -387,7 +387,7 @@ func TestCityStreamClientDisconnect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(Options{MaxConcurrentRuns: 1, QueueDepth: 1, Concurrency: 1, FieldWorkers: 1, Jobs: store})
+	s := newTestServer(t, Options{MaxConcurrentRuns: 1, QueueDepth: 1, Concurrency: 1, FieldWorkers: 1, Jobs: store})
 	asc := loadTileASC(t)
 	req := CityRequest{DistrictRequest: DistrictRequest{TileASC: asc}, TileCells: 80}
 	body, err := json.Marshal(req)

@@ -44,17 +44,22 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"time"
 
 	pvfloor "repro"
+	"repro/internal/blobstore"
 	"repro/internal/district"
 	"repro/internal/dsm"
+	"repro/internal/fieldcache"
 	"repro/internal/geom"
 	"repro/internal/gis"
 	"repro/internal/jobs"
+	"repro/internal/tilestore"
 )
 
 // Options tunes a Server. The zero value serves with conservative
@@ -78,10 +83,27 @@ type Options struct {
 	FieldWorkers int
 	// CacheDir, when non-empty, is the shared persistent
 	// field-artifact cache: repeated tiles and roofs are served warm
-	// across requests and processes.
+	// across requests and processes. The directory is also exposed at
+	// /v1/blobs/{key} so peer processes can use this one as their
+	// remote cache tier.
 	CacheDir string
+	// CacheRemote, when non-empty, is the base URL of a peer's blob
+	// mount (e.g. "http://cache-host:8037/v1/blobs"): local cache
+	// misses fall through to it and local stores publish to it. Any
+	// remote failure — 5xx, corrupt payload, timeout — degrades to
+	// recompute, never fails a request.
+	CacheRemote string
+	// RemoteCache, when non-nil, overrides CacheRemote with a
+	// pre-built backend — the seam tests use to inject tuned timeouts
+	// or failing tiers.
+	RemoteCache blobstore.Backend
+	// TilesDir, when non-empty, enables the uploaded-tile store
+	// (POST /v1/tiles): district/city/job requests may then reference
+	// an uploaded DSM by tile_ref instead of embedding it as tile_asc.
+	TilesDir string
 	// MaxBodyBytes caps request bodies (default 16 MiB — a district
-	// tile ships as ASCII-grid text inside the JSON body).
+	// tile ships as ASCII-grid text inside the JSON body, and tile
+	// uploads are capped to the same budget).
 	MaxBodyBytes int64
 	// Jobs, when non-nil, enables the durable async job surface
 	// (/v1/jobs): submitted city runs are journaled in this store,
@@ -107,10 +129,12 @@ func (o Options) withDefaults() Options {
 // store, call ResumeJobs after New to restart parked jobs and
 // Shutdown to drain the runners before exit.
 type Server struct {
-	opts Options
-	pool *pool
-	mux  *http.ServeMux
-	jobs *jobs.Store
+	opts  Options
+	pool  *pool
+	mux   *http.ServeMux
+	jobs  *jobs.Store
+	cache *fieldcache.Cache // nil = no artifact cache configured
+	tiles *tilestore.Store  // nil = no tile store configured
 
 	// drain closes when Shutdown begins: running city jobs stop
 	// dispatching tiles and park as interrupted.
@@ -127,8 +151,10 @@ type Server struct {
 	cityHook func(*pvfloor.CityConfig)
 }
 
-// New builds a Server with its routes and job pool.
-func New(opts Options) *Server {
+// New builds a Server with its routes, storage tiers and job pool.
+// It errors only on unusable storage configuration (bad cache or
+// tile directory, malformed CacheRemote URL).
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:  opts,
@@ -137,33 +163,69 @@ func New(opts Options) *Server {
 		jobs:  opts.Jobs,
 		drain: make(chan struct{}),
 	}
+	remote := opts.RemoteCache
+	if remote == nil && opts.CacheRemote != "" {
+		var err error
+		if remote, err = blobstore.OpenHTTP(opts.CacheRemote, blobstore.HTTPOptions{}); err != nil {
+			return nil, err
+		}
+	}
+	if opts.CacheDir != "" || remote != nil {
+		var err error
+		s.cache, err = fieldcache.OpenTiered(fieldcache.Config{Dir: opts.CacheDir, Remote: remote})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.TilesDir != "" {
+		var err error
+		if s.tiles, err = tilestore.Open(opts.TilesDir); err != nil {
+			return nil, err
+		}
+	}
 	s.jobCtx, s.jobCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/district", s.handleDistrict)
 	s.mux.HandleFunc("POST /v1/city", s.handleCity)
+	s.mux.HandleFunc("POST /v1/tiles", s.handleTileUpload)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
-	return s
+	// With a local cache directory this process doubles as a blob
+	// peer: fleet members point -cache-remote here and read/publish
+	// artifacts through the same verified envelope path.
+	if s.cache != nil && s.cache.Local() != nil {
+		s.mux.Handle("/v1/blobs/{key}", blobstore.Handler(s.cache.Local()))
+	}
+	return s, nil
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Health is the /healthz payload: pool gauges plus, when the server
-// owns a job store, its per-state census.
+// Health is the /healthz payload: pool gauges plus, when configured,
+// the job store census, the artifact cache's per-tier traffic and the
+// uploaded-tile census.
 type Health struct {
-	Status   string       `json:"status"`
-	Running  int          `json:"running"`
-	Queued   int          `json:"queued"`
-	Capacity int          `json:"capacity"`
-	Queue    int          `json:"queue_depth"`
-	Jobs     *jobs.Counts `json:"jobs,omitempty"`
+	Status   string              `json:"status"`
+	Running  int                 `json:"running"`
+	Queued   int                 `json:"queued"`
+	Capacity int                 `json:"capacity"`
+	Queue    int                 `json:"queue_depth"`
+	Jobs     *jobs.Counts        `json:"jobs,omitempty"`
+	Cache    *fieldcache.Metrics `json:"cache,omitempty"`
+	Tiles    *TilesHealth        `json:"tiles,omitempty"`
+}
+
+// TilesHealth is the uploaded-tile census in /healthz.
+type TilesHealth struct {
+	// Count is the number of stored tiles.
+	Count int `json:"count"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -175,6 +237,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.jobs != nil {
 		c := s.jobs.Counts()
 		h.Jobs = &c
+	}
+	if s.cache != nil {
+		m := s.cache.Metrics()
+		h.Cache = &m
+	}
+	if s.tiles != nil {
+		n, err := s.tiles.Count()
+		if err == nil {
+			h.Tiles = &TilesHealth{Count: n}
+		}
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -270,8 +342,8 @@ func (s *Server) handleDistrict(w http.ResponseWriter, r *http.Request) {
 	// tile (the expensive, memory-heavy part) waits for a run slot so
 	// a burst of large tiles bounces at the pool instead of decoding
 	// rasters it will never run.
-	if err := req.validateTileChoice(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := s.validateTile(req); err != nil {
+		writeTileError(w, err)
 		return
 	}
 	cfg, err := s.districtConfig(req, nil, nil)
@@ -285,9 +357,9 @@ func (s *Server) handleDistrict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	cfg.Tile, cfg.NoData, err = req.tile()
+	cfg.Tile, cfg.NoData, err = s.tile(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeTileError(w, err)
 		return
 	}
 
@@ -321,8 +393,8 @@ func (s *Server) handleCity(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if err := req.validateTileChoice(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := s.validateTile(req.DistrictRequest); err != nil {
+		writeTileError(w, err)
 		return
 	}
 	cfg, err := s.cityConfig(req)
@@ -336,12 +408,15 @@ func (s *Server) handleCity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	tile, nodata, err := req.tile()
+	src, closeSrc, err := s.citySource(req.DistrictRequest)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeTileError(w, err)
 		return
 	}
-	cfg.Source = &gis.RasterSource{Raster: tile, NoData: nodata}
+	if closeSrc != nil {
+		defer closeSrc.Close()
+	}
+	cfg.Source = src
 
 	stream := newStream(w)
 	start := time.Now()
@@ -362,41 +437,153 @@ func (s *Server) handleCity(w http.ResponseWriter, r *http.Request) {
 }
 
 // decode parses a JSON request body strictly (unknown fields are
-// rejected) under the body-size cap, answering 400 itself on failure.
+// rejected) under the body-size cap, answering 400 (or 413 for an
+// oversized body) itself on failure.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", s.opts.MaxBodyBytes))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
 		return false
 	}
 	return true
 }
 
+// errNoTileStore answers tile_ref requests and uploads on a server
+// without a tile store.
+var errNoTileStore = errors.New("no tile store configured (start pvserve with -tiles-dir)")
+
+// handleTileUpload is POST /v1/tiles: the body is one DSM tile — a
+// plain or gzip-compressed ESRI ASCII grid (sniffed by magic bytes,
+// no JSON framing). The tile is validated end to end, stored under a
+// content-derived ref, and described in the 201 response; the ref
+// then names the tile in district/city/job requests (tile_ref) so a
+// fleet uploads each tile once instead of embedding it per request.
+func (s *Server) handleTileUpload(w http.ResponseWriter, r *http.Request) {
+	if s.tiles == nil {
+		writeError(w, http.StatusServiceUnavailable, errNoTileStore)
+		return
+	}
+	info, err := s.tiles.Put(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("tile exceeds %d bytes", s.opts.MaxBodyBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
 // validateTileChoice checks the tile selection without materialising
 // anything — it runs before pool admission.
 func (dr DistrictRequest) validateTileChoice() error {
+	set := 0
+	for _, on := range []bool{dr.TileASC != "", dr.TileRef != "", dr.Demo} {
+		if on {
+			set++
+		}
+	}
 	switch {
-	case dr.Demo && dr.TileASC != "":
-		return errors.New("tile_asc and demo are mutually exclusive")
-	case !dr.Demo && dr.TileASC == "":
-		return errors.New("either tile_asc or demo is required")
+	case set == 0:
+		return errors.New("exactly one of tile_asc, tile_ref or demo is required")
+	case set > 1:
+		return errors.New("tile_asc, tile_ref and demo are mutually exclusive: set exactly one")
 	}
 	return nil
 }
 
-// tile materialises the request's DSM: the embedded ASCII grid, or
-// the built-in synthetic neighborhood with Demo. Call only after
-// validateTileChoice (and after pool admission — parsing a 16 MiB
-// grid is the expensive part of request setup).
-func (dr DistrictRequest) tile() (*dsm.Raster, *geom.Mask, error) {
-	if dr.Demo {
+// validateTile runs the stateless tile-choice check plus the server
+// preconditions (a tile_ref needs a tile store).
+func (s *Server) validateTile(dr DistrictRequest) error {
+	if err := dr.validateTileChoice(); err != nil {
+		return err
+	}
+	if dr.TileRef != "" && s.tiles == nil {
+		return errNoTileStore
+	}
+	return nil
+}
+
+// writeTileError maps tile selection/materialisation failures onto
+// status codes: an unknown tile_ref is 404, a missing tile store 503,
+// everything else (bad grid, bad selection) 400.
+func writeTileError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, tilestore.ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, errNoTileStore):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// tile materialises the request's DSM in memory: the embedded ASCII
+// grid, a stored upload named by tile_ref, or the built-in synthetic
+// neighborhood with Demo. Call only after validateTile (and after
+// pool admission — parsing a 16 MiB grid is the expensive part of
+// request setup).
+func (s *Server) tile(dr DistrictRequest) (*dsm.Raster, *geom.Mask, error) {
+	switch {
+	case dr.Demo:
 		return district.SyntheticNeighborhood(), nil, nil
+	case dr.TileRef != "":
+		path, err := s.tiles.Path(dr.TileRef)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening tile %s: %w", dr.TileRef, err)
+		}
+		defer f.Close()
+		tile, nodata, err := gis.LoadRaster(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading tile %s: %w", dr.TileRef, err)
+		}
+		return tile, nodata, nil
+	default:
+		tile, nodata, err := gis.LoadRaster(strings.NewReader(dr.TileASC))
+		if err != nil {
+			return nil, nil, fmt.Errorf("parsing tile_asc: %w", err)
+		}
+		return tile, nodata, nil
 	}
-	tile, nodata, err := gis.LoadRaster(strings.NewReader(dr.TileASC))
+}
+
+// citySource materialises the request's DSM as a CitySource for the
+// tiled pipeline. A tile_ref request is served through
+// gis.OpenWindowed over the stored (gzipped) upload — the true
+// out-of-core path, O(window) memory however large the upload — and
+// the returned closer releases the reader when the run finishes.
+// Inline and demo tiles wrap their in-memory raster; their closer is
+// nil.
+func (s *Server) citySource(dr DistrictRequest) (pvfloor.CitySource, io.Closer, error) {
+	if dr.TileRef != "" {
+		path, err := s.tiles.Path(dr.TileRef)
+		if err != nil {
+			return nil, nil, err
+		}
+		wr, err := gis.OpenWindowed(path, gis.WindowOptions{})
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening tile %s: %w", dr.TileRef, err)
+		}
+		return wr, wr, nil
+	}
+	tile, nodata, err := s.tile(dr)
 	if err != nil {
-		return nil, nil, fmt.Errorf("parsing tile_asc: %w", err)
+		return nil, nil, err
 	}
-	return tile, nodata, nil
+	return &gis.RasterSource{Raster: tile, NoData: nodata}, nil, nil
 }

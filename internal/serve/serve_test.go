@@ -40,7 +40,11 @@ func newTestServer(t *testing.T, opts Options) *Server {
 	if opts.FieldWorkers == 0 {
 		opts.FieldWorkers = 2
 	}
-	return New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func postJSON(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
@@ -87,8 +91,9 @@ func TestRequestValidation(t *testing.T) {
 		{"bad strategy", "/v1/run", `{"scenario":"roof1","modules":8,"optimizer":{"strategy":"magic"}}`, "unknown optimizer strategy"},
 		{"empty batch", "/v1/batch", `{"runs":[]}`, "empty batch"},
 		{"batch bad entry", "/v1/batch", `{"runs":[{"scenario":"roof1","modules":8},{"scenario":"nope","modules":8}]}`, "runs[1]"},
-		{"district no tile", "/v1/district", `{}`, "either tile_asc or demo"},
+		{"district no tile", "/v1/district", `{}`, "exactly one of tile_asc, tile_ref or demo"},
 		{"district tile+demo", "/v1/district", `{"demo":true,"tile_asc":"ncols 1"}`, "mutually exclusive"},
+		{"district ref+asc", "/v1/district", `{"tile_ref":"asc-ffff","tile_asc":"ncols 1"}`, "mutually exclusive"},
 		{"district bad tile", "/v1/district", `{"tile_asc":"not a grid"}`, "parsing tile_asc"},
 		{"district ragged modules", "/v1/district", `{"demo":true,"modules":3}`, "multiple of 8"},
 		{"district bad rank-by", "/v1/district", `{"demo":true,"econ":{"rank_by":"alphabetical"}}`, "unknown rank-by"},
@@ -105,8 +110,11 @@ func TestRequestValidation(t *testing.T) {
 			if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil {
 				t.Fatalf("error body is not JSON: %v (%s)", err, w.Body)
 			}
-			if !strings.Contains(eb.Error, tc.wantErr) {
-				t.Fatalf("error %q does not mention %q", eb.Error, tc.wantErr)
+			if eb.Error.Code != "invalid_request" {
+				t.Fatalf("error code %q, want invalid_request", eb.Error.Code)
+			}
+			if !strings.Contains(eb.Error.Message, tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", eb.Error.Message, tc.wantErr)
 			}
 		})
 	}
@@ -237,7 +245,7 @@ func TestScenarioNamesAndSharing(t *testing.T) {
 // the HTTP layer: with a zero-capacity-equivalent pool (slot taken,
 // no queue), a request bounces with 503 + Retry-After.
 func TestBusyMapsTo503(t *testing.T) {
-	s := New(Options{MaxConcurrentRuns: 1, QueueDepth: 1, Concurrency: 1, FieldWorkers: 1})
+	s := newTestServer(t, Options{MaxConcurrentRuns: 1, QueueDepth: 1, Concurrency: 1, FieldWorkers: 1})
 	// Fill the slot and the single queue spot out-of-band; the next
 	// request must bounce with 503 before touching the pipeline.
 	rel, err := s.pool.acquire(context.Background())

@@ -399,7 +399,7 @@ func TestDistrictStreamClientDisconnect(t *testing.T) {
 	// Concurrency 1 serialises the roof runs, so cancelling after the
 	// first completion leaves at most one more (already in flight) to
 	// finish — the remaining roofs must never run.
-	s := New(Options{MaxConcurrentRuns: 1, QueueDepth: 1, Concurrency: 1, FieldWorkers: 1})
+	s := newTestServer(t, Options{MaxConcurrentRuns: 1, QueueDepth: 1, Concurrency: 1, FieldWorkers: 1})
 	asc := loadTileASC(t)
 	body, err := json.Marshal(DistrictRequest{TileASC: asc})
 	if err != nil {

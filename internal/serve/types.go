@@ -116,10 +116,16 @@ func (er *EconRequest) config() pvfloor.EconConfig {
 
 // DistrictRequest is one whole-tile district sweep streamed as
 // NDJSON. Exactly one of TileASC (an ESRI ASCII grid, the cmd/roofgen
-// and gis package interchange format, embedded as text) or Demo (the
-// built-in synthetic neighborhood) selects the tile.
+// and gis package interchange format, embedded as text), TileRef (a
+// ref returned by POST /v1/tiles — preferred: the tile crosses the
+// wire once and later requests name it) or Demo (the built-in
+// synthetic neighborhood) selects the tile.
 type DistrictRequest struct {
+	// TileASC embeds the grid inline. Deprecated in favour of TileRef
+	// for repeated requests: uploading via /v1/tiles avoids re-sending
+	// (and re-parsing) megabytes of grid text per request.
 	TileASC      string           `json:"tile_asc,omitempty"`
+	TileRef      string           `json:"tile_ref,omitempty"`
 	Demo         bool             `json:"demo,omitempty"`
 	Modules      int              `json:"modules,omitempty"`
 	MaxModules   int              `json:"max_modules,omitempty"`
@@ -258,7 +264,7 @@ func (s *Server) runConfig(req RunRequest) (pvfloor.Config, error) {
 		Optimizer:    opt,
 		SkipBaseline: req.SkipBaseline,
 		Workers:      s.opts.FieldWorkers,
-		CacheDir:     s.opts.CacheDir,
+		Cache:        s.cache,
 	}, nil
 }
 
@@ -305,7 +311,7 @@ func (s *Server) districtConfig(req DistrictRequest, tile *dsm.Raster, nodata *g
 		Optimizer:    opt,
 		SkipBaseline: req.SkipBaseline,
 		Economics:    ec,
-		CacheDir:     s.opts.CacheDir,
+		Cache:        s.cache,
 		Concurrency:  s.opts.Concurrency,
 		FieldWorkers: s.opts.FieldWorkers,
 	}, nil
@@ -342,7 +348,7 @@ func (s *Server) cityConfig(req CityRequest) (pvfloor.CityConfig, error) {
 		Optimizer:    dcfg.Optimizer,
 		SkipBaseline: dcfg.SkipBaseline,
 		Economics:    dcfg.Economics,
-		CacheDir:     dcfg.CacheDir,
+		Cache:        dcfg.Cache,
 		Concurrency:  dcfg.Concurrency,
 		FieldWorkers: dcfg.FieldWorkers,
 	}, nil
@@ -517,8 +523,43 @@ func errorEvent(err error) ErrorEvent {
 
 // ---- plain JSON helpers ----
 
+// ErrorDetail is the one error shape of the whole /v1 surface
+// (including the blob mount): {"error":{"code","message"}}. Code is a
+// stable machine-readable slug derived from the status; Message is
+// human-readable detail.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 type errorBody struct {
-	Error string `json:"error"`
+	Error ErrorDetail `json:"error"`
+}
+
+// errorCode maps a status to its stable error-code slug. Every /v1
+// endpoint answers errors through this table, so clients parse one
+// shape with one vocabulary everywhere.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusRequestTimeout:
+		return "client_closed"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "body_too_large"
+	case http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -530,17 +571,21 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	writeErrorCode(w, status, errorCode(status), err)
+}
+
+func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorBody{Error: ErrorDetail{Code: code, Message: err.Error()}})
 }
 
 // writeBusy maps pool admission failures: queue overflow becomes 503
-// with a Retry-After computed from the observed run times and the
-// backlog ahead, a context cancelled while queued becomes 499-style
-// client-closed (408 is the closest standard code).
+// (code "busy") with a Retry-After computed from the observed run
+// times and the backlog ahead, a context cancelled while queued
+// becomes 499-style client-closed (408 is the closest standard code).
 func (s *Server) writeBusy(w http.ResponseWriter, err error) {
 	if errors.Is(err, errBusy) {
 		w.Header().Set("Retry-After", strconv.Itoa(s.pool.retryAfterSeconds()))
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeErrorCode(w, http.StatusServiceUnavailable, "busy", err)
 		return
 	}
 	writeError(w, http.StatusRequestTimeout, err)

@@ -78,6 +78,7 @@ package pvfloor
 import (
 	"fmt"
 
+	"repro/internal/fieldcache"
 	"repro/internal/floorplan"
 	"repro/internal/optimize"
 	"repro/internal/pvmodel"
@@ -162,6 +163,12 @@ type Config struct {
 	// cache files are detected and recomputed. Concurrent runs and
 	// processes may share one directory.
 	CacheDir string
+	// Cache, when non-nil, is the artifact cache handle to use
+	// directly and takes precedence over CacheDir. A long-lived
+	// caller (pvserve) passes one handle to every run so hit/miss
+	// metrics aggregate in one place and a configured remote blob
+	// tier is shared instead of re-dialled per run.
+	Cache *fieldcache.Cache
 }
 
 // effectiveGrid returns the simulation calendar the config implies:
@@ -250,6 +257,7 @@ func Run(cfg Config) (*Result, error) {
 		Fast:     cfg.Fidelity != Full,
 		Workers:  cfg.Workers,
 		CacheDir: cfg.CacheDir,
+		Cache:    cfg.Cache,
 	})
 	if err != nil {
 		return nil, err
